@@ -1,0 +1,95 @@
+//! Criterion benches covering every figure's code path at reduced scale.
+//!
+//! These measure simulator wall-clock for one representative configuration
+//! per paper figure, so `cargo bench` exercises each experiment's full
+//! machinery (the figure *data* itself comes from the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patchsim::{presets, run, LinkBandwidth, ProtocolKind};
+use patchsim_bench::{
+    bandwidth_sweep_configs, figure4_configs, inexact_config, scalability_configs, Scale,
+};
+
+fn tiny() -> Scale {
+    Scale {
+        cores: 8,
+        ops: 120,
+        warmup: 20,
+        seeds: 1,
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = tiny();
+    let mut group = c.benchmark_group("fig4_runtime");
+    group.sample_size(10);
+    for (name, config) in figure4_configs(scale, &presets::oltp()) {
+        group.bench_function(name, |b| b.iter(|| run(&config)));
+    }
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    // Figure 5 uses the same runs as Figure 4 but reads the traffic
+    // breakdown; bench the accounting-heavy config.
+    let scale = tiny();
+    let mut group = c.benchmark_group("fig5_traffic");
+    group.sample_size(10);
+    let (_, config) = figure4_configs(scale, &presets::apache()).swap_remove(4); // PATCH-All
+    group.bench_function("patch_all_traffic_breakdown", |b| {
+        b.iter(|| {
+            let r = run(&config);
+            patchsim::TrafficClass::ALL
+                .iter()
+                .map(|&cls| r.class_bytes_per_miss(cls))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let scale = tiny();
+    let mut group = c.benchmark_group("fig6_fig7_bandwidth");
+    group.sample_size(10);
+    for (workload, label) in [(presets::ocean(), "ocean"), (presets::jbb(), "jbb")] {
+        // The most contended sweep point: 600 bytes / 1000 cycles.
+        for (name, config) in bandwidth_sweep_configs(scale, &workload, 600.0) {
+            group.bench_function(format!("{label}/{name}"), |b| b.iter(|| run(&config)));
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_scalability");
+    group.sample_size(10);
+    for (name, config) in scalability_configs(16, 100) {
+        group.bench_function(format!("16cores/{name}"), |b| b.iter(|| run(&config)));
+    }
+    group.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig10_inexact");
+    group.sample_size(10);
+    for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
+        for k in [1u16, 16] {
+            let config = inexact_config(kind, 16, k, LinkBandwidth::BytesPerCycle(2.0), 100);
+            group.bench_function(format!("{}/K{}", kind.label(), k), |b| {
+                b.iter(|| run(&config))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6_fig7,
+    bench_fig8,
+    bench_fig9_fig10
+);
+criterion_main!(figures);

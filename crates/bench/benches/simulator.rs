@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks of the simulator's core data structures:
+//! the substrate costs that bound how large a system `patchsim` can
+//! simulate in reasonable wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use patchsim::{Cycle, NodeId};
+use patchsim_kernel::EventQueue;
+use patchsim_mem::{BlockAddr, CacheArray, CacheGeometry, SharerEncoding, SharerSet};
+use patchsim_noc::{DestSet, NocEvent, NocPayload, Priority, Torus, TorusConfig, TrafficClass};
+
+#[derive(Clone)]
+struct Payload;
+impl NocPayload for Payload {
+    fn size_bytes(&self) -> u64 {
+        72
+    }
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Data
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..1000u32 {
+                    q.push(Cycle::new((i as u64 * 37) % 512), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum += v as u64;
+                }
+                sum
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_torus(c: &mut Criterion) {
+    c.bench_function("noc/unicast_64node_torus", |b| {
+        b.iter_batched(
+            || Torus::<Payload>::new(TorusConfig::new(64)),
+            |mut net| {
+                let mut q: EventQueue<NocEvent<Payload>> = EventQueue::new();
+                for i in 0..64u16 {
+                    net.send(
+                        Cycle::ZERO,
+                        NodeId::new(i),
+                        DestSet::single(64, NodeId::new((i + 13) % 64)),
+                        Priority::Normal,
+                        Payload,
+                        &mut |at, ev| q.push(at, ev),
+                    );
+                }
+                let mut delivered = 0u32;
+                while let Some((now, ev)) = q.pop() {
+                    let mut buf = Vec::new();
+                    net.handle(now, ev, &mut |at, e| buf.push((at, e)), &mut |_, _| {
+                        delivered += 1
+                    });
+                    for (at, e) in buf {
+                        q.push(at, e);
+                    }
+                }
+                delivered
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("noc/broadcast_64node_torus", |b| {
+        b.iter_batched(
+            || Torus::<Payload>::new(TorusConfig::new(64)),
+            |mut net| {
+                let mut q: EventQueue<NocEvent<Payload>> = EventQueue::new();
+                net.send(
+                    Cycle::ZERO,
+                    NodeId::new(0),
+                    DestSet::all_except(64, NodeId::new(0)),
+                    Priority::Normal,
+                    Payload,
+                    &mut |at, ev| q.push(at, ev),
+                );
+                let mut delivered = 0u32;
+                while let Some((now, ev)) = q.pop() {
+                    let mut buf = Vec::new();
+                    net.handle(now, ev, &mut |at, e| buf.push((at, e)), &mut |_, _| {
+                        delivered += 1
+                    });
+                    for (at, e) in buf {
+                        q.push(at, e);
+                    }
+                }
+                delivered
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("mem/cache_fill_and_probe_4k_blocks", |b| {
+        b.iter_batched(
+            || CacheArray::<u64>::new(CacheGeometry::new(1024, 4)),
+            |mut cache| {
+                for i in 0..4096u64 {
+                    cache.insert(BlockAddr::new(i * 7), i);
+                }
+                let mut hits = 0u32;
+                for i in 0..4096u64 {
+                    if cache.get_mut(BlockAddr::new(i * 7)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sharers(c: &mut Criterion) {
+    c.bench_function("mem/sharer_set_coarse_decode_256", |b| {
+        let mut set = SharerSet::new(256, SharerEncoding::Coarse { cores_per_bit: 16 });
+        for i in (0..256).step_by(5) {
+            set.insert(NodeId::new(i));
+        }
+        b.iter(|| set.members().len())
+    });
+}
+
+fn bench_dest_set(c: &mut Criterion) {
+    c.bench_function("noc/dest_set_iterate_512", |b| {
+        let set = DestSet::all_except(512, NodeId::new(0));
+        b.iter(|| set.iter().map(|n| n.index()).sum::<usize>())
+    });
+}
+
+criterion_group!(
+    simulator,
+    bench_event_queue,
+    bench_torus,
+    bench_cache,
+    bench_sharers,
+    bench_dest_set
+);
+criterion_main!(simulator);

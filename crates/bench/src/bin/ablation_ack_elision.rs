@@ -1,0 +1,51 @@
+//! Ablation: zero-token acknowledgement elision (paper §3 "avoiding
+//! unnecessary acknowledgments"; DESIGN.md §7).
+//!
+//! PATCH's scalability under inexact encodings comes from token holders
+//! being the only responders. Forcing PATCH to send DIRECTORY-style
+//! zero-token invalidation acks quantifies exactly how much of Figures
+//! 9–10 that single property buys.
+//!
+//! `cargo run --release -p patchsim-bench --bin ablation_ack_elision [--quick]`
+
+use patchsim::{
+    run_many, summarize, LinkBandwidth, ProtocolKind, SharerEncoding, SimConfig, TrafficClass,
+    WorkloadSpec,
+};
+use patchsim_bench::Scale;
+use patchsim_protocol::ProtocolConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let coarse = SharerEncoding::Coarse {
+        cores_per_bit: (scale.cores / 4).max(2),
+    };
+    println!(
+        "Ablation: zero-token ack elision (PATCH, coarse encoding {coarse}, 2 B/cycle links)\n"
+    );
+    println!(
+        "{:<16} {:>12} {:>16} {:>14}",
+        "acks", "runtime", "ack bytes/miss", "bytes/miss"
+    );
+    for (name, elide) in [("elided (PATCH)", true), ("always (Dir-like)", false)] {
+        let mut protocol =
+            ProtocolConfig::new(ProtocolKind::Patch, scale.cores).with_sharer_encoding(coarse);
+        if !elide {
+            protocol = protocol.without_ack_elision();
+        }
+        let config = SimConfig::new(ProtocolKind::Patch, scale.cores)
+            .with_protocol(protocol)
+            .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+            .with_workload(WorkloadSpec::microbenchmark())
+            .with_ops_per_core(scale.ops)
+            .with_warmup(scale.warmup);
+        let summary = summarize(&run_many(&config, scale.seeds));
+        println!(
+            "{:<16} {:>12.0} {:>16.1} {:>14.1}",
+            name,
+            summary.runtime.mean,
+            summary.class_mean(TrafficClass::Ack),
+            summary.bytes_per_miss.mean
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Extension study: limited-pointer directories (Dir-i-B) alongside the
+//! paper's coarse-vector sweep.
+//!
+//! Limited pointers are exact for lightly shared blocks but degrade to
+//! broadcast on overflow. DIRECTORY then pays broadcast-sized ack storms
+//! for widely shared blocks, while PATCH again hears only from token
+//! holders — extending the paper's §7 argument to a second family of
+//! inexact encodings.
+//!
+//! `cargo run --release -p patchsim-bench --bin ablation_limited_pointer [--quick]`
+
+use patchsim::{
+    run_many, summarize, LinkBandwidth, ProtocolKind, SharerEncoding, SimConfig, TrafficClass,
+    WorkloadSpec,
+};
+use patchsim_bench::{microbench_schedule, Scale};
+use patchsim_protocol::ProtocolConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cores = scale.cores;
+    let (warmup, ops) = microbench_schedule(cores);
+    println!(
+        "Extension: limited-pointer directories ({} cores, 2 B/cycle links)\n",
+        cores
+    );
+    println!(
+        "{:<12} {:<12} {:>12} {:>14} {:>16}",
+        "protocol", "encoding", "runtime", "ack bytes/miss", "dir bits/entry"
+    );
+    let encodings = [
+        SharerEncoding::FullMap,
+        SharerEncoding::LimitedPointer { pointers: 4 },
+        SharerEncoding::LimitedPointer { pointers: 1 },
+        SharerEncoding::Coarse {
+            cores_per_bit: (cores / 4).max(2),
+        },
+    ];
+    for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
+        let mut baseline = None;
+        for encoding in encodings {
+            let protocol = ProtocolConfig::new(kind, cores).with_sharer_encoding(encoding);
+            let config = SimConfig::new(kind, cores)
+                .with_protocol(protocol)
+                .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+                .with_workload(WorkloadSpec::microbenchmark())
+                .with_ops_per_core(ops)
+                .with_warmup(warmup);
+            let summary = summarize(&run_many(&config, scale.seeds));
+            let base = *baseline.get_or_insert(summary.runtime.mean);
+            let bits = patchsim_mem::SharerSet::new(cores, encoding).bits_per_entry();
+            println!(
+                "{:<12} {:<12} {:>12.3} {:>14.1} {:>16}",
+                kind.label(),
+                encoding.to_string(),
+                summary.runtime.mean / base,
+                summary.class_mean(TrafficClass::Ack),
+                bits,
+            );
+        }
+    }
+}

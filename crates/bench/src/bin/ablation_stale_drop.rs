@@ -1,0 +1,34 @@
+//! Ablation: the best-effort staleness bound (paper §8.1 uses 100
+//! cycles; DESIGN.md §7).
+//!
+//! A direct request queued behind congestion for long enough is useless —
+//! its miss has probably been served through the directory already — and
+//! merely burns bandwidth when finally transmitted. This ablation sweeps
+//! the drop threshold under constrained bandwidth.
+//!
+//! `cargo run --release -p patchsim-bench --bin ablation_stale_drop [--quick]`
+
+use patchsim::{run_many, summarize, LinkBandwidth, PredictorChoice, ProtocolKind, SimConfig};
+use patchsim_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Ablation: best-effort stale-drop threshold (PATCH-All, 1 B/cycle links)\n");
+    println!(
+        "{:<14} {:>12} {:>14} {:>14}",
+        "threshold", "runtime", "drops", "bytes/miss"
+    );
+    for stale in [25u64, 50, 100, 200, 400, 1600] {
+        let mut config = SimConfig::new(ProtocolKind::Patch, scale.cores)
+            .with_predictor(PredictorChoice::All)
+            .with_bandwidth(LinkBandwidth::BytesPerCycle(1.0))
+            .with_ops_per_core(scale.ops)
+            .with_warmup(scale.warmup);
+        config.stale_drop_cycles = stale;
+        let summary = summarize(&run_many(&config, scale.seeds));
+        println!(
+            "{:<14} {:>12.0} {:>14.0} {:>14.1}",
+            stale, summary.runtime.mean, summary.dropped_packets, summary.bytes_per_miss.mean
+        );
+    }
+}

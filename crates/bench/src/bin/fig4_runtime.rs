@@ -1,0 +1,51 @@
+//! Figure 4: normalized runtime of the six protocol configurations on the
+//! five workloads (64 cores, bandwidth-rich 16 B/cycle links).
+//!
+//! The paper's headline shape: PATCH-None ≈ DIRECTORY; PATCH-All ≈ TokenB
+//! and ~14% faster than DIRECTORY on average (22% oltp, 19% apache);
+//! PATCH-Owner roughly halves PATCH-All's speedup; BcastIfShared lands
+//! within a few percent of PATCH-All.
+//!
+//! `cargo run --release -p patchsim-bench --bin fig4_runtime [--quick] [--seeds N]`
+
+use patchsim::{run_many, summarize};
+use patchsim_bench::{figure4_configs, figure4_workloads, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "Figure 4: normalized runtime ({} cores, {} ops/core, {} seed(s))\n",
+        scale.cores, scale.ops, scale.seeds
+    );
+    println!(
+        "{:<10} {:>10} {:>11} {:>12} {:>14} {:>10} {:>8}",
+        "workload", "Directory", "PATCH-None", "PATCH-Owner", "BcastIfShared", "PATCH-All", "TokenB"
+    );
+
+    let mut avg_speedup = Vec::new();
+    for workload in figure4_workloads() {
+        let mut row = Vec::new();
+        let mut baseline = None;
+        for (_, config) in figure4_configs(scale, &workload) {
+            let summary = summarize(&run_many(&config, scale.seeds));
+            let base = *baseline.get_or_insert(summary.runtime.mean);
+            row.push(summary.runtime.mean / base);
+        }
+        println!(
+            "{:<10} {:>10.3} {:>11.3} {:>12.3} {:>14.3} {:>10.3} {:>8.3}",
+            workload.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5]
+        );
+        avg_speedup.push(1.0 - row[4]);
+    }
+    let mean_speedup = avg_speedup.iter().sum::<f64>() / avg_speedup.len() as f64;
+    println!(
+        "\nPATCH-All speedup vs DIRECTORY: mean {:.1}% (paper: ~14% avg, 22% oltp, 19% apache)",
+        mean_speedup * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 5: interconnect traffic (bytes per miss, normalized to
+//! DIRECTORY) broken down by message class, for the six configurations on
+//! the five workloads.
+//!
+//! The paper's shape: PATCH-None ≈ DIRECTORY (+~2%, from non-silent clean
+//! writebacks and activations); PATCH-Owner ≈ +20%; PATCH-All ≈ +145%;
+//! BcastIfShared between Owner and All; TokenB comparable to PATCH-All.
+//!
+//! `cargo run --release -p patchsim-bench --bin fig5_traffic [--quick] [--seeds N]`
+
+use patchsim::{run_many, summarize, TrafficClass};
+use patchsim_bench::{figure4_configs, figure4_workloads, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "Figure 5: traffic per miss by class, normalized to Directory ({} cores)\n",
+        scale.cores
+    );
+
+    for workload in figure4_workloads() {
+        println!("== {} ==", workload.name());
+        println!(
+            "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            "config", "Data", "Ack", "DirReq", "IndReq", "Fwd", "Reissue", "Activ", "WB", "total"
+        );
+        let mut baseline = None;
+        for (name, config) in figure4_configs(scale, &workload) {
+            let summary = summarize(&run_many(&config, scale.seeds));
+            let base = *baseline.get_or_insert(summary.bytes_per_miss.mean);
+            print!("{name:<20}");
+            for class in TrafficClass::ALL {
+                print!(" {:>8.1}", summary.class_mean(class));
+            }
+            println!(" {:>7.2}", summary.bytes_per_miss.mean / base);
+        }
+        println!();
+    }
+    println!("(columns are bytes/miss; 'total' is normalized to the Directory row)");
+}

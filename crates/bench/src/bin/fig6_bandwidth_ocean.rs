@@ -1,0 +1,43 @@
+//! Figure 6: runtime vs link bandwidth for ocean — DIRECTORY vs
+//! PATCH-All vs the non-adaptive PATCH-All variant.
+//!
+//! The paper's shape: with plentiful bandwidth both PATCH variants beat
+//! DIRECTORY identically; as bandwidth shrinks, PATCH-All-NonAdaptive
+//! deteriorates past DIRECTORY while adaptive PATCH-All stays at or below
+//! 1.0, and in the middle of the sweep beats both (by up to ~6.3%).
+//!
+//! `cargo run --release -p patchsim-bench --bin fig6_bandwidth_ocean [--quick] [--seeds N]`
+
+use patchsim::{presets, run_many, summarize};
+use patchsim_bench::{bandwidth_sweep_configs, Scale, BANDWIDTH_SWEEP};
+
+fn main() {
+    let scale = Scale::from_args();
+    let workload = presets::ocean();
+    println!(
+        "Figure 6: bandwidth adaptivity on {} ({} cores; runtime normalized to Directory)\n",
+        workload.name(),
+        scale.cores
+    );
+    println!(
+        "{:>16} {:>11} {:>14} {:>11} {:>14}",
+        "bytes/1000cyc", "Directory", "PATCH-All-NA", "PATCH-All", "drops(All)"
+    );
+    for bw in BANDWIDTH_SWEEP {
+        let mut norm = Vec::new();
+        let mut drops = 0.0;
+        let mut baseline = None;
+        for (name, config) in bandwidth_sweep_configs(scale, &workload, bw) {
+            let summary = summarize(&run_many(&config, scale.seeds));
+            let base = *baseline.get_or_insert(summary.runtime.mean);
+            norm.push(summary.runtime.mean / base);
+            if name == "PATCH-All" {
+                drops = summary.dropped_packets;
+            }
+        }
+        println!(
+            "{:>16} {:>11.3} {:>14.3} {:>11.3} {:>14.0}",
+            bw, norm[0], norm[1], norm[2], drops
+        );
+    }
+}

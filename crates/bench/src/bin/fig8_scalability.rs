@@ -1,0 +1,43 @@
+//! Figure 8: scalability of the microbenchmark from 4 to 512 cores with
+//! 2-byte/cycle links.
+//!
+//! The paper's shape: PATCH-All-NonAdaptive beats DIRECTORY up to 64
+//! cores, then collapses from 128 on; adaptive PATCH-All matches the
+//! non-adaptive variant at small scale and DIRECTORY's scalability at
+//! large scale, staying ahead of DIRECTORY up to ~256 cores.
+//!
+//! `cargo run --release -p patchsim-bench --bin fig8_scalability [--quick] [--seeds N]`
+
+use patchsim::{run_many, summarize};
+use patchsim_bench::{scalability_configs, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let core_counts: &[u16] = if scale.cores <= 16 {
+        &[4, 8, 16, 32, 64] // --quick
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256, 512]
+    };
+    println!("Figure 8: microbenchmark scalability (2 B/cycle links; runtime normalized to Directory)\n");
+    println!(
+        "{:>8} {:>11} {:>14} {:>11}",
+        "cores", "Directory", "PATCH-All-NA", "PATCH-All"
+    );
+    let _ = scale;
+    for &cores in core_counts {
+        // The schedule keeps total accesses at several multiples of the
+        // 16k-entry table so caches reach steady state at every size.
+        let ops = 0;
+        let mut norm = Vec::new();
+        let mut baseline = None;
+        for (_, config) in scalability_configs(cores, ops) {
+            let summary = summarize(&run_many(&config, scale.seeds));
+            let base = *baseline.get_or_insert(summary.runtime.mean);
+            norm.push(summary.runtime.mean / base);
+        }
+        println!(
+            "{:>8} {:>11.3} {:>14.3} {:>11.3}",
+            cores, norm[0], norm[1], norm[2]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 9: runtime under inexact (coarse-vector) directory encodings,
+//! for 64/128/256 cores, with bounded (2 B/cycle) and unbounded links,
+//! normalized to each protocol's full-map configuration.
+//!
+//! The paper's shape: with unbounded links everything is flat; with
+//! 2 B/cycle links DIRECTORY degrades badly as the encoding coarsens (up
+//! to ~142% at 256 cores / single-bit), while PATCH grows only a few
+//! percent.
+//!
+//! `cargo run --release -p patchsim-bench --bin fig9_inexact_runtime [--quick] [--seeds N]`
+
+use patchsim::{run_many, summarize, LinkBandwidth, ProtocolKind};
+use patchsim_bench::{coarseness_sweep, inexact_config, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: &[u16] = if scale.cores <= 16 {
+        &[16, 32] // --quick
+    } else {
+        &[64, 128, 256]
+    };
+    println!("Figure 9: runtime vs sharer-encoding coarseness (normalized to full map)\n");
+    for &cores in sizes {
+        let ops = 0; // use the steady-state microbench schedule
+        for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
+            print!("{:<10} {:>4} cores |", kind.label(), cores);
+            for bandwidth in [
+                LinkBandwidth::Unbounded,
+                LinkBandwidth::BytesPerCycle(2.0),
+            ] {
+                let mut baseline = None;
+                let mut cells = Vec::new();
+                for k in coarseness_sweep(cores) {
+                    let config = inexact_config(kind, cores, k, bandwidth, ops);
+                    let summary = summarize(&run_many(&config, scale.seeds));
+                    let base = *baseline.get_or_insert(summary.runtime.mean);
+                    cells.push(format!("K{}={:.2}", k, summary.runtime.mean / base));
+                }
+                let label = if bandwidth.is_unbounded() { "inf" } else { "2B/c" };
+                print!("  [{label}] {}", cells.join(" "));
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,278 @@
+//! Benchmark and figure-regeneration harness for `patchsim`.
+//!
+//! Every table and figure of the paper's evaluation (§8) has a dedicated
+//! regeneration target:
+//!
+//! | Paper result | Target |
+//! |---|---|
+//! | Figure 4 (runtime, 5 workloads × 6 configs) | `cargo run --release -p patchsim-bench --bin fig4_runtime` |
+//! | Figure 5 (traffic breakdown) | `fig5_traffic` |
+//! | Figure 6 (bandwidth sweep, ocean) | `fig6_bandwidth_ocean` |
+//! | Figure 7 (bandwidth sweep, jbb) | `fig7_bandwidth_jbb` |
+//! | Figure 8 (4–512 core scalability) | `fig8_scalability` |
+//! | Figure 9 (inexact-encoding runtime) | `fig9_inexact_runtime` |
+//! | Figure 10 (inexact-encoding traffic) | `fig10_inexact_traffic` |
+//! | DESIGN.md ablations | `ablation_tenure_timeout`, `ablation_deact_window`, `ablation_stale_drop`, `ablation_ack_elision` |
+//!
+//! All binaries accept `--quick` (shrink cores/ops for a fast smoke run)
+//! and `--seeds N` (perturbed replications for confidence intervals).
+//! `cargo bench` additionally runs scaled-down criterion versions of every
+//! figure plus microbenchmarks of the simulator's core data structures.
+
+use patchsim::{
+    presets, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig,
+    WorkloadSpec,
+};
+use patchsim_protocol::ProtocolConfig;
+
+/// Experiment scale knobs shared by all figure targets.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Cores for the workload figures (the paper uses 64).
+    pub cores: u16,
+    /// Measured operations per core.
+    pub ops: u64,
+    /// Warmup operations per core.
+    pub warmup: u64,
+    /// Perturbed replications per data point.
+    pub seeds: u64,
+}
+
+impl Scale {
+    /// Paper-comparable scale (64 cores).
+    pub fn full() -> Self {
+        Scale {
+            cores: 64,
+            ops: 800,
+            warmup: 1500,
+            seeds: 1,
+        }
+    }
+
+    /// A fast smoke-run scale.
+    pub fn quick() -> Self {
+        Scale {
+            cores: 16,
+            ops: 300,
+            warmup: 1200,
+            seeds: 1,
+        }
+    }
+
+    /// Parses `--quick` and `--seeds N` from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--quick") {
+            Scale::quick()
+        } else {
+            Scale::full()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--seeds") {
+            if let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+                scale.seeds = n;
+            }
+        }
+        scale
+    }
+}
+
+/// The six configurations of Figures 4 and 5, in the paper's bar order.
+pub fn figure4_configs(scale: Scale, workload: &WorkloadSpec) -> Vec<(String, SimConfig)> {
+    let base = |kind: ProtocolKind| {
+        SimConfig::new(kind, scale.cores)
+            .with_workload(workload.clone())
+            .with_ops_per_core(scale.ops)
+            .with_warmup(scale.warmup)
+    };
+    vec![
+        ("Directory".into(), base(ProtocolKind::Directory)),
+        (
+            "PATCH-None".into(),
+            base(ProtocolKind::Patch).with_predictor(PredictorChoice::None),
+        ),
+        (
+            "PATCH-Owner".into(),
+            base(ProtocolKind::Patch).with_predictor(PredictorChoice::Owner),
+        ),
+        (
+            "PATCH-BcastIfShared".into(),
+            base(ProtocolKind::Patch).with_predictor(PredictorChoice::BroadcastIfShared),
+        ),
+        (
+            "PATCH-All".into(),
+            base(ProtocolKind::Patch).with_predictor(PredictorChoice::All),
+        ),
+        ("TokenB".into(), base(ProtocolKind::TokenB)),
+    ]
+}
+
+/// The five workloads of Figures 4 and 5, in the paper's group order.
+pub fn figure4_workloads() -> Vec<WorkloadSpec> {
+    presets::all()
+}
+
+/// One point of the Figure 6/7 bandwidth sweeps: the three competing
+/// configurations at a given link bandwidth, in bytes per 1000 cycles as
+/// the paper quotes it.
+pub fn bandwidth_sweep_configs(
+    scale: Scale,
+    workload: &WorkloadSpec,
+    bytes_per_kcycle: f64,
+) -> Vec<(String, SimConfig)> {
+    let bw = LinkBandwidth::BytesPerCycle(bytes_per_kcycle / 1000.0);
+    let base = |kind: ProtocolKind| {
+        SimConfig::new(kind, scale.cores)
+            .with_workload(workload.clone())
+            .with_bandwidth(bw)
+            .with_ops_per_core(scale.ops)
+            .with_warmup(scale.warmup)
+    };
+    vec![
+        ("Directory".into(), base(ProtocolKind::Directory)),
+        (
+            "PATCH-All-NA".into(),
+            base(ProtocolKind::Patch).with_protocol(
+                ProtocolConfig::new(ProtocolKind::Patch, scale.cores)
+                    .with_predictor(PredictorChoice::All)
+                    .non_adaptive(),
+            ),
+        ),
+        (
+            "PATCH-All".into(),
+            base(ProtocolKind::Patch).with_predictor(PredictorChoice::All),
+        ),
+    ]
+}
+
+/// The paper's bandwidth sweep points (bytes per 1000 cycles, Figures 6–7).
+pub const BANDWIDTH_SWEEP: [f64; 6] = [300.0, 600.0, 900.0, 2000.0, 4000.0, 8000.0];
+
+/// Warmup/measurement schedule for the microbenchmark experiments
+/// (Figures 8–10): the paper measures warmed, steady-state caches, so
+/// the per-core operation budget is derived from the table size — the
+/// *total* access count stays at several multiples of the 16k-block
+/// table no matter how many cores split the work.
+pub fn microbench_schedule(cores: u16) -> (u64, u64) {
+    let table: u64 = 16 * 1024;
+    let warmup = (2 * table / cores as u64).max(32);
+    let ops = (3 * table / cores as u64).max(64);
+    (warmup, ops)
+}
+
+/// The Figure 8 configurations: three protocols on the microbenchmark
+/// with 2-byte/cycle links at a given core count.
+pub fn scalability_configs(cores: u16, ops: u64) -> Vec<(String, SimConfig)> {
+    let (warmup, default_ops) = microbench_schedule(cores);
+    let ops = if ops == 0 { default_ops } else { ops };
+    let base = |kind: ProtocolKind| {
+        SimConfig::new(kind, cores)
+            .with_workload(WorkloadSpec::microbenchmark())
+            .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+            .with_ops_per_core(ops)
+            .with_warmup(warmup)
+    };
+    vec![
+        ("Directory".into(), base(ProtocolKind::Directory)),
+        (
+            "PATCH-All-NA".into(),
+            base(ProtocolKind::Patch).with_protocol(
+                ProtocolConfig::new(ProtocolKind::Patch, cores)
+                    .with_predictor(PredictorChoice::All)
+                    .non_adaptive(),
+            ),
+        ),
+        (
+            "PATCH-All".into(),
+            base(ProtocolKind::Patch).with_predictor(PredictorChoice::All),
+        ),
+    ]
+}
+
+/// One Figure 9/10 configuration: `kind` at `cores` with a coarse sharer
+/// encoding of `k` cores per bit (`k == 1` is the full map), under the
+/// chosen link bandwidth.
+pub fn inexact_config(
+    kind: ProtocolKind,
+    cores: u16,
+    k: u16,
+    bandwidth: LinkBandwidth,
+    ops: u64,
+) -> SimConfig {
+    let encoding = if k <= 1 {
+        SharerEncoding::FullMap
+    } else {
+        SharerEncoding::Coarse { cores_per_bit: k }
+    };
+    let protocol = ProtocolConfig::new(kind, cores).with_sharer_encoding(encoding);
+    let (warmup, default_ops) = microbench_schedule(cores);
+    let ops = if ops == 0 { default_ops } else { ops };
+    SimConfig::new(kind, cores)
+        .with_protocol(protocol)
+        .with_bandwidth(bandwidth)
+        .with_workload(WorkloadSpec::microbenchmark())
+        .with_ops_per_core(ops)
+        .with_warmup(warmup)
+}
+
+/// The coarseness sweep (`K` cores per sharer bit) for a given core count,
+/// matching Figure 9's x-axis.
+pub fn coarseness_sweep(cores: u16) -> Vec<u16> {
+    [1u16, 4, 16, 64, 256]
+        .into_iter()
+        .filter(|&k| k <= cores)
+        .collect()
+}
+
+/// Formats a right-aligned figure row.
+pub fn print_row(label: &str, values: &[(String, f64)]) {
+    print!("{label:<24}");
+    for (name, v) in values {
+        print!(" {name}={v:<8.3}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_has_six_bars_and_five_groups() {
+        let scale = Scale::quick();
+        let workloads = figure4_workloads();
+        assert_eq!(workloads.len(), 5);
+        let configs = figure4_configs(scale, &workloads[0]);
+        assert_eq!(configs.len(), 6);
+        assert_eq!(configs[0].0, "Directory");
+        assert_eq!(configs[5].0, "TokenB");
+    }
+
+    #[test]
+    fn bandwidth_sweep_matches_paper_points() {
+        assert_eq!(BANDWIDTH_SWEEP.len(), 6);
+        let configs = bandwidth_sweep_configs(Scale::quick(), &presets::ocean(), 300.0);
+        assert_eq!(configs.len(), 3);
+        // 300 bytes/kcycle = 0.3 bytes/cycle.
+        assert_eq!(
+            configs[0].1.bandwidth,
+            LinkBandwidth::BytesPerCycle(0.3)
+        );
+    }
+
+    #[test]
+    fn coarseness_sweep_clamps_to_cores() {
+        assert_eq!(coarseness_sweep(64), vec![1, 4, 16, 64]);
+        assert_eq!(coarseness_sweep(256), vec![1, 4, 16, 64, 256]);
+    }
+
+    #[test]
+    fn inexact_config_selects_encoding() {
+        let c = inexact_config(ProtocolKind::Patch, 64, 1, LinkBandwidth::Unbounded, 10);
+        assert_eq!(c.protocol.sharer_encoding, SharerEncoding::FullMap);
+        let c = inexact_config(ProtocolKind::Patch, 64, 16, LinkBandwidth::Unbounded, 10);
+        assert_eq!(
+            c.protocol.sharer_encoding,
+            SharerEncoding::Coarse { cores_per_bit: 16 }
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Whole-simulation configuration.
+
+use patchsim_noc::{LinkBandwidth, TorusConfig};
+use patchsim_predictor::PredictorChoice;
+use patchsim_protocol::{ProtocolConfig, ProtocolKind};
+use patchsim_workload::WorkloadSpec;
+
+/// How much runtime verification to perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckLevel {
+    /// No per-event invariant checking (benchmarks at scale). The
+    /// end-of-run drain and completion assertions still apply.
+    Off,
+    /// Audit token conservation on every message delivery and check
+    /// single-writer/read-latest on every completed access. The right
+    /// setting for tests and protocol fuzzing.
+    Assert,
+}
+
+/// Configuration for one simulated system and workload.
+///
+/// Defaults reproduce the paper's baseline platform: a 2D torus with
+/// 16-byte/cycle links and best-effort drop after 100 queued cycles,
+/// per-node 1MB private caches, 16-cycle directory, 80-cycle DRAM.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim::{LinkBandwidth, PredictorChoice, ProtocolKind, SimConfig};
+///
+/// let cfg = SimConfig::new(ProtocolKind::Patch, 64)
+///     .with_predictor(PredictorChoice::BroadcastIfShared)
+///     .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+///     .with_workload(patchsim::presets::oltp())
+///     .with_ops_per_core(1_000);
+/// assert_eq!(cfg.protocol.num_nodes, 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Protocol parameters (forwarded to every controller).
+    pub protocol: ProtocolConfig,
+    /// Interconnect link bandwidth.
+    pub bandwidth: LinkBandwidth,
+    /// Staleness bound after which queued best-effort messages drop.
+    pub stale_drop_cycles: u64,
+    /// The workload every core runs.
+    pub workload: WorkloadSpec,
+    /// Measured operations each core executes.
+    pub ops_per_core: u64,
+    /// Warmup operations per core, excluded from traffic and latency
+    /// statistics (runtime is measured from the cycle the last core
+    /// finishes warmup).
+    pub warmup_ops_per_core: u64,
+    /// Root RNG seed; perturbation runs vary this.
+    pub seed: u64,
+    /// Runtime verification level.
+    pub check: CheckLevel,
+    /// Hard wall-clock bound: the run panics if simulated time exceeds
+    /// this, which converts a protocol livelock into a test failure.
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// A paper-default configuration for `kind` on `num_nodes` cores
+    /// running the microbenchmark.
+    pub fn new(kind: ProtocolKind, num_nodes: u16) -> Self {
+        SimConfig {
+            protocol: ProtocolConfig::new(kind, num_nodes),
+            bandwidth: TorusConfig::DEFAULT_BANDWIDTH,
+            stale_drop_cycles: TorusConfig::DEFAULT_STALE_DROP,
+            workload: WorkloadSpec::microbenchmark(),
+            ops_per_core: 1_000,
+            warmup_ops_per_core: 0,
+            seed: 1,
+            check: CheckLevel::Off,
+            max_cycles: u64::MAX / 4,
+        }
+    }
+
+    /// Sets the destination-set predictor (PATCH).
+    pub fn with_predictor(mut self, predictor: PredictorChoice) -> Self {
+        self.protocol = self.protocol.with_predictor(predictor);
+        self
+    }
+
+    /// Sets the interconnect link bandwidth.
+    pub fn with_bandwidth(mut self, bandwidth: LinkBandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the per-core measured operation count.
+    pub fn with_ops_per_core(mut self, ops: u64) -> Self {
+        self.ops_per_core = ops;
+        self
+    }
+
+    /// Sets the per-core warmup operation count.
+    pub fn with_warmup(mut self, ops: u64) -> Self {
+        self.warmup_ops_per_core = ops;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-event invariant checking.
+    pub fn with_checks(mut self) -> Self {
+        self.check = CheckLevel::Assert;
+        self
+    }
+
+    /// Replaces the protocol configuration wholesale (for settings without
+    /// a dedicated builder method).
+    pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// The interconnect configuration this simulation will use.
+    pub fn torus_config(&self) -> TorusConfig {
+        TorusConfig::new(self.protocol.num_nodes)
+            .with_bandwidth(self.bandwidth)
+            .with_stale_drop_cycles(self.stale_drop_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_baseline() {
+        let cfg = SimConfig::new(ProtocolKind::Directory, 64);
+        assert_eq!(cfg.bandwidth, LinkBandwidth::BytesPerCycle(16.0));
+        assert_eq!(cfg.stale_drop_cycles, 100);
+        assert_eq!(cfg.check, CheckLevel::Off);
+        assert_eq!(cfg.workload.name(), "microbench");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SimConfig::new(ProtocolKind::Patch, 16)
+            .with_predictor(PredictorChoice::All)
+            .with_bandwidth(LinkBandwidth::Unbounded)
+            .with_ops_per_core(5)
+            .with_warmup(2)
+            .with_seed(9)
+            .with_checks();
+        assert_eq!(cfg.protocol.predictor, PredictorChoice::All);
+        assert_eq!(cfg.bandwidth, LinkBandwidth::Unbounded);
+        assert_eq!(cfg.ops_per_core, 5);
+        assert_eq!(cfg.warmup_ops_per_core, 2);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.check, CheckLevel::Assert);
+        assert_eq!(cfg.torus_config().num_nodes(), 16);
+    }
+}

@@ -1,0 +1,145 @@
+//! Summaries of repeated runs: means, confidence intervals, and
+//! figure-style formatting helpers.
+
+use patchsim_kernel::stats::ConfidenceInterval;
+
+use crate::{RunResult, TrafficClass};
+
+/// Statistics over a set of perturbed runs of one configuration.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim::{run_many, summarize, ProtocolKind, SimConfig, WorkloadSpec};
+///
+/// let cfg = SimConfig::new(ProtocolKind::Directory, 4)
+///     .with_workload(WorkloadSpec::Microbenchmark {
+///         table_blocks: 64,
+///         write_frac: 0.3,
+///         think_mean: 5,
+///     })
+///     .with_ops_per_core(50);
+/// let summary = summarize(&run_many(&cfg, 3));
+/// assert!(summary.runtime.mean > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Protocol display name.
+    pub protocol: &'static str,
+    /// Runtime in cycles, with 95% CI over the runs.
+    pub runtime: ConfidenceInterval,
+    /// Interconnect bytes per demand miss, with 95% CI.
+    pub bytes_per_miss: ConfidenceInterval,
+    /// Mean measured miss latency across runs.
+    pub miss_latency: ConfidenceInterval,
+    /// Per-class mean bytes per miss, in [`TrafficClass::ALL`] order.
+    pub class_bytes_per_miss: [f64; 8],
+    /// Mean number of best-effort packets dropped per run.
+    pub dropped_packets: f64,
+    /// The individual runs.
+    pub runs: Vec<RunResult>,
+}
+
+impl RunSummary {
+    /// This summary's runtime normalized to `baseline`'s (the y-axis of
+    /// the paper's runtime figures: < 1.0 is faster than the baseline).
+    pub fn runtime_normalized_to(&self, baseline: &RunSummary) -> f64 {
+        self.runtime.mean / baseline.runtime.mean
+    }
+
+    /// This summary's traffic normalized to `baseline`'s.
+    pub fn traffic_normalized_to(&self, baseline: &RunSummary) -> f64 {
+        self.bytes_per_miss.mean / baseline.bytes_per_miss.mean
+    }
+
+    /// Mean bytes per miss for one traffic class.
+    pub fn class_mean(&self, class: TrafficClass) -> f64 {
+        let idx = TrafficClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
+        self.class_bytes_per_miss[idx]
+    }
+}
+
+/// Aggregates a set of runs (typically from [`crate::run_many`]) into a
+/// [`RunSummary`].
+///
+/// # Panics
+///
+/// Panics if `runs` is empty.
+pub fn summarize(runs: &[RunResult]) -> RunSummary {
+    assert!(!runs.is_empty(), "cannot summarize zero runs");
+    let runtime = ConfidenceInterval::from_samples(
+        &runs.iter().map(|r| r.runtime_cycles as f64).collect::<Vec<_>>(),
+    );
+    let bytes_per_miss = ConfidenceInterval::from_samples(
+        &runs.iter().map(|r| r.bytes_per_miss()).collect::<Vec<_>>(),
+    );
+    let miss_latency = ConfidenceInterval::from_samples(
+        &runs.iter().map(|r| r.miss_latency_mean).collect::<Vec<_>>(),
+    );
+    let mut class_bytes_per_miss = [0.0f64; 8];
+    for (i, class) in TrafficClass::ALL.iter().enumerate() {
+        class_bytes_per_miss[i] = runs
+            .iter()
+            .map(|r| r.class_bytes_per_miss(*class))
+            .sum::<f64>()
+            / runs.len() as f64;
+    }
+    let dropped_packets = runs
+        .iter()
+        .map(|r| r.traffic.dropped_packets() as f64)
+        .sum::<f64>()
+        / runs.len() as f64;
+    RunSummary {
+        protocol: runs[0].protocol,
+        runtime,
+        bytes_per_miss,
+        miss_latency,
+        class_bytes_per_miss,
+        dropped_packets,
+        runs: runs.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_many, ProtocolKind, SimConfig, WorkloadSpec};
+
+    fn runs() -> Vec<RunResult> {
+        let cfg = SimConfig::new(ProtocolKind::Directory, 4)
+            .with_workload(WorkloadSpec::Microbenchmark {
+                table_blocks: 32,
+                write_frac: 0.3,
+                think_mean: 2,
+            })
+            .with_ops_per_core(50);
+        run_many(&cfg, 3)
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let summary = summarize(&runs());
+        assert_eq!(summary.protocol, "Directory");
+        assert!(summary.runtime.mean > 0.0);
+        assert!(summary.bytes_per_miss.mean > 0.0);
+        assert_eq!(summary.runs.len(), 3);
+        // Data traffic dominates a miss-heavy microbenchmark.
+        assert!(summary.class_mean(TrafficClass::Data) > 0.0);
+    }
+
+    #[test]
+    fn normalization_is_relative() {
+        let summary = summarize(&runs());
+        let ratio = summary.runtime_normalized_to(&summary);
+        assert!((ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_summary_panics() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,481 @@
+//! System assembly and the simulation event loop.
+
+use patchsim_kernel::stats::Histogram;
+use patchsim_kernel::{Cycle, EventQueue, SimRng};
+use patchsim_noc::{NocEvent, NodeId, Torus};
+use patchsim_protocol::{
+    build_controller, Completion, Controller, CoreResponse, MemOp, Msg, ProtocolCounters,
+    TimerKey,
+};
+use patchsim_workload::Generator;
+
+use crate::checker::{CoherenceChecker, TokenAuditor};
+use crate::config::{CheckLevel, SimConfig};
+use crate::TrafficStats;
+
+/// RNG stream label for workload generators.
+const WORKLOAD_STREAM: u64 = 0x77_6f_72_6b; // "work"
+
+#[derive(Debug)]
+enum Event {
+    Noc(NocEvent<Msg>),
+    Timer { node: NodeId, key: TimerKey },
+    CoreIssue { node: NodeId },
+}
+
+#[derive(Debug)]
+struct CoreState {
+    generator: Generator,
+    /// The op picked by the generator, waiting out its think time.
+    pending: Option<MemOp>,
+    /// The op currently outstanding as a miss.
+    outstanding: Option<MemOp>,
+    ops_done: u64,
+    finished: bool,
+}
+
+/// The measured outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Protocol display name.
+    pub protocol: &'static str,
+    /// Cycles from the end of warmup until the last measured operation
+    /// completed.
+    pub runtime_cycles: u64,
+    /// Measured operations completed (should equal `cores × ops_per_core`).
+    pub ops_completed: u64,
+    /// Interconnect traffic during the measured phase.
+    pub traffic: TrafficStats,
+    /// Aggregated controller counters (all nodes, whole run including
+    /// warmup).
+    pub counters: ProtocolCounters,
+    /// Measured demand misses (from completions, excluding warmup).
+    pub measured_misses: u64,
+    /// Mean measured miss latency in cycles.
+    pub miss_latency_mean: f64,
+    /// Full measured miss-latency distribution.
+    pub miss_latency: Histogram,
+    /// Coherence checks performed (0 when checking is off).
+    pub coherence_checks: u64,
+    /// Token audits performed (0 when checking is off).
+    pub token_audits: u64,
+}
+
+impl RunResult {
+    /// Interconnect bytes per measured demand miss — the unit of the
+    /// paper's traffic figures.
+    pub fn bytes_per_miss(&self) -> f64 {
+        if self.measured_misses == 0 {
+            0.0
+        } else {
+            self.traffic.total_bytes() as f64 / self.measured_misses as f64
+        }
+    }
+
+    /// Bytes per miss for a single traffic class.
+    pub fn class_bytes_per_miss(&self, class: crate::TrafficClass) -> f64 {
+        if self.measured_misses == 0 {
+            0.0
+        } else {
+            self.traffic.bytes(class) as f64 / self.measured_misses as f64
+        }
+    }
+}
+
+/// A fully assembled simulated multicore: cores, workload generators,
+/// coherence controllers, interconnect, and checkers.
+///
+/// Most callers use [`run`] or [`run_many`]; `System` is public for tests
+/// and examples that need to drive or inspect a simulation directly.
+pub struct System {
+    config: SimConfig,
+    queue: EventQueue<Event>,
+    noc: Torus<Msg>,
+    nodes: Vec<Box<dyn Controller + Send>>,
+    cores: Vec<CoreState>,
+    checker: CoherenceChecker,
+    auditor: TokenAuditor,
+    miss_latency: Histogram,
+    measured_misses: u64,
+    ops_completed_measured: u64,
+    last_completion: Cycle,
+    cores_past_warmup: usize,
+    warmup_end: Option<Cycle>,
+}
+
+impl System {
+    /// Builds the system described by `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let n = config.protocol.num_nodes;
+        let noc = Torus::new(config.torus_config());
+        let root_rng = SimRng::from_seed(config.seed).fork(WORKLOAD_STREAM);
+        let nodes = (0..n)
+            .map(|i| build_controller(&config.protocol, NodeId::new(i)))
+            .collect();
+        let cores = (0..n)
+            .map(|i| CoreState {
+                generator: config.workload.generator(NodeId::new(i), n, root_rng.clone()),
+                pending: None,
+                outstanding: None,
+                ops_done: 0,
+                finished: false,
+            })
+            .collect();
+        let auditor = TokenAuditor::new(config.protocol.total_tokens);
+        let mut system = System {
+            queue: EventQueue::new(),
+            noc,
+            nodes,
+            cores,
+            checker: CoherenceChecker::new(),
+            auditor,
+            miss_latency: Histogram::new(),
+            measured_misses: 0,
+            ops_completed_measured: 0,
+            last_completion: Cycle::ZERO,
+            cores_past_warmup: if config.warmup_ops_per_core == 0 {
+                n as usize
+            } else {
+                0
+            },
+            warmup_end: if config.warmup_ops_per_core == 0 {
+                Some(Cycle::ZERO)
+            } else {
+                None
+            },
+            config,
+        };
+        for i in 0..n {
+            system.schedule_next(NodeId::new(i), Cycle::ZERO);
+        }
+        system
+    }
+
+    fn quota(&self) -> u64 {
+        self.config.warmup_ops_per_core + self.config.ops_per_core
+    }
+
+    /// Picks the core's next operation and schedules its issue after the
+    /// think time.
+    fn schedule_next(&mut self, node: NodeId, now: Cycle) {
+        let quota = self.quota();
+        let core = &mut self.cores[node.index()];
+        if core.ops_done >= quota {
+            core.finished = true;
+            return;
+        }
+        let item = core.generator.next_item();
+        core.pending = Some(MemOp {
+            addr: item.addr,
+            kind: item.kind,
+        });
+        self.queue
+            .push(now + item.think_cycles, Event::CoreIssue { node });
+    }
+
+    /// Records one completed operation (hit or miss) for `node`.
+    fn complete_op(&mut self, node: NodeId, op: MemOp, version: u64, at: Cycle) {
+        if self.config.check == CheckLevel::Assert {
+            self.checker.check(op.addr, op.kind, version, at);
+        }
+        let warmup = self.config.warmup_ops_per_core;
+        let core = &mut self.cores[node.index()];
+        core.ops_done += 1;
+        if core.ops_done > warmup {
+            self.ops_completed_measured += 1;
+            self.last_completion = self.last_completion.max(at);
+        }
+        if warmup > 0 && core.ops_done == warmup {
+            self.cores_past_warmup += 1;
+            if self.cores_past_warmup == self.config.protocol.num_nodes as usize {
+                // Measurement starts now: discard warmup traffic and
+                // latency samples.
+                self.noc.reset_stats();
+                self.miss_latency = Histogram::new();
+                self.measured_misses = 0;
+                self.warmup_end = Some(at);
+            }
+        }
+    }
+
+    fn in_measurement(&self, node: NodeId) -> bool {
+        self.cores[node.index()].ops_done >= self.config.warmup_ops_per_core
+    }
+
+    /// Routes a controller's outputs: messages into the interconnect,
+    /// timers into the event queue, completions into the core model.
+    fn process_outbox(
+        &mut self,
+        node: NodeId,
+        out: patchsim_protocol::Outbox,
+        now: Cycle,
+    ) {
+        for send in out.sends {
+            self.auditor.on_send(&send.msg);
+            let mut scheds = Vec::new();
+            self.noc.send(
+                now + send.delay,
+                node,
+                send.dests,
+                send.priority,
+                send.msg,
+                &mut |at, ev| scheds.push((at, ev)),
+            );
+            for (at, ev) in scheds {
+                self.queue.push(at, Event::Noc(ev));
+            }
+        }
+        for (at, key) in out.timers {
+            self.queue.push(at, Event::Timer { node, key });
+        }
+        for completion in out.completions {
+            self.finish_miss(node, completion, now);
+        }
+    }
+
+    fn finish_miss(&mut self, node: NodeId, completion: Completion, now: Cycle) {
+        let op = self.cores[node.index()]
+            .outstanding
+            .take()
+            .expect("completion without an outstanding miss");
+        assert_eq!(op.addr, completion.addr, "completion for the wrong block");
+        assert_eq!(op.kind, completion.kind);
+        if self.in_measurement(node) {
+            self.miss_latency.record(now - completion.issued_at);
+            self.measured_misses += 1;
+        }
+        self.complete_op(node, op, completion.version, now);
+        self.schedule_next(node, now);
+    }
+
+    fn deliver(&mut self, node: NodeId, msg: Msg, now: Cycle) {
+        self.auditor.on_deliver(&msg);
+        let addr = msg.addr;
+        let mut out = patchsim_protocol::Outbox::new();
+        self.nodes[node.index()].handle_message(msg, now, &mut out);
+        self.process_outbox(node, out, now);
+        if self.config.check == CheckLevel::Assert {
+            self.auditor.audit(addr, &self.nodes);
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, event: Event) {
+        match event {
+            Event::CoreIssue { node } => {
+                let op = self.cores[node.index()]
+                    .pending
+                    .take()
+                    .expect("issue without a pending op");
+                let mut out = patchsim_protocol::Outbox::new();
+                let resp = self.nodes[node.index()].core_request(op, now, &mut out);
+                self.process_outbox(node, out, now);
+                match resp {
+                    CoreResponse::Hit { version } => {
+                        let done_at = now + self.config.protocol.cache_hit_latency;
+                        self.complete_op(node, op, version, done_at);
+                        self.schedule_next(node, done_at);
+                    }
+                    CoreResponse::MissPending => {
+                        self.cores[node.index()].outstanding = Some(op);
+                    }
+                }
+            }
+            Event::Timer { node, key } => {
+                let mut out = patchsim_protocol::Outbox::new();
+                self.nodes[node.index()].timer_fired(key, now, &mut out);
+                self.process_outbox(node, out, now);
+            }
+            Event::Noc(ev) => {
+                let mut scheds = Vec::new();
+                let mut delivered = Vec::new();
+                self.noc.handle(
+                    now,
+                    ev,
+                    &mut |at, e| scheds.push((at, e)),
+                    &mut |n, m| delivered.push((n, m)),
+                );
+                for (at, e) in scheds {
+                    self.queue.push(at, Event::Noc(e));
+                }
+                for (n, m) in delivered {
+                    self.deliver(n, m, now);
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation to completion and returns the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any detected protocol bug: an invariant violation (with
+    /// checking enabled), a core that never finishes its quota (deadlock
+    /// or starvation), a controller left non-quiescent, tokens left in
+    /// flight, or simulated time exceeding `max_cycles` (livelock).
+    pub fn run(mut self) -> RunResult {
+        while let Some((now, event)) = self.queue.pop() {
+            assert!(
+                now.as_u64() <= self.config.max_cycles,
+                "simulation exceeded {} cycles: livelock or runaway protocol",
+                self.config.max_cycles
+            );
+            self.dispatch(now, event);
+        }
+        // Forward-progress postconditions.
+        for (i, core) in self.cores.iter().enumerate() {
+            assert!(
+                core.finished && core.outstanding.is_none(),
+                "core {i} never finished: completed {} of {} ops (deadlock)",
+                core.ops_done,
+                self.quota()
+            );
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            assert!(
+                node.is_quiescent(),
+                "controller {i} not quiescent at end of run"
+            );
+        }
+        assert_eq!(
+            self.auditor.tokens_in_flight(),
+            0,
+            "tokens still in flight after drain"
+        );
+
+        let warmup_end = self.warmup_end.expect("all cores passed warmup");
+        let mut counters = ProtocolCounters::default();
+        for node in &self.nodes {
+            let c = node.counters();
+            counters.hits += c.hits;
+            counters.misses += c.misses;
+            counters.satisfied_before_activation += c.satisfied_before_activation;
+            counters.tenure_timeouts += c.tenure_timeouts;
+            counters.direct_responses += c.direct_responses;
+            counters.direct_ignored += c.direct_ignored;
+            counters.reissues += c.reissues;
+            counters.persistent_requests += c.persistent_requests;
+            counters.writebacks += c.writebacks;
+        }
+        RunResult {
+            protocol: self.nodes[0].protocol_name(),
+            runtime_cycles: self.last_completion.saturating_since(warmup_end),
+            ops_completed: self.ops_completed_measured,
+            traffic: self.noc.stats().clone(),
+            counters,
+            measured_misses: self.measured_misses,
+            miss_latency_mean: self.miss_latency.mean(),
+            miss_latency: self.miss_latency.clone(),
+            coherence_checks: self.checker.checks_performed(),
+            token_audits: self.auditor.audits_performed(),
+        }
+    }
+}
+
+/// Builds and runs one simulation.
+///
+/// See [`System::run`] for the panics that signal protocol bugs.
+pub fn run(config: &SimConfig) -> RunResult {
+    System::new(config.clone()).run()
+}
+
+/// Runs `seeds` perturbed copies of the simulation (seeds `base_seed`,
+/// `base_seed+1`, …), the methodology behind the paper's 95% confidence
+/// intervals.
+pub fn run_many(config: &SimConfig, seeds: u64) -> Vec<RunResult> {
+    assert!(seeds > 0, "at least one run required");
+    (0..seeds)
+        .map(|i| run(&config.clone().with_seed(config.seed + i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PredictorChoice, ProtocolKind, WorkloadSpec};
+
+    fn small(kind: ProtocolKind) -> SimConfig {
+        SimConfig::new(kind, 4)
+            .with_workload(WorkloadSpec::Microbenchmark {
+                table_blocks: 64,
+                write_frac: 0.3,
+                think_mean: 5,
+            })
+            .with_ops_per_core(100)
+            .with_checks()
+    }
+
+    #[test]
+    fn directory_completes_and_checks() {
+        let r = run(&small(ProtocolKind::Directory));
+        assert_eq!(r.ops_completed, 400);
+        assert_eq!(r.protocol, "Directory");
+        assert!(r.runtime_cycles > 0);
+        assert!(r.coherence_checks >= 400);
+    }
+
+    #[test]
+    fn patch_none_completes_with_token_audits() {
+        let r = run(&small(ProtocolKind::Patch));
+        assert_eq!(r.ops_completed, 400);
+        assert_eq!(r.protocol, "PATCH");
+        assert!(r.token_audits > 0, "audits ran");
+    }
+
+    #[test]
+    fn patch_all_completes() {
+        let cfg = small(ProtocolKind::Patch).with_predictor(PredictorChoice::All);
+        let r = run(&cfg);
+        assert_eq!(r.ops_completed, 400);
+        assert!(
+            r.counters.direct_responses > 0,
+            "direct requests did real work"
+        );
+    }
+
+    #[test]
+    fn tokenb_completes() {
+        let r = run(&small(ProtocolKind::TokenB));
+        assert_eq!(r.ops_completed, 400);
+        assert_eq!(r.protocol, "TokenB");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_exactly() {
+        let cfg = small(ProtocolKind::Patch).with_predictor(PredictorChoice::All);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small(ProtocolKind::Directory);
+        let a = run(&cfg);
+        let b = run(&cfg.clone().with_seed(99));
+        assert_ne!(
+            (a.runtime_cycles, a.traffic.total_bytes()),
+            (b.runtime_cycles, b.traffic.total_bytes())
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_traffic() {
+        let cfg = small(ProtocolKind::Directory).with_warmup(50);
+        let with_warmup = run(&cfg);
+        let without = run(&small(ProtocolKind::Directory).with_ops_per_core(150));
+        assert_eq!(with_warmup.ops_completed, 400);
+        assert!(
+            with_warmup.traffic.total_bytes() < without.traffic.total_bytes(),
+            "warmup traffic was discarded"
+        );
+    }
+
+    #[test]
+    fn run_many_perturbs_seeds() {
+        let results = run_many(&small(ProtocolKind::Directory).with_ops_per_core(30), 3);
+        assert_eq!(results.len(), 3);
+        let runtimes: Vec<u64> = results.iter().map(|r| r.runtime_cycles).collect();
+        assert!(runtimes.windows(2).any(|w| w[0] != w[1]));
+    }
+}

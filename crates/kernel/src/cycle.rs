@@ -1,0 +1,180 @@
+//! The simulation clock type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in clock cycles since the start of
+/// the simulation.
+///
+/// `Cycle` is a newtype over `u64` so that timestamps cannot be confused
+/// with other integer quantities (token counts, byte counts, node ids).
+/// Durations are plain `u64`s: `Cycle + u64 -> Cycle` and
+/// `Cycle - Cycle -> u64`.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_kernel::Cycle;
+///
+/// let start = Cycle::ZERO;
+/// let later = start + 15;
+/// assert_eq!(later - start, 15);
+/// assert!(later > start);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The start of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable timestamp; useful as an "infinitely far in
+    /// the future" sentinel for deadlines that are currently disabled.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp `cycles` cycles after the start of simulation.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the number of cycles from `earlier` to `self`, or zero if
+    /// `earlier` is in the future (saturating).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use patchsim_kernel::Cycle;
+    /// assert_eq!(Cycle::new(10).saturating_since(Cycle::new(4)), 6);
+    /// assert_eq!(Cycle::new(4).saturating_since(Cycle::new(10)), 0);
+    /// ```
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: u64) -> Cycle {
+        Cycle(self.0 - rhs)
+    }
+}
+
+impl SubAssign<u64> for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: u64) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl Sum<u64> for Cycle {
+    fn sum<I: Iterator<Item = u64>>(iter: I) -> Self {
+        Cycle(iter.sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let c = Cycle::new(100);
+        assert_eq!((c + 15) - c, 15);
+        assert_eq!(c + 0, c);
+        assert_eq!(u64::from(c), 100);
+        assert_eq!(Cycle::from(100u64), c);
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert_eq!(Cycle::new(7).max(Cycle::new(3)), Cycle::new(7));
+        assert_eq!(Cycle::new(7).min(Cycle::new(3)), Cycle::new(3));
+        assert!(Cycle::MAX > Cycle::new(u64::MAX - 1));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        assert_eq!(Cycle::new(3).saturating_since(Cycle::new(9)), 0);
+        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(3)), 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(42).to_string(), "cycle 42");
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut c = Cycle::new(10);
+        c += 5;
+        assert_eq!(c, Cycle::new(15));
+        c -= 3;
+        assert_eq!(c, Cycle::new(12));
+    }
+}

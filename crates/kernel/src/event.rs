@@ -1,0 +1,211 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// An entry in the queue: ordered by time, then by insertion sequence so
+/// that same-cycle events pop in FIFO order. `BinaryHeap` is a max-heap, so
+/// the comparison is reversed.
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: the smallest (time, seq) is the "greatest" heap element.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events are delivered in non-decreasing timestamp order; events scheduled
+/// for the *same* cycle are delivered in the order they were pushed. This
+/// FIFO tie-break is what makes whole-simulation runs reproducible: the
+/// simulator never depends on an unspecified heap ordering.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_kernel::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(5), "a");
+/// q.push(Cycle::new(5), "b");
+/// q.push(Cycle::new(1), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["c", "a", "b"]);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Timestamp of the most recently popped event, used to reject
+    /// scheduling into the past.
+    now: Cycle,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`Cycle::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Schedules `event` to be delivered at cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the timestamp of the most recently
+    /// popped event — scheduling into the past is always a simulator bug.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} but simulation time has reached {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event together with its timestamp,
+    /// advancing the queue's notion of "now" to that timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing
+    /// it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Returns the timestamp of the most recently popped event.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Returns the total number of events ever pushed; a cheap progress
+    /// metric for long runs.
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.now)
+            .field("total_pushed", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(30), 3);
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), "a");
+        q.push(Cycle::new(6), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(Cycle::new(5), "c"); // same cycle as "now" is allowed
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event at cycle 1")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), ());
+        q.pop();
+        q.push(Cycle::new(1), ());
+    }
+
+    #[test]
+    fn peek_and_len_reflect_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle::new(9), ());
+        q.push(Cycle::new(4), ());
+        assert_eq!(q.peek_time(), Some(Cycle::new(4)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.push(Cycle::new(42), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(42));
+    }
+}

@@ -1,0 +1,48 @@
+//! Memory access kinds.
+
+use std::fmt;
+
+/// The two kinds of coherence-visible memory access.
+///
+/// Reads require at least one token (GetS requests); writes require all
+/// tokens (GetM requests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load: needs a readable copy (GetS).
+    Read,
+    /// A store: needs exclusive permission (GetM).
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this access needs exclusive permission.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_write() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+}

@@ -1,0 +1,112 @@
+//! Cache-block addresses.
+
+use std::fmt;
+
+use patchsim_noc::NodeId;
+
+/// The address of one cache block (i.e. the physical address divided by
+/// the block size; `patchsim` never deals in sub-block offsets).
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_mem::BlockAddr;
+/// use patchsim_noc::NodeId;
+///
+/// let a = BlockAddr::new(67);
+/// assert_eq!(a.home(64), NodeId::new(3)); // homes interleave by block
+/// assert_eq!(a.macroblock(16), 4);        // 67 / 16
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    #[inline]
+    pub const fn new(block_number: u64) -> Self {
+        BlockAddr(block_number)
+    }
+
+    /// The raw block number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The home node of this block in an `num_nodes`-node system. Homes
+    /// interleave across nodes at block granularity, as in GEMS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    #[inline]
+    pub fn home(self, num_nodes: u16) -> NodeId {
+        assert!(num_nodes > 0, "a system needs at least one node");
+        NodeId::new((self.0 % num_nodes as u64) as u16)
+    }
+
+    /// The macroblock index for predictor tables that aggregate
+    /// `blocks_per_macroblock` consecutive blocks (the paper's predictors
+    /// use 1024-byte macroblocks = 16 blocks of 64 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_macroblock` is zero.
+    #[inline]
+    pub fn macroblock(self, blocks_per_macroblock: u64) -> u64 {
+        assert!(blocks_per_macroblock > 0, "macroblock size must be positive");
+        self.0 / blocks_per_macroblock
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(v: u64) -> Self {
+        BlockAddr(v)
+    }
+}
+
+impl From<BlockAddr> for u64 {
+    fn from(a: BlockAddr) -> u64 {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_interleaves() {
+        for i in 0..256u64 {
+            assert_eq!(BlockAddr::new(i).home(64), NodeId::new((i % 64) as u16));
+        }
+    }
+
+    #[test]
+    fn single_node_system_homes_everything_at_zero() {
+        assert_eq!(BlockAddr::new(12345).home(1), NodeId::new(0));
+    }
+
+    #[test]
+    fn macroblock_grouping() {
+        assert_eq!(BlockAddr::new(0).macroblock(16), 0);
+        assert_eq!(BlockAddr::new(15).macroblock(16), 0);
+        assert_eq!(BlockAddr::new(16).macroblock(16), 1);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(BlockAddr::new(255).to_string(), "0xff");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(u64::from(BlockAddr::from(7u64)), 7);
+    }
+}

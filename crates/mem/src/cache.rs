@@ -1,0 +1,404 @@
+//! Set-associative cache arrays with LRU replacement.
+
+use std::fmt;
+
+use crate::BlockAddr;
+
+/// The shape of a cache: number of sets × associativity.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_mem::CacheGeometry;
+///
+/// // The paper's 1MB 4-way private cache with 64-byte blocks:
+/// let g = CacheGeometry::from_capacity(1 << 20, 64, 4);
+/// assert_eq!(g.sets(), 4096);
+/// assert_eq!(g.ways(), 4);
+/// assert_eq!(g.blocks(), 16384);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    sets: u32,
+    ways: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sets: u32, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "cache dimensions must be positive");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Derives the geometry from a capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of
+    /// `block_bytes × ways`.
+    pub fn from_capacity(capacity_bytes: u64, block_bytes: u64, ways: u32) -> Self {
+        assert!(block_bytes > 0 && ways > 0);
+        let blocks = capacity_bytes / block_bytes;
+        assert_eq!(
+            blocks * block_bytes,
+            capacity_bytes,
+            "capacity must be a whole number of blocks"
+        );
+        let sets = blocks / ways as u64;
+        assert_eq!(
+            sets * ways as u64,
+            blocks,
+            "capacity must be a whole number of sets"
+        );
+        CacheGeometry::new(sets as u32, ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Total block capacity.
+    pub fn blocks(&self) -> u32 {
+        self.sets * self.ways
+    }
+
+    fn set_of(&self, addr: BlockAddr) -> usize {
+        (addr.raw() % self.sets as u64) as usize
+    }
+}
+
+#[derive(Debug)]
+struct Line<L> {
+    addr: BlockAddr,
+    last_use: u64,
+    payload: L,
+}
+
+/// A victim displaced by [`CacheArray::insert`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct Evicted<L> {
+    /// The displaced block's address.
+    pub addr: BlockAddr,
+    /// The displaced block's coherence payload (tokens, dirty state, ...).
+    pub payload: L,
+}
+
+/// A set-associative cache array with true-LRU replacement, generic over
+/// the per-line coherence payload `L`.
+///
+/// The array tracks *which* blocks are resident and their payloads; it
+/// stores no data bytes (patchsim is a timing simulator — block contents
+/// are modelled as version numbers at the protocol layer).
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_mem::{BlockAddr, CacheArray, CacheGeometry};
+///
+/// let mut cache: CacheArray<u32> = CacheArray::new(CacheGeometry::new(2, 1));
+/// assert!(cache.insert(BlockAddr::new(0), 10).is_none());
+/// // Same set (addresses 0 and 2 both map to set 0 of 2): LRU evicts.
+/// let victim = cache.insert(BlockAddr::new(2), 30).unwrap();
+/// assert_eq!(victim.addr, BlockAddr::new(0));
+/// assert_eq!(victim.payload, 10);
+/// ```
+#[derive(Debug)]
+pub struct CacheArray<L> {
+    geometry: CacheGeometry,
+    lines: Vec<Option<Line<L>>>,
+    lru_clock: u64,
+}
+
+impl<L> CacheArray<L> {
+    /// Creates an empty array with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let mut lines = Vec::new();
+        lines.resize_with(geometry.blocks() as usize, || None);
+        CacheArray {
+            geometry,
+            lines,
+            lru_clock: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_range(&self, addr: BlockAddr) -> std::ops::Range<usize> {
+        let set = self.geometry.set_of(addr);
+        let ways = self.geometry.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Looks up `addr` without updating recency.
+    pub fn peek(&self, addr: BlockAddr) -> Option<&L> {
+        self.lines[self.set_range(addr)]
+            .iter()
+            .flatten()
+            .find(|l| l.addr == addr)
+            .map(|l| &l.payload)
+    }
+
+    /// Looks up `addr`, marking the line most-recently-used.
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut L> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(addr);
+        self.lines[range]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.addr == addr)
+            .map(|l| {
+                l.last_use = clock;
+                &mut l.payload
+            })
+    }
+
+    /// Whether `addr` is resident.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.peek(addr).is_some()
+    }
+
+    /// Inserts `addr`, evicting the set's LRU line if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already resident — coherence controllers must
+    /// update lines in place, never double-allocate.
+    pub fn insert(&mut self, addr: BlockAddr, payload: L) -> Option<Evicted<L>> {
+        assert!(
+            !self.contains(addr),
+            "block {addr} inserted while already resident"
+        );
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let range = self.set_range(addr);
+        let set = &mut self.lines[range];
+        let new_line = Line {
+            addr,
+            last_use: clock,
+            payload,
+        };
+        // Fill an empty way if available.
+        if let Some(slot) = set.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(new_line);
+            return None;
+        }
+        // Evict the LRU way.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.as_ref().map(|l| l.last_use))
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        let old = set[victim_idx].replace(new_line).expect("set was full");
+        Some(Evicted {
+            addr: old.addr,
+            payload: old.payload,
+        })
+    }
+
+    /// The address that [`CacheArray::insert`] would evict to make room
+    /// for `addr`, if the set is full.
+    pub fn victim_for(&self, addr: BlockAddr) -> Option<BlockAddr> {
+        if self.contains(addr) {
+            return None;
+        }
+        let set = &self.lines[self.set_range(addr)];
+        if set.iter().any(|s| s.is_none()) {
+            return None;
+        }
+        set.iter()
+            .flatten()
+            .min_by_key(|l| l.last_use)
+            .map(|l| l.addr)
+    }
+
+    /// Removes `addr`, returning its payload.
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<L> {
+        let range = self.set_range(addr);
+        let set = &mut self.lines[range];
+        for slot in set.iter_mut() {
+            if slot.as_ref().is_some_and(|l| l.addr == addr) {
+                return slot.take().map(|l| l.payload);
+            }
+        }
+        None
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.lines.iter().flatten().count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.iter().all(|l| l.is_none())
+    }
+
+    /// Iterates over `(address, payload)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &L)> {
+        self.lines.iter().flatten().map(|l| (l.addr, &l.payload))
+    }
+
+    /// Iterates mutably over `(address, payload)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (BlockAddr, &mut L)> {
+        self.lines
+            .iter_mut()
+            .flatten()
+            .map(|l| (l.addr, &mut l.payload))
+    }
+}
+
+impl<L> fmt::Display for CacheArray<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache {}x{} ({} resident)",
+            self.geometry.sets,
+            self.geometry.ways,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn a(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    #[test]
+    fn from_capacity_computes_paper_geometries() {
+        // 64KB L1, 64B blocks, 4-way -> 256 sets.
+        let l1 = CacheGeometry::from_capacity(64 << 10, 64, 4);
+        assert_eq!((l1.sets(), l1.ways()), (256, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn from_capacity_rejects_ragged_sizes() {
+        CacheGeometry::from_capacity(100, 64, 4);
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = CacheArray::new(CacheGeometry::new(4, 2));
+        assert!(c.insert(a(1), "one").is_none());
+        assert_eq!(c.peek(a(1)), Some(&"one"));
+        assert_eq!(c.peek(a(2)), None);
+        assert!(c.contains(a(1)));
+        *c.get_mut(a(1)).unwrap() = "uno";
+        assert_eq!(c.peek(a(1)), Some(&"uno"));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // One set, two ways; addresses 0, 4, 8 all map to set 0 of 4.
+        let mut c = CacheArray::new(CacheGeometry::new(4, 2));
+        c.insert(a(0), 0);
+        c.insert(a(4), 4);
+        // Touch 0 so 4 becomes LRU.
+        c.get_mut(a(0));
+        let v = c.insert(a(8), 8).unwrap();
+        assert_eq!(v.addr, a(4));
+        assert!(c.contains(a(0)) && c.contains(a(8)));
+    }
+
+    #[test]
+    fn victim_for_predicts_eviction() {
+        let mut c = CacheArray::new(CacheGeometry::new(1, 2));
+        assert_eq!(c.victim_for(a(0)), None, "empty set needs no victim");
+        c.insert(a(0), ());
+        c.insert(a(1), ());
+        assert_eq!(c.victim_for(a(0)), None, "resident block needs no victim");
+        let predicted = c.victim_for(a(2)).unwrap();
+        let actual = c.insert(a(2), ()).unwrap().addr;
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn remove_frees_the_way() {
+        let mut c = CacheArray::new(CacheGeometry::new(1, 1));
+        c.insert(a(3), ());
+        assert_eq!(c.remove(a(3)), Some(()));
+        assert_eq!(c.remove(a(3)), None);
+        assert!(c.insert(a(5), ()).is_none(), "freed way accepts a new block");
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut c = CacheArray::new(CacheGeometry::new(1, 2));
+        c.insert(a(3), ());
+        c.insert(a(3), ());
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut c = CacheArray::new(CacheGeometry::new(4, 2));
+        assert!(c.is_empty());
+        c.insert(a(0), 0);
+        c.insert(a(1), 1);
+        c.insert(a(2), 2);
+        assert_eq!(c.len(), 3);
+        let mut got: Vec<u64> = c.iter().map(|(addr, _)| addr.raw()).collect();
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn iter_mut_updates_payloads() {
+        let mut c = CacheArray::new(CacheGeometry::new(2, 1));
+        c.insert(a(0), 1);
+        c.insert(a(1), 2);
+        for (_, p) in c.iter_mut() {
+            *p *= 10;
+        }
+        assert_eq!(c.peek(a(0)), Some(&10));
+        assert_eq!(c.peek(a(1)), Some(&20));
+    }
+
+    proptest! {
+        /// The cache never holds more blocks than its capacity, never holds
+        /// duplicates, and every resident block was inserted and not yet
+        /// evicted/removed.
+        #[test]
+        fn capacity_and_uniqueness(ops in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..200)) {
+            let mut c = CacheArray::new(CacheGeometry::new(4, 2));
+            let mut resident = std::collections::BTreeSet::new();
+            for (addr, is_insert) in ops {
+                let addr = a(addr);
+                if is_insert && !c.contains(addr) {
+                    if let Some(ev) = c.insert(addr, ()) {
+                        prop_assert!(resident.remove(&ev.addr.raw()));
+                    }
+                    resident.insert(addr.raw());
+                } else if !is_insert {
+                    let was = c.remove(addr).is_some();
+                    prop_assert_eq!(was, resident.remove(&addr.raw()));
+                }
+                prop_assert!(c.len() <= 8);
+                prop_assert_eq!(c.len(), resident.len());
+                for r in &resident {
+                    prop_assert!(c.contains(a(*r)));
+                }
+            }
+        }
+    }
+}

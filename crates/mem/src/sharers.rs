@@ -1,0 +1,494 @@
+//! Directory sharer encodings: exact full-map and inexact alternatives.
+//!
+//! A full-map bit vector (one bit per core) becomes too much directory
+//! state as core counts grow, so large systems use *inexact* encodings —
+//! conservative over-approximations of the sharer set. The paper's
+//! Figures 9 and 10 sweep a coarse bit vector that maps one bit to `K`
+//! cores (`K = 1` is a full map; `K = N` is a single bit meaning
+//! "somebody may share this"). The owner is always recorded precisely,
+//! which keeps read requests exact. As an extension, the classic
+//! limited-pointer scheme (Dir<sub>i</sub>B) is also provided: `i` exact
+//! pointers that degrade to broadcast on overflow.
+//!
+//! Inexactness has two sources, both modelled here:
+//!
+//! 1. **Rounding/overflow**: a coarse bit implicates its whole `K`-core
+//!    group; an overflowed pointer set implicates everyone.
+//! 2. **Staleness**: individual departures (evictions) cannot always be
+//!    removed, so stale sharers accumulate until a write resets the set.
+
+use std::fmt;
+
+use patchsim_noc::{DestSet, NodeId};
+
+/// Which sharer-set representation the directory uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SharerEncoding {
+    /// One bit per core: exact.
+    FullMap,
+    /// One bit per `cores_per_bit` consecutive cores: a conservative
+    /// over-approximation for `cores_per_bit > 1`.
+    Coarse {
+        /// Number of cores each bit stands for (`K` in the paper's
+        /// Figure 9; must be ≥ 1).
+        cores_per_bit: u16,
+    },
+    /// Up to `pointers` exact sharer pointers; inserting more overflows
+    /// the entry to "everyone may share" (Dir<sub>i</sub>B). An extension
+    /// beyond the paper's sweep.
+    LimitedPointer {
+        /// Number of exact pointers per entry (must be ≥ 1).
+        pointers: u16,
+    },
+}
+
+impl SharerEncoding {
+    /// The coarse group size `K` (1 for exact encodings).
+    pub fn cores_per_bit(self) -> u16 {
+        match self {
+            SharerEncoding::FullMap => 1,
+            SharerEncoding::Coarse { cores_per_bit } => cores_per_bit,
+            SharerEncoding::LimitedPointer { .. } => 1,
+        }
+    }
+
+    /// Whether the encoding always represents sharer sets exactly.
+    pub fn is_exact(self) -> bool {
+        match self {
+            SharerEncoding::FullMap => true,
+            SharerEncoding::Coarse { cores_per_bit } => cores_per_bit == 1,
+            SharerEncoding::LimitedPointer { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for SharerEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharerEncoding::LimitedPointer { pointers } => write!(f, "ptr({pointers})"),
+            _ => match self.cores_per_bit() {
+                1 => f.write_str("full-map"),
+                k => write!(f, "coarse(K={k})"),
+            },
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq)]
+enum Repr {
+    /// Bit vector with `cores_per_bit` cores per bit (1 = full map).
+    Bits { cores_per_bit: u16, bits: Vec<u64> },
+    /// Exact pointers up to a limit, then broadcast.
+    Pointers {
+        max: u16,
+        list: Vec<NodeId>,
+        overflowed: bool,
+    },
+}
+
+/// A directory entry's sharer set, stored under a chosen encoding.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_mem::{SharerEncoding, SharerSet};
+/// use patchsim_noc::NodeId;
+///
+/// let mut s = SharerSet::new(64, SharerEncoding::Coarse { cores_per_bit: 4 });
+/// s.insert(NodeId::new(5));
+/// // Node 5's whole group {4,5,6,7} is implicated:
+/// assert_eq!(s.members().len(), 4);
+/// assert!(s.may_contain(NodeId::new(6)));
+///
+/// let mut p = SharerSet::new(64, SharerEncoding::LimitedPointer { pointers: 2 });
+/// p.insert(NodeId::new(1));
+/// p.insert(NodeId::new(2));
+/// assert_eq!(p.members().len(), 2);      // exact while within the limit
+/// p.insert(NodeId::new(3));
+/// assert_eq!(p.members().len(), 64);     // overflow: broadcast
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SharerSet {
+    num_nodes: u16,
+    repr: Repr,
+}
+
+impl SharerSet {
+    /// Creates an empty sharer set for `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero or the encoding's parameter is zero.
+    pub fn new(num_nodes: u16, encoding: SharerEncoding) -> Self {
+        assert!(num_nodes > 0, "a system needs at least one node");
+        let repr = match encoding {
+            SharerEncoding::LimitedPointer { pointers } => {
+                assert!(pointers > 0, "at least one pointer required");
+                Repr::Pointers {
+                    max: pointers,
+                    list: Vec::with_capacity(pointers as usize),
+                    overflowed: false,
+                }
+            }
+            _ => {
+                let k = encoding.cores_per_bit();
+                assert!(k > 0, "group size must be at least 1");
+                let groups = (num_nodes as usize).div_ceil(k as usize);
+                Repr::Bits {
+                    cores_per_bit: k,
+                    bits: vec![0; groups.div_ceil(64)],
+                }
+            }
+        };
+        SharerSet { num_nodes, repr }
+    }
+
+    /// Records `node` as a sharer (implicating its whole group under a
+    /// coarse encoding, or overflowing to broadcast under a full
+    /// limited-pointer entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.raw() < self.num_nodes, "{node} out of range");
+        match &mut self.repr {
+            Repr::Bits { cores_per_bit, bits } => {
+                let g = node.index() / *cores_per_bit as usize;
+                bits[g / 64] |= 1 << (g % 64);
+            }
+            Repr::Pointers {
+                max,
+                list,
+                overflowed,
+            } => {
+                if *overflowed || list.contains(&node) {
+                    return;
+                }
+                if list.len() < *max as usize {
+                    list.push(node);
+                } else {
+                    *overflowed = true;
+                    list.clear();
+                }
+            }
+        }
+    }
+
+    /// Attempts to remove `node`. Exact representations (full map, or a
+    /// non-overflowed pointer list) can remove individuals; coarse groups
+    /// and overflowed entries cannot. Returns `true` if the set changed.
+    pub fn remove_if_exact(&mut self, node: NodeId) -> bool {
+        if node.raw() >= self.num_nodes {
+            return false;
+        }
+        match &mut self.repr {
+            Repr::Bits { cores_per_bit, bits } => {
+                if *cores_per_bit != 1 {
+                    return false;
+                }
+                let g = node.index();
+                let was = bits[g / 64] & (1 << (g % 64)) != 0;
+                bits[g / 64] &= !(1 << (g % 64));
+                was
+            }
+            Repr::Pointers {
+                list, overflowed, ..
+            } => {
+                if *overflowed {
+                    return false;
+                }
+                if let Some(pos) = list.iter().position(|&n| n == node) {
+                    list.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Empties the set (a write miss resets sharers exactly).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Bits { bits, .. } => bits.iter_mut().for_each(|w| *w = 0),
+            Repr::Pointers {
+                list, overflowed, ..
+            } => {
+                list.clear();
+                *overflowed = false;
+            }
+        }
+    }
+
+    /// Whether `node` *may* be a sharer. `false` is definitive; `true` may
+    /// be an over-approximation.
+    pub fn may_contain(&self, node: NodeId) -> bool {
+        if node.raw() >= self.num_nodes {
+            return false;
+        }
+        match &self.repr {
+            Repr::Bits { cores_per_bit, bits } => {
+                let g = node.index() / *cores_per_bit as usize;
+                bits[g / 64] & (1 << (g % 64)) != 0
+            }
+            Repr::Pointers {
+                list, overflowed, ..
+            } => *overflowed || list.contains(&node),
+        }
+    }
+
+    /// Whether no sharer is recorded.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Bits { bits, .. } => bits.iter().all(|&w| w == 0),
+            Repr::Pointers {
+                list, overflowed, ..
+            } => !*overflowed && list.is_empty(),
+        }
+    }
+
+    /// Decodes the (super)set of sharers as concrete nodes — the set a
+    /// directory would forward invalidations to.
+    pub fn members(&self) -> DestSet {
+        match &self.repr {
+            Repr::Bits { cores_per_bit, bits } => {
+                let mut out = DestSet::empty(self.num_nodes);
+                let k = *cores_per_bit as usize;
+                let groups = (self.num_nodes as usize).div_ceil(k);
+                for g in 0..groups {
+                    if bits[g / 64] & (1 << (g % 64)) != 0 {
+                        let start = g * k;
+                        let end = (start + k).min(self.num_nodes as usize);
+                        for n in start..end {
+                            out.insert(NodeId::new(n as u16));
+                        }
+                    }
+                }
+                out
+            }
+            Repr::Pointers {
+                list, overflowed, ..
+            } => {
+                if *overflowed {
+                    DestSet::all(self.num_nodes)
+                } else {
+                    DestSet::from_nodes(self.num_nodes, list.iter().copied())
+                }
+            }
+        }
+    }
+
+    /// The encoding in use.
+    pub fn encoding(&self) -> SharerEncoding {
+        match &self.repr {
+            Repr::Bits { cores_per_bit, .. } => {
+                if *cores_per_bit == 1 {
+                    SharerEncoding::FullMap
+                } else {
+                    SharerEncoding::Coarse {
+                        cores_per_bit: *cores_per_bit,
+                    }
+                }
+            }
+            Repr::Pointers { max, .. } => SharerEncoding::LimitedPointer { pointers: *max },
+        }
+    }
+
+    /// Directory state cost of this encoding in bits per entry (excluding
+    /// the exact owner pointer).
+    pub fn bits_per_entry(&self) -> u32 {
+        match &self.repr {
+            Repr::Bits { cores_per_bit, .. } => {
+                (self.num_nodes as u32).div_ceil(*cores_per_bit as u32)
+            }
+            Repr::Pointers { max, .. } => {
+                let ptr_bits = (self.num_nodes as u32).next_power_of_two().trailing_zeros();
+                *max as u32 * ptr_bits.max(1) + 1 // +1 overflow bit
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharerSet[{}]{:?}", self.encoding(), self.members())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_map_is_exact() {
+        let mut s = SharerSet::new(64, SharerEncoding::FullMap);
+        s.insert(NodeId::new(3));
+        s.insert(NodeId::new(60));
+        assert_eq!(s.members().len(), 2);
+        assert!(s.remove_if_exact(NodeId::new(3)));
+        assert_eq!(s.members().len(), 1);
+        assert!(!s.may_contain(NodeId::new(3)));
+    }
+
+    #[test]
+    fn coarse_implicates_whole_group() {
+        let mut s = SharerSet::new(64, SharerEncoding::Coarse { cores_per_bit: 16 });
+        s.insert(NodeId::new(17));
+        let members = s.members();
+        assert_eq!(members.len(), 16);
+        for n in 16..32 {
+            assert!(members.contains(NodeId::new(n)));
+        }
+        assert!(!members.contains(NodeId::new(15)));
+    }
+
+    #[test]
+    fn coarse_cannot_remove_individuals() {
+        let mut s = SharerSet::new(64, SharerEncoding::Coarse { cores_per_bit: 4 });
+        s.insert(NodeId::new(5));
+        assert!(!s.remove_if_exact(NodeId::new(5)));
+        assert!(s.may_contain(NodeId::new(5)), "stale sharer persists");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = SharerSet::new(64, SharerEncoding::Coarse { cores_per_bit: 64 });
+        s.insert(NodeId::new(0));
+        assert_eq!(s.members().len(), 64, "single bit implicates everyone");
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.members().len(), 0);
+    }
+
+    #[test]
+    fn ragged_last_group_is_clamped() {
+        // 10 nodes, K=4: groups {0-3},{4-7},{8-9}.
+        let mut s = SharerSet::new(10, SharerEncoding::Coarse { cores_per_bit: 4 });
+        s.insert(NodeId::new(9));
+        assert_eq!(s.members().len(), 2);
+        assert!(s.may_contain(NodeId::new(8)));
+        assert!(!s.may_contain(NodeId::new(7)));
+    }
+
+    #[test]
+    fn limited_pointer_exact_until_overflow() {
+        let mut s = SharerSet::new(64, SharerEncoding::LimitedPointer { pointers: 2 });
+        s.insert(NodeId::new(7));
+        s.insert(NodeId::new(7)); // duplicate is free
+        s.insert(NodeId::new(9));
+        assert_eq!(s.members().len(), 2);
+        assert!(s.remove_if_exact(NodeId::new(7)), "exact removal works");
+        s.insert(NodeId::new(11));
+        assert_eq!(s.members().len(), 2);
+        // Third distinct sharer overflows to broadcast.
+        s.insert(NodeId::new(13));
+        assert_eq!(s.members().len(), 64);
+        assert!(s.may_contain(NodeId::new(0)));
+        assert!(!s.remove_if_exact(NodeId::new(9)), "overflowed: no removal");
+        assert!(!s.is_empty());
+        // A write reset restores exactness.
+        s.clear();
+        assert!(s.is_empty());
+        s.insert(NodeId::new(1));
+        assert_eq!(s.members().len(), 1);
+    }
+
+    #[test]
+    fn bits_per_entry_scales() {
+        assert_eq!(
+            SharerSet::new(256, SharerEncoding::FullMap).bits_per_entry(),
+            256
+        );
+        assert_eq!(
+            SharerSet::new(256, SharerEncoding::Coarse { cores_per_bit: 64 }).bits_per_entry(),
+            4
+        );
+        assert_eq!(
+            SharerSet::new(256, SharerEncoding::Coarse { cores_per_bit: 256 }).bits_per_entry(),
+            1
+        );
+        // 4 pointers x 8 bits + overflow bit.
+        assert_eq!(
+            SharerSet::new(256, SharerEncoding::LimitedPointer { pointers: 4 }).bits_per_entry(),
+            33
+        );
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        let s = SharerSet::new(8, SharerEncoding::Coarse { cores_per_bit: 2 });
+        assert_eq!(s.encoding(), SharerEncoding::Coarse { cores_per_bit: 2 });
+        let s = SharerSet::new(8, SharerEncoding::Coarse { cores_per_bit: 1 });
+        assert_eq!(s.encoding(), SharerEncoding::FullMap);
+        let s = SharerSet::new(8, SharerEncoding::LimitedPointer { pointers: 3 });
+        assert_eq!(
+            s.encoding(),
+            SharerEncoding::LimitedPointer { pointers: 3 }
+        );
+        assert_eq!(SharerEncoding::FullMap.to_string(), "full-map");
+        assert_eq!(
+            SharerEncoding::Coarse { cores_per_bit: 4 }.to_string(),
+            "coarse(K=4)"
+        );
+        assert_eq!(
+            SharerEncoding::LimitedPointer { pointers: 4 }.to_string(),
+            "ptr(4)"
+        );
+    }
+
+    proptest! {
+        /// Every encoding yields a superset of the true sharer set.
+        #[test]
+        fn members_is_superset(
+            nodes in proptest::collection::btree_set(0u16..100, 0..20),
+            k in 1u16..100,
+        ) {
+            let mut s = SharerSet::new(100, SharerEncoding::Coarse { cores_per_bit: k });
+            for &n in &nodes {
+                s.insert(NodeId::new(n));
+            }
+            let members = s.members();
+            for &n in &nodes {
+                prop_assert!(members.contains(NodeId::new(n)));
+            }
+            // And the overapproximation is bounded by rounding: at most
+            // one extra group per true sharer.
+            prop_assert!(members.len() <= nodes.len() * k as usize);
+        }
+
+        /// A full map is always exact.
+        #[test]
+        fn full_map_members_exact(nodes in proptest::collection::btree_set(0u16..100, 0..20)) {
+            let mut s = SharerSet::new(100, SharerEncoding::FullMap);
+            for &n in &nodes {
+                s.insert(NodeId::new(n));
+            }
+            let got: Vec<u16> = s.members().iter().map(|n| n.raw()).collect();
+            let want: Vec<u16> = nodes.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Limited pointers are a superset too, and exact within the limit.
+        #[test]
+        fn limited_pointer_superset(
+            nodes in proptest::collection::btree_set(0u16..100, 0..20),
+            max in 1u16..8,
+        ) {
+            let mut s = SharerSet::new(100, SharerEncoding::LimitedPointer { pointers: max });
+            for &n in &nodes {
+                s.insert(NodeId::new(n));
+            }
+            let members = s.members();
+            for &n in &nodes {
+                prop_assert!(members.contains(NodeId::new(n)));
+            }
+            if nodes.len() <= max as usize {
+                prop_assert_eq!(members.len(), nodes.len(), "exact within the limit");
+            } else {
+                prop_assert_eq!(members.len(), 100, "overflow broadcasts");
+            }
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Per-block token state: the token counting rules of Token Coherence.
+//!
+//! The paper's Table 1 gives five token counting rules; this module
+//! implements the state they govern. At system initialization each block
+//! has `T` tokens, one of which is the **owner token**, marked clean or
+//! dirty. Safety follows from conservation: a writer must hold all `T`
+//! tokens, a reader at least one.
+
+use std::fmt;
+
+/// Clean/dirty status of the owner token (Table 1, Rule 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OwnerStatus {
+    /// Memory holds an up-to-date copy of the block.
+    Clean,
+    /// The block has been written since memory last saw it; whoever holds
+    /// the dirty owner token is responsible for the data (Rule 4: a
+    /// message carrying a dirty owner token must carry data).
+    Dirty,
+}
+
+/// The classic MOESI states plus F (forward/clean-owner), as produced by
+/// the token-count mapping of the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MoesiState {
+    /// All tokens, dirty owner.
+    M,
+    /// Some tokens, dirty owner.
+    O,
+    /// All tokens, clean owner.
+    E,
+    /// Some tokens, clean owner (the F state of Hum & Goodman).
+    F,
+    /// Some tokens, no owner token.
+    S,
+    /// No tokens.
+    I,
+}
+
+impl MoesiState {
+    /// Whether this state permits reads (Read Rule: at least one token).
+    pub fn readable(self) -> bool {
+        !matches!(self, MoesiState::I)
+    }
+
+    /// Whether this state permits writes (Write Rule: all tokens).
+    pub fn writable(self) -> bool {
+        matches!(self, MoesiState::M | MoesiState::E)
+    }
+
+    /// Whether this state holds the owner token (and therefore must supply
+    /// data in response to requests).
+    pub fn owns(self) -> bool {
+        matches!(self, MoesiState::M | MoesiState::O | MoesiState::E | MoesiState::F)
+    }
+}
+
+impl fmt::Display for MoesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MoesiState::M => "M",
+            MoesiState::O => "O",
+            MoesiState::E => "E",
+            MoesiState::F => "F",
+            MoesiState::S => "S",
+            MoesiState::I => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A multiset of tokens for one block: a total count plus, possibly, the
+/// owner token and its clean/dirty status.
+///
+/// `TokenSet` appears in cache lines, directory entries (the home's own
+/// token holdings), and coherence messages. The owner token, when present,
+/// is included in [`TokenSet::count`].
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_mem::{MoesiState, OwnerStatus, TokenSet};
+///
+/// let mut home = TokenSet::full(64, OwnerStatus::Clean);
+/// let response = home.split_plain(1);       // one plain token for a reader
+/// assert_eq!(response.count(), 1);
+/// assert_eq!(home.count(), 63);
+/// assert_eq!(response.moesi(64), MoesiState::S);
+/// assert_eq!(home.moesi(64), MoesiState::F); // some tokens + clean owner
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TokenSet {
+    count: u32,
+    owner: Option<OwnerStatus>,
+}
+
+impl TokenSet {
+    /// The empty token set.
+    pub const fn empty() -> Self {
+        TokenSet {
+            count: 0,
+            owner: None,
+        }
+    }
+
+    /// All `total` tokens for a block, including the owner token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero (every block has at least the owner token).
+    pub fn full(total: u32, status: OwnerStatus) -> Self {
+        assert!(total >= 1, "a block has at least one token");
+        TokenSet {
+            count: total,
+            owner: Some(status),
+        }
+    }
+
+    /// A set of `count` plain (non-owner) tokens.
+    pub const fn plain(count: u32) -> Self {
+        TokenSet {
+            count,
+            owner: None,
+        }
+    }
+
+    /// Total tokens held, including the owner token if present.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the owner token is in this set.
+    pub fn has_owner(&self) -> bool {
+        self.owner.is_some()
+    }
+
+    /// The owner token's status, if present.
+    pub fn owner_status(&self) -> Option<OwnerStatus> {
+        self.owner
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether a message carrying exactly these tokens must also carry
+    /// data (Rule 4: dirty owner token ⇒ data).
+    pub fn requires_data(&self) -> bool {
+        self.owner == Some(OwnerStatus::Dirty)
+    }
+
+    /// Marks the owner token dirty (done by a writer after writing, Rule 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner token is not held.
+    pub fn set_owner_dirty(&mut self) {
+        assert!(self.owner.is_some(), "cannot dirty an absent owner token");
+        self.owner = Some(OwnerStatus::Dirty);
+    }
+
+    /// Marks the owner token clean. Memory does this whenever it receives
+    /// the owner token (Rule 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner token is not held.
+    pub fn set_owner_clean(&mut self) {
+        assert!(self.owner.is_some(), "cannot clean an absent owner token");
+        self.owner = Some(OwnerStatus::Clean);
+    }
+
+    /// Merges `incoming` tokens into this set (message arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sets claim the owner token — conservation (Rule 1)
+    /// makes that impossible in a correct protocol, so it is a simulator
+    /// bug.
+    pub fn merge(&mut self, incoming: TokenSet) {
+        if incoming.owner.is_some() {
+            assert!(
+                self.owner.is_none(),
+                "two owner tokens for one block violates token conservation"
+            );
+            self.owner = incoming.owner;
+        }
+        self.count += incoming.count;
+    }
+
+    /// Removes and returns every token in the set.
+    pub fn take_all(&mut self) -> TokenSet {
+        std::mem::take(self)
+    }
+
+    /// Splits off `n` plain tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` plain (non-owner) tokens are held.
+    pub fn split_plain(&mut self, n: u32) -> TokenSet {
+        let plain = self.count - u32::from(self.owner.is_some());
+        assert!(
+            plain >= n,
+            "asked for {n} plain tokens but only {plain} are held"
+        );
+        self.count -= n;
+        TokenSet::plain(n)
+    }
+
+    /// Splits off the owner token together with `extra_plain` plain tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner token or the requested plain tokens are not
+    /// held.
+    pub fn split_owner(&mut self, extra_plain: u32) -> TokenSet {
+        let status = self.owner.take().expect("owner token not held");
+        let plain = self.count - 1;
+        assert!(
+            plain >= extra_plain,
+            "asked for {extra_plain} plain tokens but only {plain} are held"
+        );
+        self.count -= 1 + extra_plain;
+        TokenSet {
+            count: 1 + extra_plain,
+            owner: Some(status),
+        }
+    }
+
+    /// The MOESI+F state these holdings imply for a block with `total`
+    /// tokens (the paper's Table 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set holds more than `total` tokens.
+    pub fn moesi(&self, total: u32) -> MoesiState {
+        assert!(
+            self.count <= total,
+            "holding {} tokens of a {total}-token block",
+            self.count
+        );
+        match (self.count, self.owner) {
+            (0, None) => MoesiState::I,
+            (0, Some(_)) => unreachable!("owner token implies count >= 1"),
+            (c, Some(OwnerStatus::Dirty)) if c == total => MoesiState::M,
+            (_, Some(OwnerStatus::Dirty)) => MoesiState::O,
+            (c, Some(OwnerStatus::Clean)) if c == total => MoesiState::E,
+            (_, Some(OwnerStatus::Clean)) => MoesiState::F,
+            (_, None) => MoesiState::S,
+        }
+    }
+
+    /// Whether these holdings permit a write (Write Rule: all `total`
+    /// tokens).
+    pub fn can_write(&self, total: u32) -> bool {
+        self.count == total
+    }
+
+    /// Whether these holdings permit a read (Read Rule: at least one
+    /// token).
+    pub fn can_read(&self) -> bool {
+        self.count >= 1
+    }
+}
+
+impl Default for TokenSet {
+    fn default() -> Self {
+        TokenSet::empty()
+    }
+}
+
+impl fmt::Display for TokenSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.owner {
+            Some(OwnerStatus::Dirty) => write!(f, "t={}(+Od)", self.count),
+            Some(OwnerStatus::Clean) => write!(f, "t={}(+Oc)", self.count),
+            None => write!(f, "t={}", self.count),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u32 = 16;
+
+    /// The paper's Table 2, row by row.
+    #[test]
+    fn table2_moesi_mapping() {
+        // M: all tokens, dirty owner.
+        assert_eq!(TokenSet::full(T, OwnerStatus::Dirty).moesi(T), MoesiState::M);
+        // O: some tokens, dirty owner.
+        let mut o = TokenSet::full(T, OwnerStatus::Dirty);
+        o.split_plain(5);
+        assert_eq!(o.moesi(T), MoesiState::O);
+        // E: all tokens, clean owner.
+        assert_eq!(TokenSet::full(T, OwnerStatus::Clean).moesi(T), MoesiState::E);
+        // F: some tokens, clean owner.
+        let mut f = TokenSet::full(T, OwnerStatus::Clean);
+        f.split_plain(1);
+        assert_eq!(f.moesi(T), MoesiState::F);
+        // S: some tokens, no owner.
+        assert_eq!(TokenSet::plain(3).moesi(T), MoesiState::S);
+        // I: no tokens.
+        assert_eq!(TokenSet::empty().moesi(T), MoesiState::I);
+    }
+
+    #[test]
+    fn read_write_rules() {
+        assert!(TokenSet::full(T, OwnerStatus::Clean).can_write(T));
+        assert!(!TokenSet::plain(T - 1).can_write(T));
+        assert!(TokenSet::plain(1).can_read());
+        assert!(!TokenSet::empty().can_read());
+    }
+
+    #[test]
+    fn moesi_state_predicates() {
+        assert!(MoesiState::M.writable() && MoesiState::E.writable());
+        assert!(!MoesiState::O.writable() && !MoesiState::S.writable());
+        assert!(MoesiState::S.readable() && !MoesiState::I.readable());
+        assert!(MoesiState::F.owns() && MoesiState::O.owns());
+        assert!(!MoesiState::S.owns() && !MoesiState::I.owns());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut s = TokenSet::plain(2);
+        s.merge(TokenSet::plain(3));
+        assert_eq!(s.count(), 5);
+        assert!(!s.has_owner());
+        s.merge(TokenSet::full(1, OwnerStatus::Dirty));
+        assert_eq!(s.count(), 6);
+        assert!(s.requires_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation")]
+    fn merging_two_owners_panics() {
+        let mut s = TokenSet::full(1, OwnerStatus::Clean);
+        s.merge(TokenSet::full(1, OwnerStatus::Clean));
+    }
+
+    #[test]
+    fn split_owner_keeps_remainder() {
+        let mut s = TokenSet::full(T, OwnerStatus::Dirty);
+        let sent = s.split_owner(0);
+        assert_eq!(sent.count(), 1);
+        assert!(sent.requires_data());
+        assert_eq!(s.count(), T - 1);
+        assert!(!s.has_owner());
+        assert_eq!(s.moesi(T), MoesiState::S);
+    }
+
+    #[test]
+    fn split_owner_with_extras() {
+        let mut s = TokenSet::full(T, OwnerStatus::Clean);
+        let sent = s.split_owner(T - 1);
+        assert_eq!(sent.count(), T);
+        assert!(s.is_empty());
+        assert_eq!(sent.moesi(T), MoesiState::E);
+    }
+
+    #[test]
+    #[should_panic(expected = "plain tokens")]
+    fn split_plain_cannot_take_owner() {
+        let mut s = TokenSet::full(1, OwnerStatus::Clean);
+        s.split_plain(1); // the only token is the owner token
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut s = TokenSet::full(4, OwnerStatus::Dirty);
+        let t = s.take_all();
+        assert_eq!(t.count(), 4);
+        assert!(s.is_empty());
+        assert_eq!(s.moesi(4), MoesiState::I);
+    }
+
+    #[test]
+    fn memory_cleans_owner_on_arrival() {
+        let mut s = TokenSet::full(2, OwnerStatus::Dirty);
+        s.set_owner_clean();
+        assert_eq!(s.owner_status(), Some(OwnerStatus::Clean));
+        assert!(!s.requires_data());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TokenSet::plain(3).to_string(), "t=3");
+        assert_eq!(TokenSet::full(3, OwnerStatus::Dirty).to_string(), "t=3(+Od)");
+        assert_eq!(TokenSet::full(3, OwnerStatus::Clean).to_string(), "t=3(+Oc)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn full_of_zero_panics() {
+        TokenSet::full(0, OwnerStatus::Clean);
+    }
+}

@@ -1,0 +1,310 @@
+//! Compact destination sets for multicast messages.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// A set of destination nodes, stored as a bit vector.
+///
+/// Destination sets appear on every multicast message (invalidation
+/// forwards, direct requests, persistent-request broadcasts) and in the
+/// directory's sharer bookkeeping. The representation supports systems up
+/// to any size; all sets in one system must be created with the same
+/// `num_nodes`.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_noc::{DestSet, NodeId};
+///
+/// let mut s = DestSet::empty(64);
+/// s.insert(NodeId::new(3));
+/// s.insert(NodeId::new(60));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(NodeId::new(3)));
+/// let members: Vec<_> = s.iter().collect();
+/// assert_eq!(members, vec![NodeId::new(3), NodeId::new(60)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DestSet {
+    words: Vec<u64>,
+    num_nodes: u16,
+}
+
+impl DestSet {
+    /// Creates an empty set for a system of `num_nodes` nodes.
+    pub fn empty(num_nodes: u16) -> Self {
+        DestSet {
+            words: vec![0; (num_nodes as usize).div_ceil(64)],
+            num_nodes,
+        }
+    }
+
+    /// Creates a set containing only `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn single(num_nodes: u16, node: NodeId) -> Self {
+        let mut s = Self::empty(num_nodes);
+        s.insert(node);
+        s
+    }
+
+    /// Creates a set containing every node.
+    pub fn all(num_nodes: u16) -> Self {
+        let mut s = Self::empty(num_nodes);
+        for i in 0..num_nodes {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Creates a set containing every node except `excluded` — the shape of
+    /// a broadcast direct request.
+    pub fn all_except(num_nodes: u16, excluded: NodeId) -> Self {
+        let mut s = Self::all(num_nodes);
+        s.remove(excluded);
+        s
+    }
+
+    /// Builds a set from an iterator of nodes.
+    pub fn from_nodes(num_nodes: u16, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut s = Self::empty(num_nodes);
+        for n in nodes {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// The system size this set was created for.
+    pub fn num_nodes(&self) -> u16 {
+        self.num_nodes
+    }
+
+    /// Adds `node` to the set. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this set's system size.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        assert!(
+            node.raw() < self.num_nodes,
+            "{node} out of range for {}-node system",
+            self.num_nodes
+        );
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `node` from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        if node.raw() >= self.num_nodes {
+            return false;
+        }
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Returns `true` if `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        if node.raw() >= self.num_nodes {
+            return false;
+        }
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all nodes.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets were created for different system sizes.
+    pub fn union_with(&mut self, other: &DestSet) {
+        assert_eq!(self.num_nodes, other.num_nodes, "mismatched system sizes");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Returns `true` if every member of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &DestSet) -> bool {
+        assert_eq!(self.num_nodes, other.num_nodes, "mismatched system sizes");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            next: 0,
+        }
+    }
+
+    /// Returns the sole member if the set has exactly one.
+    pub fn as_single(&self) -> Option<NodeId> {
+        let mut it = self.iter();
+        let first = it.next()?;
+        if it.next().is_none() {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for DestSet {
+    /// Prints the set as a list of node ids, e.g. `{P1, P2}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the members of a [`DestSet`].
+pub struct Iter<'a> {
+    set: &'a DestSet,
+    next: u32,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while (self.next as usize) < self.set.num_nodes as usize {
+            let idx = self.next as usize;
+            let (w, b) = (idx / 64, idx % 64);
+            // Skip whole empty words.
+            let word = self.set.words[w] >> b;
+            if word == 0 {
+                self.next = ((w as u32) + 1) * 64;
+                continue;
+            }
+            let offset = word.trailing_zeros();
+            let found = idx as u32 + offset;
+            if found as usize >= self.set.num_nodes as usize {
+                return None;
+            }
+            self.next = found + 1;
+            return Some(NodeId::new(found as u16));
+        }
+        None
+    }
+}
+
+impl<'a> IntoIterator for &'a DestSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DestSet::empty(130);
+        assert!(s.insert(NodeId::new(0)));
+        assert!(s.insert(NodeId::new(129)));
+        assert!(!s.insert(NodeId::new(129)), "double insert reports false");
+        assert!(s.contains(NodeId::new(0)));
+        assert!(s.contains(NodeId::new(129)));
+        assert!(!s.contains(NodeId::new(64)));
+        assert!(s.remove(NodeId::new(0)));
+        assert!(!s.remove(NodeId::new(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn all_and_all_except() {
+        let s = DestSet::all(65);
+        assert_eq!(s.len(), 65);
+        let s = DestSet::all_except(65, NodeId::new(64));
+        assert_eq!(s.len(), 64);
+        assert!(!s.contains(NodeId::new(64)));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let nodes = [5u16, 0, 63, 64, 65, 127];
+        let s = DestSet::from_nodes(128, nodes.iter().map(|&n| NodeId::new(n)));
+        let got: Vec<u16> = s.iter().map(|n| n.raw()).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 127]);
+    }
+
+    #[test]
+    fn as_single() {
+        assert_eq!(DestSet::empty(8).as_single(), None);
+        assert_eq!(
+            DestSet::single(8, NodeId::new(3)).as_single(),
+            Some(NodeId::new(3))
+        );
+        assert_eq!(DestSet::all(8).as_single(), None);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = DestSet::from_nodes(70, [NodeId::new(1), NodeId::new(69)]);
+        let b = DestSet::from_nodes(70, [NodeId::new(2)]);
+        assert!(!b.is_subset_of(&a));
+        a.union_with(&b);
+        assert!(b.is_subset_of(&a));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        DestSet::empty(8).insert(NodeId::new(8));
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        assert!(!DestSet::all(8).contains(NodeId::new(200)));
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s = DestSet::from_nodes(8, [NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(format!("{s:?}"), "{NodeId(1), NodeId(2)}");
+    }
+
+    proptest! {
+        #[test]
+        fn iter_matches_inserted(nodes in proptest::collection::btree_set(0u16..300, 0..40)) {
+            let s = DestSet::from_nodes(300, nodes.iter().map(|&n| NodeId::new(n)));
+            let got: Vec<u16> = s.iter().map(|n| n.raw()).collect();
+            let want: Vec<u16> = nodes.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn len_matches_count(nodes in proptest::collection::btree_set(0u16..300, 0..40)) {
+            let s = DestSet::from_nodes(300, nodes.iter().map(|&n| NodeId::new(n)));
+            prop_assert_eq!(s.len(), nodes.len());
+            prop_assert_eq!(s.is_empty(), nodes.is_empty());
+        }
+    }
+}

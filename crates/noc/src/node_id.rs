@@ -1,0 +1,66 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifies one node (core + private cache + home-directory slice +
+/// router) in the system.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_noc::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "P3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index as a `usize`, for indexing per-node tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(NodeId::from(9u16), NodeId::new(9));
+        assert_eq!(NodeId::new(9).raw(), 9);
+        assert_eq!(NodeId::new(9).index(), 9usize);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,280 @@
+//! Torus geometry and dimension-order routing.
+
+use crate::NodeId;
+
+/// One of the four inter-router link directions of a 2D torus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Increasing x, wrapping.
+    XPlus,
+    /// Decreasing x, wrapping.
+    XMinus,
+    /// Increasing y, wrapping.
+    YPlus,
+    /// Decreasing y, wrapping.
+    YMinus,
+}
+
+impl Direction {
+    /// All directions; the index of each direction in this array is its
+    /// per-node link index.
+    pub const ALL: [Direction; 4] = [
+        Direction::XPlus,
+        Direction::XMinus,
+        Direction::YPlus,
+        Direction::YMinus,
+    ];
+
+    /// Index of this direction in [`Direction::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Direction::XPlus => 0,
+            Direction::XMinus => 1,
+            Direction::YPlus => 2,
+            Direction::YMinus => 3,
+        }
+    }
+}
+
+/// The shape of a 2D torus: a `width × height` grid with wraparound links.
+///
+/// Node `i` sits at coordinates `(i % width, i / width)`. Construction
+/// chooses the most nearly square factorization of the node count, matching
+/// the paper's torus configurations (e.g. 64 nodes → 8×8, 512 → 32×16).
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_noc::{NodeId, Topology};
+///
+/// let t = Topology::new(64);
+/// assert_eq!((t.width(), t.height()), (8, 8));
+/// assert_eq!(t.hop_distance(NodeId::new(0), NodeId::new(63)), 2); // wraparound
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    width: u16,
+    height: u16,
+}
+
+impl Topology {
+    /// Creates the most nearly square torus with `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(num_nodes: u16) -> Self {
+        assert!(num_nodes > 0, "a torus needs at least one node");
+        let mut best = (1u16, num_nodes);
+        let mut w = 1u16;
+        while w as u32 * w as u32 <= num_nodes as u32 {
+            if num_nodes.is_multiple_of(w) {
+                best = (w, num_nodes / w);
+            }
+            w += 1;
+        }
+        // Prefer width >= height for row-major layouts (purely cosmetic).
+        Topology {
+            width: best.1,
+            height: best.0,
+        }
+    }
+
+    /// Grid width.
+    pub fn width(self) -> u16 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(self) -> u16 {
+        self.height
+    }
+
+    /// Total node count.
+    pub fn num_nodes(self) -> u16 {
+        self.width * self.height
+    }
+
+    /// Coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(self, node: NodeId) -> (u16, u16) {
+        assert!(node.raw() < self.num_nodes(), "{node} out of range");
+        (node.raw() % self.width, node.raw() / self.width)
+    }
+
+    /// The node at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn node_at(self, x: u16, y: u16) -> NodeId {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside grid");
+        NodeId::new(y * self.width + x)
+    }
+
+    /// The neighbor of `node` in direction `dir`.
+    pub fn neighbor(self, node: NodeId, dir: Direction) -> NodeId {
+        let (x, y) = self.coords(node);
+        let (nx, ny) = match dir {
+            Direction::XPlus => ((x + 1) % self.width, y),
+            Direction::XMinus => ((x + self.width - 1) % self.width, y),
+            Direction::YPlus => (x, (y + 1) % self.height),
+            Direction::YMinus => (x, (y + self.height - 1) % self.height),
+        };
+        self.node_at(nx, ny)
+    }
+
+    /// The output direction a packet at `from` takes toward `to` under
+    /// dimension-order (X then Y) routing with shortest-way wraparound, or
+    /// `None` if `from == to`.
+    pub fn next_hop(self, from: NodeId, to: NodeId) -> Option<Direction> {
+        if from == to {
+            return None;
+        }
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        if fx != tx {
+            let forward = (tx + self.width - fx) % self.width;
+            // Ties (exactly half way around) break toward XPlus.
+            Some(if forward * 2 <= self.width {
+                Direction::XPlus
+            } else {
+                Direction::XMinus
+            })
+        } else {
+            let forward = (ty + self.height - fy) % self.height;
+            Some(if forward * 2 <= self.height {
+                Direction::YPlus
+            } else {
+                Direction::YMinus
+            })
+        }
+    }
+
+    /// Minimal hop count between two nodes on the torus.
+    pub fn hop_distance(self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = {
+            let fwd = (bx + self.width - ax) % self.width;
+            fwd.min(self.width - fwd)
+        };
+        let dy = {
+            let fwd = (by + self.height - ay) % self.height;
+            fwd.min(self.height - fwd)
+        };
+        dx as u32 + dy as u32
+    }
+
+    /// Average hop distance between distinct node pairs; used to calibrate
+    /// per-hop latency against the paper's "total link latency of 15
+    /// cycles".
+    pub fn average_hop_distance(self) -> f64 {
+        let n = self.num_nodes();
+        if n < 2 {
+            return 0.0;
+        }
+        // Distances from node 0 are representative: the torus is
+        // vertex-transitive.
+        let total: u64 = (0..n)
+            .map(|i| self.hop_distance(NodeId::new(0), NodeId::new(i)) as u64)
+            .sum();
+        total as f64 / (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn squarest_factorization() {
+        assert_eq!(Topology::new(4).width(), 2);
+        assert_eq!(Topology::new(16).width(), 4);
+        assert_eq!(Topology::new(64).width(), 8);
+        let t = Topology::new(128);
+        assert_eq!((t.width(), t.height()), (16, 8));
+        let t = Topology::new(512);
+        assert_eq!((t.width(), t.height()), (32, 16));
+        let t = Topology::new(6);
+        assert_eq!((t.width(), t.height()), (3, 2));
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Topology::new(12);
+        for i in 0..12 {
+            let n = NodeId::new(i);
+            let (x, y) = t.coords(n);
+            assert_eq!(t.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap() {
+        let t = Topology::new(16); // 4x4
+        assert_eq!(t.neighbor(NodeId::new(3), Direction::XPlus), NodeId::new(0));
+        assert_eq!(t.neighbor(NodeId::new(0), Direction::XMinus), NodeId::new(3));
+        assert_eq!(t.neighbor(NodeId::new(0), Direction::YMinus), NodeId::new(12));
+        assert_eq!(t.neighbor(NodeId::new(12), Direction::YPlus), NodeId::new(0));
+    }
+
+    #[test]
+    fn next_hop_none_for_self() {
+        let t = Topology::new(16);
+        assert_eq!(t.next_hop(NodeId::new(5), NodeId::new(5)), None);
+    }
+
+    #[test]
+    fn wraparound_distance() {
+        let t = Topology::new(64); // 8x8
+        // corner to corner: 1 hop x (wrap) + 1 hop y (wrap)
+        assert_eq!(t.hop_distance(NodeId::new(0), NodeId::new(63)), 2);
+        // max distance on 8x8 torus is 4+4
+        let max = (0..64)
+            .map(|i| t.hop_distance(NodeId::new(0), NodeId::new(i)))
+            .max()
+            .unwrap();
+        assert_eq!(max, 8);
+    }
+
+    #[test]
+    fn average_hop_distance_known_value() {
+        // 2x2 torus: distances from 0 are [0,1,1,2] -> avg over others = 4/3
+        let t = Topology::new(4);
+        assert!((t.average_hop_distance() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Topology::new(1).average_hop_distance(), 0.0);
+    }
+
+    proptest! {
+        /// Following next_hop repeatedly always reaches the destination in
+        /// exactly hop_distance steps (routing is minimal and loop-free).
+        #[test]
+        fn routing_is_minimal(n in 1u16..150, from in 0u16..150, to in 0u16..150) {
+            let t = Topology::new(n);
+            let from = NodeId::new(from % n);
+            let to = NodeId::new(to % n);
+            let mut cur = from;
+            let mut steps = 0;
+            while let Some(dir) = t.next_hop(cur, to) {
+                cur = t.neighbor(cur, dir);
+                steps += 1;
+                prop_assert!(steps <= t.hop_distance(from, to), "route exceeded minimal length");
+            }
+            prop_assert_eq!(cur, to);
+            prop_assert_eq!(steps, t.hop_distance(from, to));
+        }
+
+        /// The factorization always multiplies back to the node count.
+        #[test]
+        fn factorization_exact(n in 1u16..1024) {
+            let t = Topology::new(n);
+            prop_assert_eq!(t.width() as u32 * t.height() as u32, n as u32);
+            prop_assert!(t.width() >= t.height());
+        }
+    }
+}

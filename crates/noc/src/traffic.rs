@@ -1,0 +1,278 @@
+//! Traffic classification and accounting.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Coherence-message categories used by the paper's traffic breakdowns
+/// (Figures 5 and 10).
+///
+/// Every message is tagged with exactly one class; the interconnect charges
+/// the message's size against that class once per link traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Data responses (carry the cache block).
+    Data,
+    /// Data-less acknowledgements, including token-carrying acks in PATCH
+    /// and invalidation acks in DIRECTORY.
+    Ack,
+    /// Predictive direct requests (PATCH) or broadcast transient requests
+    /// (TokenB) sent requester → peer caches.
+    DirectRequest,
+    /// Requests sent requester → home.
+    IndirectRequest,
+    /// Requests forwarded home → owner/sharers (includes invalidations).
+    Forward,
+    /// Reissued transient requests and persistent-request traffic (TokenB).
+    Reissue,
+    /// Activation/deactivation protocol overhead (PATCH, DIRECTORY
+    /// unblock messages).
+    Activation,
+    /// Writebacks and token-return messages (evictions, tenure timeouts).
+    Writeback,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 8] = [
+        TrafficClass::Data,
+        TrafficClass::Ack,
+        TrafficClass::DirectRequest,
+        TrafficClass::IndirectRequest,
+        TrafficClass::Forward,
+        TrafficClass::Reissue,
+        TrafficClass::Activation,
+        TrafficClass::Writeback,
+    ];
+
+    fn as_index(self) -> usize {
+        match self {
+            TrafficClass::Data => 0,
+            TrafficClass::Ack => 1,
+            TrafficClass::DirectRequest => 2,
+            TrafficClass::IndirectRequest => 3,
+            TrafficClass::Forward => 4,
+            TrafficClass::Reissue => 5,
+            TrafficClass::Activation => 6,
+            TrafficClass::Writeback => 7,
+        }
+    }
+
+    /// Short label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Data => "Data",
+            TrafficClass::Ack => "Ack",
+            TrafficClass::DirectRequest => "Dir.Req",
+            TrafficClass::IndirectRequest => "Ind.Req",
+            TrafficClass::Forward => "Forward",
+            TrafficClass::Reissue => "Reissue",
+            TrafficClass::Activation => "Activation",
+            TrafficClass::Writeback => "Writeback",
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Link bandwidth configuration.
+///
+/// The paper sweeps link bandwidth from 0.3 bytes/cycle (Figures 6–7, quoted
+/// as 300 bytes per 1000 cycles) through 16 bytes/cycle (the bandwidth-rich
+/// default), and also evaluates an idealized unbounded interconnect
+/// (Figure 9's lower bars).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkBandwidth {
+    /// Finite bandwidth in bytes per cycle; packets serialize for
+    /// `ceil(size / bandwidth)` cycles and contend for the link.
+    BytesPerCycle(f64),
+    /// Infinite bandwidth: zero serialization delay, no contention. Only
+    /// hop latency applies.
+    Unbounded,
+}
+
+impl LinkBandwidth {
+    /// Serialization delay in cycles for a packet of `bytes` bytes.
+    pub fn serialization_cycles(self, bytes: u64) -> u64 {
+        match self {
+            LinkBandwidth::BytesPerCycle(bw) => {
+                assert!(bw > 0.0, "link bandwidth must be positive");
+                (bytes as f64 / bw).ceil() as u64
+            }
+            LinkBandwidth::Unbounded => 0,
+        }
+    }
+
+    /// Whether this is the idealized unbounded configuration.
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, LinkBandwidth::Unbounded)
+    }
+}
+
+/// Per-class traffic totals, in bytes × link-traversals.
+///
+/// This is the unit of the paper's "bytes / miss" traffic figures: a 72-byte
+/// data message that crosses four links contributes 288 bytes.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_noc::{TrafficClass, TrafficStats};
+/// let mut t = TrafficStats::new();
+/// t.record(TrafficClass::Data, 72);
+/// t.record(TrafficClass::Data, 72);
+/// assert_eq!(t.bytes(TrafficClass::Data), 144);
+/// assert_eq!(t.total_bytes(), 144);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    bytes: [u64; 8],
+    traversals: [u64; 8],
+    /// Number of best-effort packets dropped for staleness.
+    dropped: u64,
+    /// Bytes of best-effort traffic dropped (counted at drop time; dropped
+    /// packets' earlier traversals remain charged).
+    dropped_bytes: u64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed traffic statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one link traversal of `bytes` bytes against `class`.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
+        self.bytes[class.as_index()] += bytes;
+        self.traversals[class.as_index()] += 1;
+    }
+
+    /// Records a best-effort packet dropped for staleness.
+    pub fn record_drop(&mut self, bytes: u64) {
+        self.dropped += 1;
+        self.dropped_bytes += bytes;
+    }
+
+    /// Total bytes charged against `class`.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.bytes[class.as_index()]
+    }
+
+    /// Total link traversals charged against `class`.
+    pub fn traversals(&self, class: TrafficClass) -> u64 {
+        self.traversals[class.as_index()]
+    }
+
+    /// Total bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Number of best-effort packets dropped for staleness.
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bytes belonging to dropped best-effort packets.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..8 {
+            self.bytes[i] += other.bytes[i];
+            self.traversals[i] += other.traversals[i];
+        }
+        self.dropped += other.dropped;
+        self.dropped_bytes += other.dropped_bytes;
+    }
+}
+
+impl Index<TrafficClass> for TrafficStats {
+    type Output = u64;
+    fn index(&self, class: TrafficClass) -> &u64 {
+        &self.bytes[class.as_index()]
+    }
+}
+
+impl IndexMut<TrafficClass> for TrafficStats {
+    fn index_mut(&mut self, class: TrafficClass) -> &mut u64 {
+        &mut self.bytes[class.as_index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_have_unique_indices() {
+        let mut seen = [false; 8];
+        for c in TrafficClass::ALL {
+            assert!(!seen[c.as_index()], "duplicate index for {c}");
+            seen[c.as_index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut t = TrafficStats::new();
+        t.record(TrafficClass::Ack, 8);
+        t.record(TrafficClass::Ack, 8);
+        t.record(TrafficClass::Data, 72);
+        assert_eq!(t.bytes(TrafficClass::Ack), 16);
+        assert_eq!(t.traversals(TrafficClass::Ack), 2);
+        assert_eq!(t.total_bytes(), 88);
+        assert_eq!(t[TrafficClass::Data], 72);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::Forward, 8);
+        a.record_drop(8);
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::Forward, 8);
+        b.record_drop(16);
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficClass::Forward), 16);
+        assert_eq!(a.dropped_packets(), 2);
+        assert_eq!(a.dropped_bytes(), 24);
+    }
+
+    #[test]
+    fn serialization_cycles() {
+        let bw = LinkBandwidth::BytesPerCycle(16.0);
+        assert_eq!(bw.serialization_cycles(8), 1);
+        assert_eq!(bw.serialization_cycles(16), 1);
+        assert_eq!(bw.serialization_cycles(17), 2);
+        assert_eq!(bw.serialization_cycles(72), 5);
+        // Fractional bandwidth, as in the Figure 6-7 sweeps.
+        let slow = LinkBandwidth::BytesPerCycle(0.3);
+        assert_eq!(slow.serialization_cycles(72), 240);
+        assert_eq!(LinkBandwidth::Unbounded.serialization_cycles(1 << 20), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        LinkBandwidth::BytesPerCycle(0.0).serialization_cycles(8);
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_unique() {
+        let labels: Vec<_> = TrafficClass::ALL.iter().map(|c| c.label()).collect();
+        for l in &labels {
+            assert!(!l.is_empty());
+        }
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

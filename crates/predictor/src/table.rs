@@ -1,0 +1,194 @@
+//! The macroblock-indexed prediction table shared by the trained policies.
+
+use patchsim_mem::BlockAddr;
+use patchsim_noc::{DestSet, NodeId};
+
+/// A direct-mapped prediction table indexed by macroblock.
+///
+/// Each entry remembers the set of processors recently involved with a
+/// macroblock (requesters and responders) and the last seen "owner"
+/// candidate. The paper's predictors use 8192 entries with 1024-byte
+/// macroblock indexing; with 64-byte blocks that is 16 blocks per
+/// macroblock.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_mem::BlockAddr;
+/// use patchsim_noc::NodeId;
+/// use patchsim_predictor::PredictorTable;
+///
+/// let mut t = PredictorTable::new(64);
+/// t.record_responder(BlockAddr::new(0), NodeId::new(3));
+/// assert_eq!(t.last_owner(BlockAddr::new(5)), Some(NodeId::new(3))); // same macroblock
+/// assert_eq!(t.last_owner(BlockAddr::new(16)), None);                // different macroblock
+/// ```
+#[derive(Debug)]
+pub struct PredictorTable {
+    num_nodes: u16,
+    entries: Vec<Entry>,
+    blocks_per_macroblock: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Which macroblock currently occupies this (direct-mapped) slot.
+    tag: Option<u64>,
+    /// Last node seen responding with data for this macroblock: the owner
+    /// candidate.
+    last_owner: Option<NodeId>,
+    /// Processors recently seen requesting or responding: the sharing
+    /// group.
+    group: DestSet,
+}
+
+impl PredictorTable {
+    /// The paper's table size.
+    pub const DEFAULT_ENTRIES: usize = 8192;
+    /// The paper's macroblock size with 64-byte blocks (1024 bytes).
+    pub const DEFAULT_BLOCKS_PER_MACROBLOCK: u64 = 16;
+
+    /// Creates a table with the paper's default geometry for an
+    /// `num_nodes`-node system.
+    pub fn new(num_nodes: u16) -> Self {
+        Self::with_geometry(
+            num_nodes,
+            Self::DEFAULT_ENTRIES,
+            Self::DEFAULT_BLOCKS_PER_MACROBLOCK,
+        )
+    }
+
+    /// Creates a table with `entries` direct-mapped entries and
+    /// `blocks_per_macroblock` blocks per macroblock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `blocks_per_macroblock` is zero.
+    pub fn with_geometry(num_nodes: u16, entries: usize, blocks_per_macroblock: u64) -> Self {
+        assert!(entries > 0, "table needs at least one entry");
+        assert!(blocks_per_macroblock > 0);
+        PredictorTable {
+            num_nodes,
+            entries: vec![
+                Entry {
+                    tag: None,
+                    last_owner: None,
+                    group: DestSet::empty(num_nodes),
+                };
+                entries
+            ],
+            blocks_per_macroblock,
+        }
+    }
+
+    fn slot(&mut self, addr: BlockAddr) -> &mut Entry {
+        let mb = addr.macroblock(self.blocks_per_macroblock);
+        let idx = (mb % self.entries.len() as u64) as usize;
+        let num_nodes = self.num_nodes;
+        let entry = &mut self.entries[idx];
+        if entry.tag != Some(mb) {
+            // Conflict (or cold) miss: the slot is recycled for this
+            // macroblock.
+            entry.tag = Some(mb);
+            entry.last_owner = None;
+            entry.group = DestSet::empty(num_nodes);
+        }
+        entry
+    }
+
+    fn peek(&self, addr: BlockAddr) -> Option<&Entry> {
+        let mb = addr.macroblock(self.blocks_per_macroblock);
+        let idx = (mb % self.entries.len() as u64) as usize;
+        let entry = &self.entries[idx];
+        (entry.tag == Some(mb)).then_some(entry)
+    }
+
+    /// Records an incoming request from `from` for `addr`'s macroblock.
+    pub fn record_requester(&mut self, addr: BlockAddr, from: NodeId) {
+        let entry = self.slot(addr);
+        entry.group.insert(from);
+    }
+
+    /// Records a data/ack response from `from` for `addr`'s macroblock;
+    /// `from` becomes the owner candidate.
+    pub fn record_responder(&mut self, addr: BlockAddr, from: NodeId) {
+        let entry = self.slot(addr);
+        entry.group.insert(from);
+        entry.last_owner = Some(from);
+    }
+
+    /// The owner candidate for `addr`'s macroblock, if the table has one.
+    pub fn last_owner(&self, addr: BlockAddr) -> Option<NodeId> {
+        self.peek(addr).and_then(|e| e.last_owner)
+    }
+
+    /// Whether `addr`'s macroblock has recently involved any processor
+    /// other than `me` — the "recently shared" test of the
+    /// broadcast-if-shared policy.
+    pub fn recently_shared(&self, addr: BlockAddr, me: NodeId) -> bool {
+        self.peek(addr).is_some_and(|e| {
+            e.group.iter().any(|n| n != me)
+        })
+    }
+
+    /// The recent sharing group for `addr`'s macroblock.
+    pub fn group(&self, addr: BlockAddr) -> DestSet {
+        self.peek(addr)
+            .map(|e| e.group.clone())
+            .unwrap_or_else(|| DestSet::empty(self.num_nodes))
+    }
+
+    /// System size this table was built for.
+    pub fn num_nodes(&self) -> u16 {
+        self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    #[test]
+    fn macroblock_aliasing_within_table() {
+        let mut t = PredictorTable::new(8);
+        t.record_responder(a(0), NodeId::new(1));
+        // Blocks 0..16 share a macroblock.
+        assert_eq!(t.last_owner(a(15)), Some(NodeId::new(1)));
+        assert_eq!(t.last_owner(a(16)), None);
+    }
+
+    #[test]
+    fn conflict_eviction_resets_entry() {
+        // Two entries: macroblocks 0 and 2 collide.
+        let mut t = PredictorTable::with_geometry(8, 2, 16);
+        t.record_responder(a(0), NodeId::new(1));
+        assert_eq!(t.last_owner(a(0)), Some(NodeId::new(1)));
+        t.record_requester(a(32), NodeId::new(2)); // macroblock 2, same slot
+        assert_eq!(t.last_owner(a(0)), None, "evicted by conflicting macroblock");
+        assert!(t.recently_shared(a(32), NodeId::new(0)));
+    }
+
+    #[test]
+    fn recently_shared_ignores_self() {
+        let mut t = PredictorTable::new(8);
+        let me = NodeId::new(4);
+        t.record_requester(a(0), me);
+        assert!(!t.recently_shared(a(0), me), "only self in group");
+        t.record_requester(a(0), NodeId::new(5));
+        assert!(t.recently_shared(a(0), me));
+    }
+
+    #[test]
+    fn group_accumulates() {
+        let mut t = PredictorTable::new(8);
+        t.record_requester(a(0), NodeId::new(1));
+        t.record_responder(a(3), NodeId::new(2));
+        let g = t.group(a(0));
+        assert!(g.contains(NodeId::new(1)) && g.contains(NodeId::new(2)));
+        assert_eq!(t.group(a(100)).len(), 0, "untouched macroblock is empty");
+    }
+}

@@ -1,0 +1,1763 @@
+//! PATCH: Predictive/Adaptive Token Counting Hybrid (paper §5.2).
+//!
+//! PATCH is DIRECTORY plus four changes:
+//!
+//! 1. **Token state** in cache lines, directory entries, and data/ack
+//!    messages; clean blocks are never silently evicted (a data-less token
+//!    writeback goes to the home instead).
+//! 2. **Token counting completion**: misses complete when enough tokens
+//!    have arrived — writers need all `T`, readers one plus valid data.
+//!    Zero-token acknowledgements are simply never sent, which is what
+//!    lets PATCH out-scale DIRECTORY under inexact sharer encodings.
+//! 3. **Direct requests**: each miss may also be multicast directly to a
+//!    predicted destination set, on a best-effort lowest-priority virtual
+//!    network. Token holders answer them exactly like forwarded requests;
+//!    everyone else ignores them. Losing one is harmless.
+//! 4. **Token tenure** (§4) for broadcast-free forward progress: tokens
+//!    arriving at a processor are *untenured* until the home's activation
+//!    names that processor the block's active requester. Untenured tokens
+//!    time out (after twice the dynamic average round-trip) and are
+//!    written back to the home, which redirects them to the active
+//!    requester. The directory's sharer set is maintained as a superset of
+//!    the caches holding tenured tokens, so activation forwards always
+//!    reach every tenured holder.
+//!
+//! Two implementation rules keep the directory's owner pointer
+//! authoritative (and are asserted in the module tests):
+//!
+//! * The home *always* delivers an activation to the requester it
+//!   activates — merged into its token/data response when it sends one,
+//!   or as a standalone 8-byte activation message otherwise (this is the
+//!   paper's "home-to-requester message for activation on owner upgrade
+//!   misses", applied uniformly).
+//! * A cache that receives tokens while it has no transaction outstanding
+//!   for the block immediately bounces them to the home. Tenured owner
+//!   tokens therefore only rest at caches the directory knows about.
+
+use std::collections::HashMap;
+
+use patchsim_kernel::Cycle;
+use patchsim_mem::{AccessKind, BlockAddr, CacheArray, OwnerStatus, SharerSet, TokenSet};
+use patchsim_noc::{DestSet, NodeId, Priority};
+use patchsim_predictor::Predictor;
+
+use crate::common::{LatencyEstimator, MigratoryDetector};
+use crate::controller::{
+    Completion, Controller, CoreResponse, MemOp, Outbox, ProtocolCounters, TimerKey, TimerKind,
+};
+use crate::{Msg, MsgBody, ProtocolConfig, RequestStyle};
+
+#[derive(Clone, Copy, Debug)]
+struct PatchLine {
+    tokens: TokenSet,
+    version: u64,
+    /// The valid-data bit (Table 1, Rule 5).
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct PatchTbe {
+    addr: BlockAddr,
+    kind: AccessKind,
+    serial: u64,
+    issued_at: Cycle,
+    /// The access has been performed (tokens sufficed at some point).
+    performed: bool,
+    /// The home has named this node the block's active requester.
+    activated: bool,
+    /// Guards against stale tenure timers.
+    timer_generation: u64,
+    /// Whether a tenure timer is currently armed.
+    timer_armed: bool,
+}
+
+#[derive(Debug)]
+struct PatchBusy {
+    requester: NodeId,
+    kind: AccessKind,
+    exclusive: bool,
+    serial: u64,
+    old_owner: Option<NodeId>,
+}
+
+#[derive(Debug)]
+struct PatchHomeEntry {
+    /// Tokens currently held by memory.
+    tokens: TokenSet,
+    /// Memory's valid-data bit (Rule 5).
+    valid: bool,
+    version: u64,
+    owner: Option<NodeId>,
+    sharers: SharerSet,
+    busy: Option<PatchBusy>,
+    queue: std::collections::VecDeque<(AccessKind, NodeId, u64)>,
+}
+
+/// The PATCH controller for one node: private cache side plus the node's
+/// slice of the distributed home.
+///
+/// See the module-level documentation for the protocol description.
+pub struct PatchController {
+    config: ProtocolConfig,
+    id: NodeId,
+    cache: CacheArray<PatchLine>,
+    /// Open transactions, one per block. A transaction can outlive its
+    /// access: a miss satisfied early by direct requests stays open until
+    /// the home's activation lets it deactivate, while the core moves on.
+    tbes: HashMap<BlockAddr, PatchTbe>,
+    /// A core op waiting for this block's open transaction to close.
+    deferred: Option<MemOp>,
+    home: HashMap<BlockAddr, PatchHomeEntry>,
+    /// Blocks whose post-deactivation direct-request ignore window is
+    /// still open (maps to the window's end).
+    deact_windows: HashMap<BlockAddr, Cycle>,
+    predictor: Box<dyn Predictor + Send>,
+    migratory: MigratoryDetector,
+    latency: LatencyEstimator,
+    counters: ProtocolCounters,
+    next_serial: u64,
+}
+
+impl std::fmt::Debug for PatchController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatchController")
+            .field("id", &self.id)
+            .field("open_tbes", &self.tbes.len())
+            .finish()
+    }
+}
+
+impl PatchController {
+    /// Creates the controller for `node`, instantiating the configured
+    /// destination-set predictor.
+    pub fn new(config: ProtocolConfig, node: NodeId) -> Self {
+        let cache = CacheArray::new(config.cache_geometry);
+        let predictor = config.predictor.build(config.num_nodes);
+        PatchController {
+            config,
+            id: node,
+            cache,
+            tbes: HashMap::new(),
+            deferred: None,
+            home: HashMap::new(),
+            deact_windows: HashMap::new(),
+            predictor,
+            migratory: MigratoryDetector::new(),
+            latency: LatencyEstimator::default(),
+            counters: ProtocolCounters::default(),
+            next_serial: 0,
+        }
+    }
+
+    fn n(&self) -> u16 {
+        self.config.num_nodes
+    }
+
+    fn total(&self) -> u32 {
+        self.config.total_tokens
+    }
+
+    fn home_entry(&mut self, addr: BlockAddr) -> &mut PatchHomeEntry {
+        debug_assert_eq!(addr.home(self.config.num_nodes), self.id);
+        let encoding = self.config.sharer_encoding;
+        let n = self.config.num_nodes;
+        let total = self.config.total_tokens;
+        self.home.entry(addr).or_insert_with(|| PatchHomeEntry {
+            tokens: TokenSet::full(total, OwnerStatus::Clean),
+            valid: true,
+            version: 0,
+            owner: None,
+            sharers: SharerSet::new(n, encoding),
+            busy: None,
+            queue: std::collections::VecDeque::new(),
+        })
+    }
+
+    fn tenure_timeout(&self) -> u64 {
+        self.config.tenure.timeout(self.latency.average())
+    }
+
+    // ------------------------------------------------------------------
+    // Cache side
+    // ------------------------------------------------------------------
+
+    fn issue_miss(&mut self, op: MemOp, now: Cycle, out: &mut Outbox) {
+        debug_assert!(!self.tbes.contains_key(&op.addr));
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.counters.misses += 1;
+        self.tbes.insert(
+            op.addr,
+            PatchTbe {
+                addr: op.addr,
+                kind: op.kind,
+                serial,
+                issued_at: now,
+                performed: false,
+                activated: false,
+                timer_generation: 0,
+                timer_armed: false,
+            },
+        );
+        let home = op.addr.home(self.n());
+        out.send_one(
+            self.n(),
+            home,
+            Msg::new(
+                op.addr,
+                MsgBody::Request {
+                    kind: op.kind,
+                    requester: self.id,
+                    serial,
+                    style: RequestStyle::Indirect,
+                },
+            ),
+        );
+        let predicted = self.predictor.predict(op.addr, op.kind, self.id);
+        if !predicted.is_empty() {
+            out.send_with(
+                predicted,
+                self.config.direct_priority,
+                0,
+                Msg::new(
+                    op.addr,
+                    MsgBody::Request {
+                        kind: op.kind,
+                        requester: self.id,
+                        serial,
+                        style: RequestStyle::Direct,
+                    },
+                ),
+            );
+        }
+        // The transaction may already be satisfiable from tokens the line
+        // retained (e.g. a write upgrade that raced); check immediately.
+        self.try_progress(op.addr, now, out);
+        // An untenured line (upgrade with tokens, not yet activated) needs
+        // its probation clock running from the start.
+        self.arm_tenure_timer_if_needed(op.addr, now, out);
+    }
+
+    /// Answers a request (direct or forwarded) from this cache's current
+    /// holdings. Returns `true` if a response was sent.
+    fn respond_with_tokens(
+        &mut self,
+        addr: BlockAddr,
+        kind: AccessKind,
+        requester: NodeId,
+        serial: u64,
+        invalidating: bool,
+        out: &mut Outbox,
+    ) -> bool {
+        let Some(line) = self.cache.get_mut(addr) else {
+            return false;
+        };
+        if line.tokens.is_empty() {
+            self.cache.remove(addr);
+            return false;
+        }
+        if invalidating || kind.is_write() {
+            // Hand over everything we hold.
+            let tokens = line.tokens.take_all();
+            let version = line.version;
+            let has_owner = tokens.has_owner();
+            debug_assert!(!has_owner || line.valid, "owner token implies valid data");
+            self.cache.remove(addr);
+            let body = if has_owner {
+                MsgBody::Data {
+                    from: self.id,
+                    serial,
+                    tokens,
+                    version,
+                    acks_expected: 0,
+                    exclusive: false,
+                    dirty: tokens.owner_status() == Some(OwnerStatus::Dirty),
+                    activation: false,
+                }
+            } else {
+                MsgBody::Ack {
+                    from: self.id,
+                    serial,
+                    tokens,
+                    activation: false,
+                }
+            };
+            out.send_one(self.n(), requester, Msg::new(addr, body));
+            true
+        } else {
+            // Read: only the owner-token holder supplies data. It sends
+            // the owner token (ownership migrates) and keeps any plain
+            // tokens, staying a sharer.
+            if !line.tokens.has_owner() {
+                return false;
+            }
+            debug_assert!(line.valid);
+            let tokens = line.tokens.split_owner(0);
+            let version = line.version;
+            if line.tokens.is_empty() {
+                self.cache.remove(addr);
+            }
+            out.send_one(
+                self.n(),
+                requester,
+                Msg::new(
+                    addr,
+                    MsgBody::Data {
+                        from: self.id,
+                        serial,
+                        tokens,
+                        version,
+                        acks_expected: 0,
+                        exclusive: false,
+                        dirty: tokens.owner_status() == Some(OwnerStatus::Dirty),
+                        activation: false,
+                    },
+                ),
+            );
+            true
+        }
+    }
+
+    /// Returns all of this cache's tokens for `addr` to the home (tenure
+    /// timeout, eviction, or bounced stray arrivals).
+    fn put_tokens(&mut self, addr: BlockAddr, tokens: TokenSet, version: u64, out: &mut Outbox) {
+        if tokens.is_empty() {
+            return;
+        }
+        self.counters.writebacks += 1;
+        let home = addr.home(self.n());
+        let with_data = tokens.owner_status() == Some(OwnerStatus::Dirty);
+        out.send_one(
+            self.n(),
+            home,
+            Msg::new(
+                addr,
+                MsgBody::Put {
+                    node: self.id,
+                    tokens,
+                    version: with_data.then_some(version),
+                    dirty: with_data,
+                },
+            ),
+        );
+    }
+
+    /// Folds arriving tokens (and data) into the line backing the current
+    /// demand miss, allocating (and possibly evicting) as needed.
+    fn absorb_tokens(
+        &mut self,
+        addr: BlockAddr,
+        tokens: TokenSet,
+        data_version: Option<u64>,
+        out: &mut Outbox,
+    ) {
+        if let Some(line) = self.cache.get_mut(addr) {
+            line.tokens.merge(tokens);
+            if let Some(v) = data_version {
+                line.valid = true;
+                line.version = v;
+            }
+            return;
+        }
+        let line = PatchLine {
+            tokens,
+            version: data_version.unwrap_or(0),
+            valid: data_version.is_some(),
+        };
+        if let Some(victim) = self.cache.insert(addr, line) {
+            self.put_tokens(victim.addr, victim.payload.tokens, victim.payload.version, out);
+        }
+    }
+
+    fn arm_tenure_timer_if_needed(&mut self, addr: BlockAddr, now: Cycle, out: &mut Outbox) {
+        let timeout = self.tenure_timeout();
+        let has_tokens = self
+            .cache
+            .peek(addr)
+            .is_some_and(|l| !l.tokens.is_empty());
+        let Some(tbe) = self.tbes.get_mut(&addr) else { return };
+        if tbe.activated || tbe.timer_armed || !has_tokens {
+            return;
+        }
+        tbe.timer_generation += 1;
+        tbe.timer_armed = true;
+        out.arm_timer(
+            now + timeout,
+            TimerKey {
+                addr: tbe.addr,
+                kind: TimerKind::Tenure,
+                generation: tbe.timer_generation,
+            },
+        );
+    }
+
+    /// Advances the outstanding miss: performs the access once tokens
+    /// suffice, and deactivates once both performed and activated.
+    fn try_progress(&mut self, addr: BlockAddr, now: Cycle, out: &mut Outbox) {
+        let total = self.total();
+        let Some(tbe) = self.tbes.get_mut(&addr) else { return };
+        let satisfied = match self.cache.peek(addr) {
+            Some(line) => match tbe.kind {
+                AccessKind::Read => line.valid && line.tokens.can_read(),
+                AccessKind::Write => line.valid && line.tokens.can_write(total),
+            },
+            None => false,
+        };
+        if satisfied && !tbe.performed {
+            tbe.performed = true;
+            if !tbe.activated {
+                self.counters.satisfied_before_activation += 1;
+            }
+            let kind = tbe.kind;
+            let issued_at = tbe.issued_at;
+            let line = self.cache.get_mut(addr).expect("satisfied implies line");
+            let version = match kind {
+                AccessKind::Read => line.version,
+                AccessKind::Write => {
+                    line.version += 1;
+                    line.tokens.set_owner_dirty();
+                    line.version
+                }
+            };
+            self.latency.record(now - issued_at);
+            out.complete(Completion {
+                addr,
+                kind,
+                version,
+                issued_at,
+            });
+        }
+        let tbe = self.tbes.get_mut(&addr).expect("still present");
+        if tbe.activated && satisfied {
+            // Deactivate: report the resulting state to the home.
+            let serial = tbe.serial;
+            let line = self.cache.peek(addr).expect("satisfied implies line");
+            let new_owner = line.tokens.has_owner();
+            self.tbes.remove(&addr);
+            let home = addr.home(self.n());
+            out.send_one(
+                self.n(),
+                home,
+                Msg::new(
+                    addr,
+                    MsgBody::Deactivate {
+                        requester: self.id,
+                        serial,
+                        new_owner,
+                        keeps_copy: true,
+                    },
+                ),
+            );
+            if self.config.deact_window {
+                let until = now + self.tenure_timeout();
+                self.deact_windows.insert(addr, until);
+                out.arm_timer(
+                    until,
+                    TimerKey {
+                        addr,
+                        kind: TimerKind::DeactWindow,
+                        generation: 0,
+                    },
+                );
+            }
+            // A deferred core op for this block can now proceed (it may
+            // even hit on the tokens the transaction just collected).
+            if self.deferred.is_some_and(|op| op.addr == addr) {
+                let op = self.deferred.take().expect("checked");
+                if let CoreResponse::Hit { version } = self.core_request(op, now, out) {
+                    out.complete(Completion {
+                        addr: op.addr,
+                        kind: op.kind,
+                        version,
+                        issued_at: now,
+                    });
+                }
+            }
+        } else {
+            self.arm_tenure_timer_if_needed(addr, now, out);
+        }
+    }
+
+    fn handle_direct_request(
+        &mut self,
+        addr: BlockAddr,
+        kind: AccessKind,
+        requester: NodeId,
+        serial: u64,
+        now: Cycle,
+        out: &mut Outbox,
+    ) {
+        self.predictor.observe_request(addr, requester);
+        // Rule 6c + §5.2: ignore when a miss is outstanding for the block
+        // (which is also where untenured tokens live), or within the
+        // post-deactivation window.
+        if self.tbes.contains_key(&addr) {
+            self.counters.direct_ignored += 1;
+            return;
+        }
+        if let Some(&until) = self.deact_windows.get(&addr) {
+            if now < until {
+                self.counters.direct_ignored += 1;
+                return;
+            }
+        }
+        if self.respond_with_tokens(addr, kind, requester, serial, false, out) {
+            self.counters.direct_responses += 1;
+        } else {
+            self.counters.direct_ignored += 1;
+        }
+    }
+
+    fn handle_fwd(
+        &mut self,
+        addr: BlockAddr,
+        kind: AccessKind,
+        requester: NodeId,
+        serial: u64,
+        exclusive: bool,
+        out: &mut Outbox,
+    ) {
+        self.predictor.observe_request(addr, requester);
+        // Rule 6a: the *active* requester hoards; everyone else (including
+        // non-active requesters with untenured tokens, Rule 6b) responds
+        // to forwards.
+        if self.tbes.get(&addr).is_some_and(|t| t.activated) {
+            return;
+        }
+        let responded =
+            self.respond_with_tokens(addr, kind, requester, serial, exclusive, out);
+        if !responded && !self.config.ack_elision && (kind.is_write() || exclusive) {
+            // Ablation: mimic DIRECTORY's unconditional invalidation acks.
+            out.send_one(
+                self.n(),
+                requester,
+                Msg::new(
+                    addr,
+                    MsgBody::Ack {
+                        from: self.id,
+                        serial,
+                        tokens: TokenSet::empty(),
+                        activation: false,
+                    },
+                ),
+            );
+        }
+    }
+
+    /// Tokens arrived addressed to this cache.
+    fn handle_token_arrival(
+        &mut self,
+        addr: BlockAddr,
+        tokens: TokenSet,
+        data_version: Option<u64>,
+        activation: bool,
+        serial: u64,
+        from: Option<NodeId>,
+        now: Cycle,
+        out: &mut Outbox,
+    ) {
+        if let Some(from) = from {
+            self.predictor.observe_response(addr, from);
+        }
+        let has_tbe = self.tbes.contains_key(&addr);
+        if !has_tbe {
+            // No transaction outstanding: bounce stray tokens to the home
+            // immediately (an instant probation expiry). This keeps
+            // tenured owner tokens only where the directory can find
+            // them.
+            self.put_tokens(addr, tokens, data_version.unwrap_or(0), out);
+            return;
+        }
+        if !tokens.is_empty() || data_version.is_some() {
+            self.absorb_tokens(addr, tokens, data_version, out);
+        }
+        if activation {
+            // The activation bit is transaction-specific: a late response
+            // from a *previous* transaction on this block must not
+            // activate the current one (its tokens are still welcome).
+            let tbe = self.tbes.get_mut(&addr).expect("checked above");
+            if tbe.serial == serial {
+                tbe.activated = true;
+                tbe.timer_armed = false; // pending timers are now stale
+            }
+        }
+        self.try_progress(addr, now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Home side
+    // ------------------------------------------------------------------
+
+    fn activate_request(
+        &mut self,
+        addr: BlockAddr,
+        kind: AccessKind,
+        requester: NodeId,
+        serial: u64,
+        out: &mut Outbox,
+    ) {
+        let n = self.n();
+        let dir_latency = self.config.dir_latency;
+        let dram_latency = self.config.dram_latency;
+        let exclusive = if self.config.migratory_opt {
+            self.migratory.observe(addr, requester, kind)
+        } else {
+            false
+        };
+        let entry = self.home_entry(addr);
+        debug_assert!(entry.busy.is_none());
+        entry.busy = Some(PatchBusy {
+            requester,
+            kind,
+            exclusive,
+            serial,
+            old_owner: entry.owner,
+        });
+        let invalidating = kind.is_write() || exclusive;
+
+        // The home contributes everything it holds, with the activation
+        // bit riding along; if it holds nothing, a standalone activation
+        // is sent.
+        let home_tokens = entry.tokens.take_all();
+        let (valid, version) = (entry.valid, entry.version);
+        let owner = entry.busy.as_ref().expect("just set").old_owner;
+        let fwd_targets = {
+            let mut t = if invalidating {
+                entry.sharers.members()
+            } else {
+                DestSet::empty(n)
+            };
+            if let Some(o) = owner {
+                t.insert(o);
+            }
+            t.remove(requester);
+            t
+        };
+
+        if home_tokens.is_empty() {
+            out.send_one_after(
+                n,
+                requester,
+                dir_latency,
+                Msg::new(
+                    addr,
+                    MsgBody::Activation {
+                        serial,
+                        acks_expected: 0,
+                        exclusive,
+                    },
+                ),
+            );
+        } else if home_tokens.has_owner() {
+            debug_assert!(valid, "home owner token implies valid memory data (Rule 5)");
+            out.send_one_after(
+                n,
+                requester,
+                dir_latency + dram_latency,
+                Msg::new(
+                    addr,
+                    MsgBody::Data {
+                        from: self.id,
+                        serial,
+                        tokens: home_tokens,
+                        version,
+                        acks_expected: 0,
+                        exclusive,
+                        dirty: false,
+                        activation: true,
+                    },
+                ),
+            );
+        } else {
+            out.send_one_after(
+                n,
+                requester,
+                dir_latency,
+                Msg::new(
+                    addr,
+                    MsgBody::Ack {
+                        from: self.id,
+                        serial,
+                        tokens: home_tokens,
+                        activation: true,
+                    },
+                ),
+            );
+        }
+
+        if !fwd_targets.is_empty() {
+            out.send_with(
+                fwd_targets,
+                Priority::Normal,
+                dir_latency,
+                Msg::new(
+                    addr,
+                    MsgBody::Fwd {
+                        kind,
+                        requester,
+                        serial,
+                        acks_expected: 0,
+                        exclusive,
+                    },
+                ),
+            );
+        }
+    }
+
+    /// Tokens returned to the home: redirect to the active requester if
+    /// the block is busy (Rule 5 of token tenure), absorb into memory
+    /// otherwise.
+    fn home_receive_put(
+        &mut self,
+        addr: BlockAddr,
+        node: NodeId,
+        mut tokens: TokenSet,
+        version: Option<u64>,
+        out: &mut Outbox,
+    ) {
+        let n = self.n();
+        let dir_latency = self.config.dir_latency;
+        let entry = self.home_entry(addr);
+        entry.sharers.remove_if_exact(node);
+        if let Some(busy) = &entry.busy {
+            // Redirect everything to the active requester — including a
+            // requester's own discarded tokens coming back after a tenure
+            // timeout that raced its activation. If the tokens include a
+            // clean owner (a data-less return), memory's copy is valid
+            // (Rule 5), so data is attached from memory.
+            let requester = busy.requester;
+            let serial = busy.serial;
+            let send_version = match version {
+                Some(v) => Some(v),
+                None if tokens.has_owner() => {
+                    debug_assert!(entry.valid, "clean owner implies valid memory data");
+                    Some(entry.version)
+                }
+                None => None,
+            };
+            let body = if let Some(v) = send_version {
+                MsgBody::Data {
+                    from: self.id,
+                    serial,
+                    tokens,
+                    version: v,
+                    acks_expected: 0,
+                    exclusive: false,
+                    dirty: tokens.owner_status() == Some(OwnerStatus::Dirty),
+                    activation: true,
+                }
+            } else {
+                MsgBody::Ack {
+                    from: self.id,
+                    serial,
+                    tokens,
+                    activation: true,
+                }
+            };
+            out.send_one_after(n, requester, dir_latency, Msg::new(addr, body));
+        } else {
+            // Absorb into memory: Rule 1 cleans the owner token, Rule 5
+            // sets the valid-data bit. If the returning node was the
+            // directory's owner pointer, ownership reverts to memory.
+            if let Some(v) = version {
+                entry.version = v;
+            }
+            if tokens.has_owner() {
+                tokens.set_owner_clean();
+                entry.valid = true;
+                if entry.owner == Some(node) {
+                    entry.owner = None;
+                }
+            }
+            entry.tokens.merge(tokens);
+        }
+    }
+
+    fn process_deactivate(
+        &mut self,
+        addr: BlockAddr,
+        requester: NodeId,
+        serial: u64,
+        new_owner: bool,
+        out: &mut Outbox,
+    ) {
+        let entry = self.home_entry(addr);
+        let busy = entry.busy.take().expect("deactivate at idle home");
+        assert_eq!(busy.requester, requester);
+        assert_eq!(busy.serial, serial);
+        if busy.kind.is_write() || busy.exclusive {
+            entry.sharers.clear();
+            entry.owner = Some(requester);
+        } else {
+            if new_owner {
+                entry.owner = Some(requester);
+            } else {
+                entry.sharers.insert(requester);
+            }
+            if let Some(old) = busy.old_owner {
+                if old != requester && entry.owner != Some(old) {
+                    entry.sharers.insert(old);
+                }
+            }
+        }
+        // Requesters always keep at least one token on completion; track
+        // them as sharers unless they became the owner.
+        if entry.owner != Some(requester) {
+            entry.sharers.insert(requester);
+        }
+        self.drain_queue(addr, out);
+    }
+
+    fn drain_queue(&mut self, addr: BlockAddr, out: &mut Outbox) {
+        let entry = self.home_entry(addr);
+        if entry.busy.is_some() {
+            return;
+        }
+        if let Some((kind, requester, serial)) = entry.queue.pop_front() {
+            self.activate_request(addr, kind, requester, serial, out);
+        }
+    }
+}
+
+impl Controller for PatchController {
+    fn core_request(&mut self, op: MemOp, now: Cycle, out: &mut Outbox) -> CoreResponse {
+        let total = self.total();
+        if let Some(line) = self.cache.get_mut(op.addr) {
+            match op.kind {
+                AccessKind::Read if line.valid && line.tokens.can_read() => {
+                    self.counters.hits += 1;
+                    return CoreResponse::Hit {
+                        version: line.version,
+                    };
+                }
+                AccessKind::Write if line.valid && line.tokens.can_write(total) => {
+                    line.version += 1;
+                    line.tokens.set_owner_dirty();
+                    self.counters.hits += 1;
+                    return CoreResponse::Hit {
+                        version: line.version,
+                    };
+                }
+                _ => {}
+            }
+        }
+        if self.tbes.contains_key(&op.addr) {
+            // An earlier transaction for this block is still open (e.g.
+            // its tokens were discarded by a tenure timeout while it
+            // awaited activation): wait for it to close.
+            debug_assert!(self.deferred.is_none());
+            self.deferred = Some(op);
+            return CoreResponse::MissPending;
+        }
+        self.issue_miss(op, now, out);
+        CoreResponse::MissPending
+    }
+
+    fn handle_message(&mut self, msg: Msg, now: Cycle, out: &mut Outbox) {
+        let addr = msg.addr;
+        match msg.body {
+            // ------------- home side -------------
+            MsgBody::Request {
+                kind,
+                requester,
+                serial,
+                style: RequestStyle::Indirect,
+            } => {
+                let entry = self.home_entry(addr);
+                if entry.busy.is_some() {
+                    entry.queue.push_back((kind, requester, serial));
+                } else {
+                    self.activate_request(addr, kind, requester, serial, out);
+                }
+            }
+            MsgBody::Put {
+                node,
+                tokens,
+                version,
+                ..
+            } => {
+                self.home_receive_put(addr, node, tokens, version, out);
+            }
+            MsgBody::Deactivate {
+                requester,
+                serial,
+                new_owner,
+                ..
+            } => {
+                self.process_deactivate(addr, requester, serial, new_owner, out);
+            }
+
+            // ------------- cache side -------------
+            MsgBody::Request {
+                kind,
+                requester,
+                serial,
+                style: RequestStyle::Direct,
+            } => {
+                self.handle_direct_request(addr, kind, requester, serial, now, out);
+            }
+            MsgBody::Request { style, .. } => {
+                unreachable!("PATCH does not use {style:?} requests")
+            }
+            MsgBody::Fwd {
+                kind,
+                requester,
+                serial,
+                exclusive,
+                ..
+            } => {
+                self.handle_fwd(addr, kind, requester, serial, exclusive, out);
+            }
+            MsgBody::Data {
+                from,
+                tokens,
+                version,
+                activation,
+                serial,
+                ..
+            } => {
+                self.handle_token_arrival(
+                    addr,
+                    tokens,
+                    Some(version),
+                    activation,
+                    serial,
+                    Some(from),
+                    now,
+                    out,
+                );
+            }
+            MsgBody::Ack {
+                from,
+                tokens,
+                activation,
+                serial,
+            } => {
+                self.handle_token_arrival(addr, tokens, None, activation, serial, Some(from), now, out);
+            }
+            MsgBody::Activation { serial, .. } => {
+                // The activation may also have ridden a token response or
+                // redirect that arrived first and already closed the
+                // transaction; a late standalone activation (or one for a
+                // previous transaction on this block) is simply stale.
+                if let Some(tbe) = self.tbes.get_mut(&addr) {
+                    if tbe.serial == serial {
+                        tbe.activated = true;
+                        tbe.timer_armed = false;
+                        self.try_progress(addr, now, out);
+                    }
+                }
+            }
+            MsgBody::WbAck { .. } => unreachable!("PATCH writebacks are unacknowledged"),
+            MsgBody::PersistentActivate { .. } | MsgBody::PersistentDeactivate { .. } => {
+                unreachable!("persistent requests are TokenB-only")
+            }
+        }
+    }
+
+    fn timer_fired(&mut self, key: TimerKey, now: Cycle, out: &mut Outbox) {
+        match key.kind {
+            TimerKind::Tenure => {
+                let Some(tbe) = self.tbes.get_mut(&key.addr) else { return };
+                if tbe.timer_generation != key.generation || !tbe.timer_armed || tbe.activated {
+                    return;
+                }
+                tbe.timer_armed = false;
+                // Probation expired: discard all untenured tokens to the
+                // home (Rule 4 of token tenure).
+                if let Some(line) = self.cache.get_mut(key.addr) {
+                    let tokens = line.tokens.take_all();
+                    let version = line.version;
+                    self.cache.remove(key.addr);
+                    if !tokens.is_empty() {
+                        self.counters.tenure_timeouts += 1;
+                        self.put_tokens(key.addr, tokens, version, out);
+                    }
+                }
+                let _ = now;
+            }
+            TimerKind::DeactWindow => {
+                if self
+                    .deact_windows
+                    .get(&key.addr)
+                    .is_some_and(|&until| now >= until)
+                {
+                    self.deact_windows.remove(&key.addr);
+                }
+            }
+            TimerKind::Reissue => unreachable!("reissue timers are TokenB-only"),
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.tbes.is_empty()
+            && self.deferred.is_none()
+            && self
+                .home
+                .values()
+                .all(|e| e.busy.is_none() && e.queue.is_empty())
+    }
+
+    fn held_tokens(&self, addr: BlockAddr) -> Option<TokenSet> {
+        let mut total = TokenSet::empty();
+        if let Some(line) = self.cache.peek(addr) {
+            total.merge(line.tokens);
+        }
+        if addr.home(self.config.num_nodes) == self.id {
+            match self.home.get(&addr) {
+                Some(entry) => total.merge(entry.tokens),
+                None => total.merge(TokenSet::full(
+                    self.config.total_tokens,
+                    OwnerStatus::Clean,
+                )),
+            }
+        }
+        Some(total)
+    }
+
+    fn counters(&self) -> ProtocolCounters {
+        self.counters
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "PATCH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolKind;
+    use patchsim_predictor::PredictorChoice;
+
+    fn config(n: u16) -> ProtocolConfig {
+        ProtocolConfig::new(ProtocolKind::Patch, n)
+    }
+
+    fn ctrl(n: u16, node: u16) -> PatchController {
+        PatchController::new(config(n), NodeId::new(node))
+    }
+
+    fn a(x: u64) -> BlockAddr {
+        BlockAddr::new(x)
+    }
+
+    fn stable_line(c: &mut PatchController, addr: BlockAddr, tokens: TokenSet, version: u64) {
+        c.cache.insert(
+            addr,
+            PatchLine {
+                tokens,
+                version,
+                valid: true,
+            },
+        );
+    }
+
+    #[test]
+    fn miss_sends_indirect_plus_predicted_direct_requests() {
+        let mut c = PatchController::new(
+            config(4).with_predictor(PredictorChoice::All),
+            NodeId::new(1),
+        );
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        // One indirect to home, one best-effort multicast to the other 3.
+        assert_eq!(out.sends.len(), 2);
+        let indirect = &out.sends[0];
+        assert!(matches!(
+            indirect.msg.body,
+            MsgBody::Request {
+                style: RequestStyle::Indirect,
+                ..
+            }
+        ));
+        let direct = &out.sends[1];
+        assert_eq!(direct.priority, Priority::BestEffort);
+        assert_eq!(direct.dests.len(), 3);
+        assert!(!direct.dests.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn home_cold_block_sends_all_tokens_with_activation() {
+        let mut home = ctrl(4, 0);
+        let mut out = Outbox::new();
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Read,
+                    requester: NodeId::new(2),
+                    serial: 0,
+                    style: RequestStyle::Indirect,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1);
+        match &out.sends[0].msg.body {
+            MsgBody::Data {
+                tokens, activation, ..
+            } => {
+                assert_eq!(tokens.count(), 4, "home sends all tokens");
+                assert!(tokens.has_owner());
+                assert!(*activation);
+            }
+            other => panic!("expected Data, got {other:?}"),
+        }
+        assert_eq!(out.sends[0].delay, 16 + 80, "directory + DRAM");
+    }
+
+    #[test]
+    fn requester_completes_by_token_count_and_deactivates() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Data {
+                    from: NodeId::new(2),
+                    serial: 0,
+                    tokens: TokenSet::full(4, OwnerStatus::Clean),
+                    version: 0,
+                    acks_expected: 0,
+                    exclusive: false,
+                    dirty: false,
+                    activation: true,
+                },
+            ),
+            Cycle::new(100),
+            &mut out,
+        );
+        assert_eq!(out.completions.len(), 1);
+        assert_eq!(out.completions[0].version, 1, "write bumps the version");
+        assert!(
+            out.sends
+                .iter()
+                .any(|s| matches!(s.msg.body, MsgBody::Deactivate { new_owner: true, .. })),
+            "deactivates once active and satisfied"
+        );
+        assert!(c.is_quiescent());
+        // The line is M: all tokens, dirty owner.
+        let held = c.held_tokens(a(2)).unwrap();
+        assert_eq!(held.count(), 4);
+        assert!(held.requires_data());
+    }
+
+    #[test]
+    fn partial_tokens_do_not_complete_a_write() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Data {
+                    from: NodeId::new(2),
+                    serial: 0,
+                    tokens: TokenSet::full(3, OwnerStatus::Clean), // 3 of 4
+                    version: 0,
+                    acks_expected: 0,
+                    exclusive: false,
+                    dirty: false,
+                    activation: true,
+                },
+            ),
+            Cycle::new(100),
+            &mut out,
+        );
+        assert!(out.completions.is_empty());
+        // The final token arrives in a zero-data ack.
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Ack {
+                    from: NodeId::new(3),
+                    serial: 0,
+                    tokens: TokenSet::plain(1),
+                    activation: false,
+                },
+            ),
+            Cycle::new(150),
+            &mut out,
+        );
+        assert_eq!(out.completions.len(), 1);
+    }
+
+    #[test]
+    fn reader_can_use_untenured_tokens_before_activation() {
+        // Satisfying a miss off the critical path of activation is the
+        // whole point of direct requests.
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Read,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Data {
+                    from: NodeId::new(3),
+                    serial: 0,
+                    tokens: TokenSet::full(1, OwnerStatus::Dirty),
+                    version: 9,
+                    acks_expected: 0,
+                    exclusive: false,
+                    dirty: true,
+                    activation: false, // direct response: no activation
+                },
+            ),
+            Cycle::new(40),
+            &mut out,
+        );
+        // Performed (completion reported) but not deactivated.
+        assert_eq!(out.completions.len(), 1);
+        assert_eq!(out.completions[0].version, 9);
+        assert!(!c.is_quiescent(), "TBE stays open until activation");
+        assert_eq!(c.counters().satisfied_before_activation, 1);
+        // A tenure timer was armed.
+        assert!(out.timers.iter().any(|(_, k)| k.kind == TimerKind::Tenure));
+        // Activation arrives later: deactivate.
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Activation {
+                    serial: 0,
+                    acks_expected: 0,
+                    exclusive: false,
+                },
+            ),
+            Cycle::new(80),
+            &mut out,
+        );
+        assert!(out
+            .sends
+            .iter()
+            .any(|s| matches!(s.msg.body, MsgBody::Deactivate { .. })));
+        assert!(c.is_quiescent());
+    }
+
+    #[test]
+    fn tenure_timeout_discards_untenured_tokens_to_home() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Ack {
+                    from: NodeId::new(3),
+                    serial: 0,
+                    tokens: TokenSet::plain(2),
+                    activation: false,
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        let (at, key) = out.timers[0];
+        assert_eq!(key.kind, TimerKind::Tenure);
+        // Fire the timer without an activation: tokens go home.
+        let mut out = Outbox::new();
+        c.timer_fired(key, at, &mut out);
+        assert_eq!(c.counters().tenure_timeouts, 1);
+        let put = out
+            .sends
+            .iter()
+            .find(|s| matches!(s.msg.body, MsgBody::Put { .. }))
+            .expect("token return");
+        assert_eq!(put.msg.tokens().count(), 2);
+        assert_eq!(put.dests.as_single(), Some(NodeId::new(2)), "to the home");
+        // The TBE is still open, waiting for redirected tokens.
+        assert!(!c.is_quiescent());
+    }
+
+    #[test]
+    fn stale_tenure_timer_is_ignored_after_activation() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Ack {
+                    from: NodeId::new(3),
+                    serial: 0,
+                    tokens: TokenSet::plain(2),
+                    activation: true, // home ack: activation rides along
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        let timer = out.timers.first().copied();
+        // Any timer armed before activation must now be disregarded.
+        if let Some((at, key)) = timer {
+            let mut out = Outbox::new();
+            c.timer_fired(key, at, &mut out);
+            assert!(out.sends.is_empty(), "activated: no discard");
+            assert_eq!(c.counters().tenure_timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn home_redirects_returned_tokens_to_active_requester() {
+        let mut home = ctrl(4, 0);
+        let mut out = Outbox::new();
+        // Drain home tokens to P1 via a write.
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(1),
+                    serial: 0,
+                    style: RequestStyle::Indirect,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        // While busy, P3 returns 2 stray tokens.
+        let mut out = Outbox::new();
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Put {
+                    node: NodeId::new(3),
+                    tokens: TokenSet::plain(2),
+                    version: None,
+                    dirty: false,
+                },
+            ),
+            Cycle::new(50),
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1);
+        let redirect = &out.sends[0];
+        assert_eq!(redirect.dests.as_single(), Some(NodeId::new(1)));
+        assert_eq!(redirect.msg.tokens().count(), 2);
+    }
+
+    #[test]
+    fn home_absorbs_returns_when_idle_and_cleans_owner() {
+        let mut home = ctrl(4, 0);
+        // Prime: drain tokens via a write transaction, complete it.
+        let mut out = Outbox::new();
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(1),
+                    serial: 0,
+                    style: RequestStyle::Indirect,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Deactivate {
+                    requester: NodeId::new(1),
+                    serial: 0,
+                    new_owner: true,
+                    keeps_copy: true,
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        // P1 evicts: all 4 tokens with dirty owner and data come home.
+        let mut out = Outbox::new();
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Put {
+                    node: NodeId::new(1),
+                    tokens: TokenSet::full(4, OwnerStatus::Dirty),
+                    version: Some(5),
+                    dirty: true,
+                },
+            ),
+            Cycle::new(20),
+            &mut out,
+        );
+        assert!(out.sends.is_empty(), "absorbed, not redirected");
+        let held = home.held_tokens(a(0)).unwrap();
+        assert_eq!(held.count(), 4);
+        assert_eq!(
+            held.owner_status(),
+            Some(OwnerStatus::Clean),
+            "memory cleans the owner token (Rule 1)"
+        );
+    }
+
+    #[test]
+    fn direct_request_ignored_with_outstanding_miss() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Read,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(3),
+                    serial: 7,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::new(5),
+            &mut out,
+        );
+        assert!(out.sends.is_empty());
+        assert_eq!(c.counters().direct_ignored, 1);
+    }
+
+    #[test]
+    fn direct_request_served_from_tenured_line() {
+        let mut c = ctrl(4, 1);
+        stable_line(&mut c, a(0), TokenSet::full(4, OwnerStatus::Dirty), 3);
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(3),
+                    serial: 7,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::new(5),
+            &mut out,
+        );
+        assert_eq!(c.counters().direct_responses, 1);
+        match &out.sends[0].msg.body {
+            MsgBody::Data {
+                tokens,
+                version,
+                dirty,
+                ..
+            } => {
+                assert_eq!(tokens.count(), 4);
+                assert_eq!(*version, 3);
+                assert!(*dirty);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!c.cache.contains(a(0)));
+    }
+
+    #[test]
+    fn direct_read_to_non_owner_is_ignored() {
+        let mut c = ctrl(4, 1);
+        stable_line(&mut c, a(0), TokenSet::plain(2), 3);
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Read,
+                    requester: NodeId::new(3),
+                    serial: 7,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::new(5),
+            &mut out,
+        );
+        assert!(out.sends.is_empty(), "only the owner answers reads");
+        assert_eq!(c.counters().direct_ignored, 1);
+    }
+
+    #[test]
+    fn owner_answers_read_and_keeps_plain_tokens() {
+        let mut c = ctrl(4, 1);
+        stable_line(&mut c, a(0), TokenSet::full(3, OwnerStatus::Clean), 8);
+        let mut out = Outbox::new();
+        c.handle_fwd(a(0), AccessKind::Read, NodeId::new(2), 1, false, &mut out);
+        match &out.sends[0].msg.body {
+            MsgBody::Data { tokens, .. } => {
+                assert_eq!(tokens.count(), 1);
+                assert!(tokens.has_owner());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Keeps two plain tokens: still a sharer.
+        assert_eq!(c.cache.peek(a(0)).unwrap().tokens.count(), 2);
+    }
+
+    #[test]
+    fn deact_window_blocks_direct_requests_but_not_forwards() {
+        let mut c = ctrl(4, 1);
+        // Open a window by completing a transaction.
+        c.deact_windows.insert(a(0), Cycle::new(1000));
+        stable_line(&mut c, a(0), TokenSet::plain(2), 0);
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(3),
+                    serial: 1,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::new(100),
+            &mut out,
+        );
+        assert!(out.sends.is_empty(), "window blocks direct requests");
+        // But a forwarded request is always served.
+        let mut out = Outbox::new();
+        c.handle_fwd(a(0), AccessKind::Write, NodeId::new(3), 1, false, &mut out);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].msg.tokens().count(), 2);
+    }
+
+    #[test]
+    fn stray_tokens_bounce_to_home() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        // Tokens arrive with no outstanding miss and no line.
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Ack {
+                    from: NodeId::new(3),
+                    serial: 99,
+                    tokens: TokenSet::plain(2),
+                    activation: false,
+                },
+            ),
+            Cycle::new(5),
+            &mut out,
+        );
+        let put = &out.sends[0];
+        assert!(matches!(put.msg.body, MsgBody::Put { .. }));
+        assert_eq!(put.dests.as_single(), Some(NodeId::new(2)));
+        assert_eq!(put.msg.tokens().count(), 2);
+    }
+
+    #[test]
+    fn active_requester_hoards_through_forwards() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        // Receive partial tokens with activation.
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Ack {
+                    from: NodeId::new(2),
+                    serial: 0,
+                    tokens: TokenSet::plain(2),
+                    activation: true,
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        // A lingering forward arrives: the active requester ignores it.
+        let mut out = Outbox::new();
+        c.handle_fwd(a(2), AccessKind::Write, NodeId::new(3), 4, false, &mut out);
+        assert!(out.sends.is_empty(), "rule 6a: hoard while active");
+        // A *non-active* requester would have responded (rule 6b): check
+        // via a second controller.
+        let mut c2 = ctrl(4, 3);
+        let mut out = Outbox::new();
+        c2.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c2.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Ack {
+                    from: NodeId::new(2),
+                    serial: 0,
+                    tokens: TokenSet::plain(2),
+                    activation: false,
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c2.handle_fwd(a(2), AccessKind::Write, NodeId::new(1), 4, false, &mut out);
+        assert_eq!(out.sends.len(), 1, "rule 6b: non-active responds");
+        assert_eq!(out.sends[0].msg.tokens().count(), 2);
+    }
+
+    #[test]
+    fn upgrade_activation_is_standalone_when_home_has_nothing() {
+        let mut home = ctrl(4, 0);
+        let mut out = Outbox::new();
+        // First: P1 takes everything via a write.
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(1),
+                    serial: 0,
+                    style: RequestStyle::Indirect,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Deactivate {
+                    requester: NodeId::new(1),
+                    serial: 0,
+                    new_owner: true,
+                    keeps_copy: true,
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        // P2 reads: tokens flow P1 -> P2 (suppose P2 ends up a sharer).
+        let mut out = Outbox::new();
+        home.handle_message(
+            Msg::new(
+                a(0),
+                MsgBody::Request {
+                    kind: AccessKind::Read,
+                    requester: NodeId::new(2),
+                    serial: 0,
+                    style: RequestStyle::Indirect,
+                },
+            ),
+            Cycle::new(20),
+            &mut out,
+        );
+        // Home has no tokens: standalone activation + forward to owner.
+        assert!(out
+            .sends
+            .iter()
+            .any(|s| matches!(s.msg.body, MsgBody::Activation { .. })
+                && s.dests.as_single() == Some(NodeId::new(2))));
+        assert!(out
+            .sends
+            .iter()
+            .any(|s| matches!(s.msg.body, MsgBody::Fwd { .. })
+                && s.dests.as_single() == Some(NodeId::new(1))));
+    }
+
+    #[test]
+    fn held_tokens_reports_implicit_home_holdings() {
+        let c = ctrl(4, 0);
+        // Block 0 homed at P0, untouched: full holdings.
+        assert_eq!(c.held_tokens(a(0)).unwrap().count(), 4);
+        // Block 1 homed elsewhere: nothing held here.
+        assert_eq!(c.held_tokens(a(1)).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn non_adaptive_direct_requests_use_normal_priority() {
+        let cfg = config(4)
+            .with_predictor(PredictorChoice::All)
+            .non_adaptive();
+        let mut c = PatchController::new(cfg, NodeId::new(1));
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Read,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let direct = out
+            .sends
+            .iter()
+            .find(|s| {
+                matches!(
+                    s.msg.body,
+                    MsgBody::Request {
+                        style: RequestStyle::Direct,
+                        ..
+                    }
+                )
+            })
+            .expect("direct request");
+        assert_eq!(direct.priority, Priority::Normal);
+    }
+}

@@ -1,0 +1,1197 @@
+//! TokenB: broadcast token coherence with persistent requests.
+//!
+//! The comparator protocol of the paper's §8.2 (Figure 4's rightmost
+//! bars), following Martin et al., *"Token Coherence: Decoupling
+//! Performance and Correctness"* (ISCA 2003):
+//!
+//! * Misses **broadcast** a transient request to every node (including
+//!   the block's home memory controller) on the unordered torus; there is
+//!   no directory and no indirection. The owner answers reads with the
+//!   owner token and data; writes collect every token.
+//! * Transient requests may fail under races, so unsatisfied misses
+//!   **reissue** after an adaptively estimated timeout (with exponential
+//!   backoff).
+//! * After a bounded number of reissues the requester invokes a
+//!   **persistent request**: the block's home arbitrates (centralized
+//!   arbitration, one starver at a time), broadcasting an activation that
+//!   every node records in a persistent-request table. While the entry is
+//!   active, every node forwards all tokens it holds — or later receives —
+//!   for that block to the starver, guaranteeing eventual completion.
+//!
+//! The contrast with PATCH's token tenure is the point of the comparison:
+//! TokenB needs broadcast and per-node tables for forward progress, where
+//! token tenure needs only the directory's per-block point of ordering
+//! and local timeouts (paper Table 4).
+
+use std::collections::{HashMap, VecDeque};
+
+use patchsim_kernel::Cycle;
+use patchsim_mem::{AccessKind, BlockAddr, CacheArray, OwnerStatus, TokenSet};
+use patchsim_noc::{DestSet, NodeId};
+
+use crate::common::LatencyEstimator;
+use crate::controller::{
+    Completion, Controller, CoreResponse, MemOp, Outbox, ProtocolCounters, TimerKey, TimerKind,
+};
+use crate::{Msg, MsgBody, ProtocolConfig, RequestStyle};
+
+#[derive(Clone, Copy, Debug)]
+struct TbLine {
+    tokens: TokenSet,
+    version: u64,
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct TbTbe {
+    addr: BlockAddr,
+    kind: AccessKind,
+    serial: u64,
+    issued_at: Cycle,
+    reissues: u32,
+    timer_generation: u64,
+    /// A persistent request has been invoked for this miss.
+    persistent: bool,
+}
+
+/// The home memory controller's token holdings for one block.
+#[derive(Debug)]
+struct TbHome {
+    tokens: TokenSet,
+    valid: bool,
+    version: u64,
+}
+
+/// Home-side persistent-request arbitration (centralized, per block).
+#[derive(Debug, Default)]
+struct ArbEntry {
+    active: Option<(NodeId, AccessKind)>,
+    queue: VecDeque<(NodeId, AccessKind)>,
+}
+
+/// The TokenB controller for one node: private cache, the node's slice of
+/// memory, its persistent-request table, and (for blocks homed here) the
+/// persistent-request arbiter.
+///
+/// See the module-level documentation for the protocol description.
+pub struct TokenBController {
+    config: ProtocolConfig,
+    id: NodeId,
+    cache: CacheArray<TbLine>,
+    demand: Option<TbTbe>,
+    home: HashMap<BlockAddr, TbHome>,
+    arb: HashMap<BlockAddr, ArbEntry>,
+    /// This node's persistent-request table: blocks whose tokens must be
+    /// forwarded to a starver.
+    table: HashMap<BlockAddr, (NodeId, AccessKind)>,
+    latency: LatencyEstimator,
+    counters: ProtocolCounters,
+    next_serial: u64,
+}
+
+impl std::fmt::Debug for TokenBController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenBController")
+            .field("id", &self.id)
+            .field("demand", &self.demand)
+            .field("table_entries", &self.table.len())
+            .finish()
+    }
+}
+
+impl TokenBController {
+    /// Creates the controller for `node`.
+    pub fn new(config: ProtocolConfig, node: NodeId) -> Self {
+        let cache = CacheArray::new(config.cache_geometry);
+        TokenBController {
+            config,
+            id: node,
+            cache,
+            demand: None,
+            home: HashMap::new(),
+            arb: HashMap::new(),
+            table: HashMap::new(),
+            latency: LatencyEstimator::default(),
+            counters: ProtocolCounters::default(),
+            next_serial: 0,
+        }
+    }
+
+    fn n(&self) -> u16 {
+        self.config.num_nodes
+    }
+
+    fn total(&self) -> u32 {
+        self.config.total_tokens
+    }
+
+    fn home_slice(&mut self, addr: BlockAddr) -> &mut TbHome {
+        debug_assert_eq!(addr.home(self.config.num_nodes), self.id);
+        let total = self.config.total_tokens;
+        self.home.entry(addr).or_insert_with(|| TbHome {
+            tokens: TokenSet::full(total, OwnerStatus::Clean),
+            valid: true,
+            version: 0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / reissue
+    // ------------------------------------------------------------------
+
+    fn broadcast_request(&mut self, style: RequestStyle, now: Cycle, out: &mut Outbox) {
+        let n = self.n();
+        let num_nodes = self.config.num_nodes;
+        let id = self.id;
+        let timeout_base = self.latency.average();
+        let tbe = self.demand.as_mut().expect("broadcast without a TBE");
+        let mut dests = DestSet::all_except(n, id);
+        if tbe.addr.home(num_nodes) == id {
+            // Our own memory slice must also see the request; the
+            // interconnect delivers to self after the local latency.
+            dests.insert(id);
+        }
+        let msg = Msg::new(
+            tbe.addr,
+            MsgBody::Request {
+                kind: tbe.kind,
+                requester: id,
+                serial: tbe.serial,
+                style,
+            },
+        );
+        tbe.timer_generation += 1;
+        let generation = tbe.timer_generation;
+        let timeout = ((timeout_base * 2.0) as u64).max(100) << tbe.reissues.min(8);
+        let deadline = now + timeout;
+        let addr = tbe.addr;
+        out.send(dests, msg);
+        out.arm_timer(
+            deadline,
+            TimerKey {
+                addr,
+                kind: TimerKind::Reissue,
+                generation,
+            },
+        );
+    }
+
+    fn issue_miss(&mut self, op: MemOp, now: Cycle, out: &mut Outbox) {
+        debug_assert!(self.demand.is_none());
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.counters.misses += 1;
+        self.demand = Some(TbTbe {
+            addr: op.addr,
+            kind: op.kind,
+            serial,
+            issued_at: now,
+            reissues: 0,
+            timer_generation: 0,
+            persistent: false,
+        });
+        self.broadcast_request(RequestStyle::Direct, now, out);
+        self.try_progress(now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Responding to transient requests
+    // ------------------------------------------------------------------
+
+    /// Cache-side response to a transient request; mirrors PATCH's rules.
+    fn cache_respond(
+        &mut self,
+        addr: BlockAddr,
+        kind: AccessKind,
+        requester: NodeId,
+        serial: u64,
+        out: &mut Outbox,
+    ) {
+        let Some(line) = self.cache.get_mut(addr) else { return };
+        if line.tokens.is_empty() {
+            self.cache.remove(addr);
+            return;
+        }
+        match kind {
+            AccessKind::Write => {
+                let tokens = line.tokens.take_all();
+                let version = line.version;
+                self.cache.remove(addr);
+                self.send_tokens(addr, requester, serial, tokens, version, out);
+            }
+            AccessKind::Read => {
+                if !line.tokens.has_owner() {
+                    return;
+                }
+                debug_assert!(line.valid);
+                let tokens = line.tokens.split_owner(0);
+                let version = line.version;
+                if line.tokens.is_empty() {
+                    self.cache.remove(addr);
+                }
+                self.send_tokens(addr, requester, serial, tokens, version, out);
+            }
+        }
+    }
+
+    /// Memory-side response from this node's home slice.
+    ///
+    /// The memory controller must consult its per-block token state before
+    /// responding — the same kind of lookup a directory performs — so
+    /// responses are charged the directory lookup latency, plus DRAM when
+    /// data is supplied.
+    fn home_respond(
+        &mut self,
+        addr: BlockAddr,
+        kind: AccessKind,
+        requester: NodeId,
+        serial: u64,
+        out: &mut Outbox,
+    ) {
+        let lookup = self.config.dir_latency;
+        let dram = self.config.dram_latency + lookup;
+        let n = self.n();
+        let slice = self.home_slice(addr);
+        if slice.tokens.is_empty() {
+            return;
+        }
+        match kind {
+            AccessKind::Write => {
+                let tokens = slice.tokens.take_all();
+                let (version, valid) = (slice.version, slice.valid);
+                if tokens.has_owner() {
+                    debug_assert!(valid);
+                    out.send_one_after(
+                        n,
+                        requester,
+                        dram,
+                        Msg::new(
+                            addr,
+                            MsgBody::Data {
+                                from: self.id,
+                                serial,
+                                tokens,
+                                version,
+                                acks_expected: 0,
+                                exclusive: false,
+                                dirty: false,
+                                activation: false,
+                            },
+                        ),
+                    );
+                } else {
+                    out.send_one_after(
+                        n,
+                        requester,
+                        lookup,
+                        Msg::new(
+                            addr,
+                            MsgBody::Ack {
+                                from: self.id,
+                                serial,
+                                tokens,
+                                activation: false,
+                            },
+                        ),
+                    );
+                }
+            }
+            AccessKind::Read => {
+                if !slice.tokens.has_owner() {
+                    return;
+                }
+                debug_assert!(slice.valid);
+                let tokens = slice.tokens.take_all();
+                let version = slice.version;
+                out.send_one_after(
+                    n,
+                    requester,
+                    dram,
+                    Msg::new(
+                        addr,
+                        MsgBody::Data {
+                            from: self.id,
+                            serial,
+                            tokens,
+                            version,
+                            acks_expected: 0,
+                            exclusive: false,
+                            dirty: false,
+                            activation: false,
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    fn send_tokens(
+        &mut self,
+        addr: BlockAddr,
+        to: NodeId,
+        serial: u64,
+        tokens: TokenSet,
+        version: u64,
+        out: &mut Outbox,
+    ) {
+        debug_assert!(!tokens.is_empty());
+        let body = if tokens.has_owner() {
+            MsgBody::Data {
+                from: self.id,
+                serial,
+                tokens,
+                version,
+                acks_expected: 0,
+                exclusive: false,
+                dirty: tokens.owner_status() == Some(OwnerStatus::Dirty),
+                activation: false,
+            }
+        } else {
+            MsgBody::Ack {
+                from: self.id,
+                serial,
+                tokens,
+                activation: false,
+            }
+        };
+        out.send_one(self.n(), to, Msg::new(addr, body));
+    }
+
+    /// Returns tokens to the home memory slice (eviction or stray
+    /// arrivals).
+    fn put_tokens(&mut self, addr: BlockAddr, tokens: TokenSet, version: u64, out: &mut Outbox) {
+        if tokens.is_empty() {
+            return;
+        }
+        self.counters.writebacks += 1;
+        let home = addr.home(self.n());
+        let with_data = tokens.owner_status() == Some(OwnerStatus::Dirty);
+        out.send_one(
+            self.n(),
+            home,
+            Msg::new(
+                addr,
+                MsgBody::Put {
+                    node: self.id,
+                    tokens,
+                    version: with_data.then_some(version),
+                    dirty: with_data,
+                },
+            ),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Token arrival / completion
+    // ------------------------------------------------------------------
+
+    fn handle_token_arrival(
+        &mut self,
+        addr: BlockAddr,
+        tokens: TokenSet,
+        data_version: Option<u64>,
+        now: Cycle,
+        out: &mut Outbox,
+    ) {
+        // Persistent-request table takes precedence: tokens for a starving
+        // block are forwarded, not kept.
+        if let Some(&(starver, _)) = self.table.get(&addr) {
+            if starver != self.id {
+                if !tokens.is_empty() {
+                    self.send_tokens(addr, starver, 0, tokens, data_version.unwrap_or(0), out);
+                }
+                return;
+            }
+        }
+        let has_tbe = self.demand.as_ref().is_some_and(|t| t.addr == addr);
+        if !has_tbe && !self.cache.contains(addr) {
+            // Stray tokens with nowhere to live: return them to memory.
+            self.put_tokens(addr, tokens, data_version.unwrap_or(0), out);
+            return;
+        }
+        if let Some(line) = self.cache.get_mut(addr) {
+            line.tokens.merge(tokens);
+            if let Some(v) = data_version {
+                line.valid = true;
+                line.version = v;
+            }
+        } else {
+            let line = TbLine {
+                tokens,
+                version: data_version.unwrap_or(0),
+                valid: data_version.is_some(),
+            };
+            if let Some(victim) = self.cache.insert(addr, line) {
+                self.put_tokens(victim.addr, victim.payload.tokens, victim.payload.version, out);
+            }
+        }
+        self.try_progress(now, out);
+    }
+
+    fn try_progress(&mut self, now: Cycle, out: &mut Outbox) {
+        let total = self.total();
+        let Some(tbe) = self.demand.as_mut() else { return };
+        let addr = tbe.addr;
+        let satisfied = match self.cache.peek(addr) {
+            Some(line) => match tbe.kind {
+                AccessKind::Read => line.valid && line.tokens.can_read(),
+                AccessKind::Write => line.valid && line.tokens.can_write(total),
+            },
+            None => false,
+        };
+        if !satisfied {
+            return;
+        }
+        let tbe = self.demand.take().expect("present");
+        let line = self.cache.get_mut(addr).expect("satisfied implies line");
+        let version = match tbe.kind {
+            AccessKind::Read => line.version,
+            AccessKind::Write => {
+                line.version += 1;
+                line.tokens.set_owner_dirty();
+                line.version
+            }
+        };
+        let new_owner = line.tokens.has_owner();
+        self.latency.record(now - tbe.issued_at);
+        out.complete(Completion {
+            addr,
+            kind: tbe.kind,
+            version,
+            issued_at: tbe.issued_at,
+        });
+        if tbe.persistent {
+            // Tell the home arbiter the starvation is over.
+            let home = addr.home(self.n());
+            out.send_one(
+                self.n(),
+                home,
+                Msg::new(
+                    addr,
+                    MsgBody::Deactivate {
+                        requester: self.id,
+                        serial: tbe.serial,
+                        new_owner,
+                        keeps_copy: true,
+                    },
+                ),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent requests
+    // ------------------------------------------------------------------
+
+    fn arb_activate(&mut self, addr: BlockAddr, starver: NodeId, kind: AccessKind, out: &mut Outbox) {
+        out.send(
+            DestSet::all(self.n()),
+            Msg::new(addr, MsgBody::PersistentActivate { starver, kind }),
+        );
+    }
+
+    fn handle_persistent_activate(
+        &mut self,
+        addr: BlockAddr,
+        starver: NodeId,
+        kind: AccessKind,
+        out: &mut Outbox,
+    ) {
+        self.table.insert(addr, (starver, kind));
+        if starver == self.id {
+            match self.demand.as_mut().filter(|t| t.addr == addr) {
+                Some(tbe) => {
+                    // Adopt the activation (it may stem from a previous,
+                    // already-satisfied miss on this block): ensure this
+                    // transaction deactivates the arbiter when done.
+                    tbe.persistent = true;
+                }
+                None => {
+                    // Stale activation: the miss it was invoked for
+                    // completed before the persistent request reached the
+                    // home. Release the arbiter immediately.
+                    let home = addr.home(self.config.num_nodes);
+                    out.send_one(
+                        self.n(),
+                        home,
+                        Msg::new(
+                            addr,
+                            MsgBody::Deactivate {
+                                requester: self.id,
+                                serial: 0,
+                                new_owner: false,
+                                keeps_copy: false,
+                            },
+                        ),
+                    );
+                }
+            }
+        }
+        if starver != self.id {
+            // Surrender current cache holdings.
+            if let Some(line) = self.cache.get_mut(addr) {
+                let tokens = line.tokens.take_all();
+                let version = line.version;
+                self.cache.remove(addr);
+                if !tokens.is_empty() {
+                    self.send_tokens(addr, starver, 0, tokens, version, out);
+                }
+            }
+        }
+        // Surrender the memory slice's holdings too.
+        if addr.home(self.config.num_nodes) == self.id {
+            let dram = self.config.dram_latency;
+            let n = self.n();
+            let id = self.id;
+            let slice = self.home_slice(addr);
+            if !slice.tokens.is_empty() {
+                let tokens = slice.tokens.take_all();
+                let (version, valid) = (slice.version, slice.valid);
+                if tokens.has_owner() {
+                    debug_assert!(valid);
+                    out.send_one_after(
+                        n,
+                        starver,
+                        dram,
+                        Msg::new(
+                            addr,
+                            MsgBody::Data {
+                                from: id,
+                                serial: 0,
+                                tokens,
+                                version,
+                                acks_expected: 0,
+                                exclusive: false,
+                                dirty: false,
+                                activation: false,
+                            },
+                        ),
+                    );
+                } else {
+                    out.send_one(
+                        n,
+                        starver,
+                        Msg::new(
+                            addr,
+                            MsgBody::Ack {
+                                from: id,
+                                serial: 0,
+                                tokens,
+                                activation: false,
+                            },
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Controller for TokenBController {
+    fn core_request(&mut self, op: MemOp, now: Cycle, out: &mut Outbox) -> CoreResponse {
+        let total = self.total();
+        if let Some(line) = self.cache.get_mut(op.addr) {
+            match op.kind {
+                AccessKind::Read if line.valid && line.tokens.can_read() => {
+                    self.counters.hits += 1;
+                    return CoreResponse::Hit {
+                        version: line.version,
+                    };
+                }
+                AccessKind::Write if line.valid && line.tokens.can_write(total) => {
+                    line.version += 1;
+                    line.tokens.set_owner_dirty();
+                    self.counters.hits += 1;
+                    return CoreResponse::Hit {
+                        version: line.version,
+                    };
+                }
+                _ => {}
+            }
+        }
+        self.issue_miss(op, now, out);
+        CoreResponse::MissPending
+    }
+
+    fn handle_message(&mut self, msg: Msg, now: Cycle, out: &mut Outbox) {
+        let addr = msg.addr;
+        match msg.body {
+            MsgBody::Request {
+                kind,
+                requester,
+                serial,
+                style,
+            } => {
+                debug_assert!(
+                    matches!(style, RequestStyle::Direct | RequestStyle::Reissue | RequestStyle::Persistent),
+                    "TokenB has no indirect requests"
+                );
+                if style == RequestStyle::Persistent {
+                    // Home-side arbitration.
+                    let entry = self.arb.entry(addr).or_default();
+                    if entry.active.is_none() {
+                        entry.active = Some((requester, kind));
+                        self.arb_activate(addr, requester, kind, out);
+                    } else {
+                        entry.queue.push_back((requester, kind));
+                    }
+                    return;
+                }
+                // Transient request: suppressed while a persistent request
+                // is active for the block.
+                if self.table.contains_key(&addr) {
+                    return;
+                }
+                // Memory slice responds if this node is the home.
+                if addr.home(self.config.num_nodes) == self.id {
+                    self.home_respond(addr, kind, requester, serial, out);
+                }
+                // Cache side responds unless it has its own miss
+                // outstanding for the block (races resolve by reissue).
+                if requester != self.id
+                    && self.demand.as_ref().is_none_or(|t| t.addr != addr)
+                {
+                    self.cache_respond(addr, kind, requester, serial, out);
+                }
+            }
+            MsgBody::Data {
+                tokens, version, ..
+            } => {
+                self.handle_token_arrival(addr, tokens, Some(version), now, out);
+            }
+            MsgBody::Ack { tokens, .. } => {
+                self.handle_token_arrival(addr, tokens, None, now, out);
+            }
+            MsgBody::Put {
+                node: _,
+                tokens,
+                version,
+                ..
+            } => {
+                // Tokens returned to memory. If a persistent request is
+                // active, funnel them onward to the starver.
+                if let Some(&(starver, _)) = self.table.get(&addr) {
+                    if !tokens.is_empty() {
+                        self.send_tokens(addr, starver, 0, tokens, version.unwrap_or(0), out);
+                    }
+                    return;
+                }
+                let slice = self.home_slice(addr);
+                let mut tokens = tokens;
+                if let Some(v) = version {
+                    slice.version = v;
+                }
+                if tokens.has_owner() {
+                    tokens.set_owner_clean();
+                    slice.valid = true;
+                }
+                slice.tokens.merge(tokens);
+            }
+            MsgBody::Deactivate {
+                requester, ..
+            } => {
+                // Persistent-request completion at the home arbiter. A
+                // requester can complete while its persistent request is
+                // still in flight, so its deactivation may arrive early
+                // (before the request) or while another starver is active;
+                // only the *active* starver's deactivation tears down the
+                // entry. A stray activation is cancelled by the starver
+                // itself when it arrives (see PersistentActivate below).
+                let n = self.n();
+                let entry = self.arb.entry(addr).or_default();
+                if entry.active.map(|(node, _)| node) != Some(requester) {
+                    return;
+                }
+                entry.active = None;
+                out.send(
+                    DestSet::all(n),
+                    Msg::new(addr, MsgBody::PersistentDeactivate { starver: requester }),
+                );
+                let next = entry.queue.pop_front();
+                if let Some((next_node, kind)) = next {
+                    entry.active = Some((next_node, kind));
+                    self.arb_activate(addr, next_node, kind, out);
+                }
+            }
+            MsgBody::PersistentActivate { starver, kind } => {
+                self.handle_persistent_activate(addr, starver, kind, out);
+            }
+            MsgBody::PersistentDeactivate { starver } => {
+                // Guarded removal: on an unordered network this broadcast
+                // can arrive after the *next* starver's activation; a late
+                // deactivation for an old starver must not clobber the
+                // fresh entry.
+                if self
+                    .table
+                    .get(&addr)
+                    .is_some_and(|&(active, _)| active == starver)
+                {
+                    self.table.remove(&addr);
+                }
+            }
+            MsgBody::Fwd { .. }
+            | MsgBody::Activation { .. }
+            | MsgBody::WbAck { .. } => {
+                unreachable!("TokenB does not use {:?}", msg.body)
+            }
+        }
+    }
+
+    fn timer_fired(&mut self, key: TimerKey, now: Cycle, out: &mut Outbox) {
+        debug_assert_eq!(key.kind, TimerKind::Reissue);
+        let Some(tbe) = self.demand.as_mut() else { return };
+        if tbe.addr != key.addr || tbe.timer_generation != key.generation || tbe.persistent {
+            return;
+        }
+        if tbe.reissues < self.config.reissues_before_persistent {
+            tbe.reissues += 1;
+            self.counters.reissues += 1;
+            self.broadcast_request(RequestStyle::Reissue, now, out);
+        } else {
+            tbe.persistent = true;
+            self.counters.persistent_requests += 1;
+            let home = tbe.addr.home(self.config.num_nodes);
+            let (kind, serial) = (tbe.kind, tbe.serial);
+            out.send_one(
+                self.n(),
+                home,
+                Msg::new(
+                    key.addr,
+                    MsgBody::Request {
+                        kind,
+                        requester: self.id,
+                        serial,
+                        style: RequestStyle::Persistent,
+                    },
+                ),
+            );
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.demand.is_none()
+            && self
+                .arb
+                .values()
+                .all(|e| e.active.is_none() && e.queue.is_empty())
+    }
+
+    fn held_tokens(&self, addr: BlockAddr) -> Option<TokenSet> {
+        let mut total = TokenSet::empty();
+        if let Some(line) = self.cache.peek(addr) {
+            total.merge(line.tokens);
+        }
+        if addr.home(self.config.num_nodes) == self.id {
+            match self.home.get(&addr) {
+                Some(slice) => total.merge(slice.tokens),
+                None => total.merge(TokenSet::full(
+                    self.config.total_tokens,
+                    OwnerStatus::Clean,
+                )),
+            }
+        }
+        Some(total)
+    }
+
+    fn counters(&self) -> ProtocolCounters {
+        self.counters
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "TokenB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolKind;
+
+    fn config(n: u16) -> ProtocolConfig {
+        ProtocolConfig::new(ProtocolKind::TokenB, n)
+    }
+
+    fn ctrl(n: u16, node: u16) -> TokenBController {
+        TokenBController::new(config(n), NodeId::new(node))
+    }
+
+    fn a(x: u64) -> BlockAddr {
+        BlockAddr::new(x)
+    }
+
+    #[test]
+    fn miss_broadcasts_to_everyone() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1);
+        let bcast = &out.sends[0];
+        // Everyone except self (block 2's home is node 2, not us).
+        assert_eq!(bcast.dests.len(), 3);
+        assert!(!bcast.dests.contains(NodeId::new(1)));
+        assert!(matches!(
+            bcast.msg.body,
+            MsgBody::Request {
+                style: RequestStyle::Direct,
+                ..
+            }
+        ));
+        // And a reissue timer is armed.
+        assert_eq!(out.timers.len(), 1);
+        assert_eq!(out.timers[0].1.kind, TimerKind::Reissue);
+    }
+
+    #[test]
+    fn broadcast_includes_self_when_home_is_local() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(1), // homed at node 1 = self
+                kind: AccessKind::Read,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        assert!(out.sends[0].dests.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn memory_answers_write_broadcast_with_all_tokens() {
+        let mut c = ctrl(4, 2); // home of block 2
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(0),
+                    serial: 0,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1);
+        match &out.sends[0].msg.body {
+            MsgBody::Data { tokens, .. } => {
+                assert_eq!(tokens.count(), 4);
+                assert!(tokens.has_owner());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(out.sends[0].delay, 96, "token-state lookup + DRAM");
+    }
+
+    #[test]
+    fn requester_completes_and_closes_tbe() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Data {
+                    from: NodeId::new(2),
+                    serial: 0,
+                    tokens: TokenSet::full(4, OwnerStatus::Clean),
+                    version: 0,
+                    acks_expected: 0,
+                    exclusive: false,
+                    dirty: false,
+                    activation: false,
+                },
+            ),
+            Cycle::new(100),
+            &mut out,
+        );
+        assert_eq!(out.completions.len(), 1);
+        assert!(c.is_quiescent());
+        // No deactivation: the miss never went persistent.
+        assert!(out
+            .sends
+            .iter()
+            .all(|s| !matches!(s.msg.body, MsgBody::Deactivate { .. })));
+    }
+
+    #[test]
+    fn reissue_then_persistent() {
+        let mut c = ctrl(4, 1);
+        let mut out = Outbox::new();
+        c.core_request(
+            MemOp {
+                addr: a(2),
+                kind: AccessKind::Write,
+            },
+            Cycle::ZERO,
+            &mut out,
+        );
+        let (mut at, mut key) = out.timers[0];
+        // Fire the timer config.reissues_before_persistent times: each
+        // rebroadcasts.
+        for i in 0..2 {
+            let mut out = Outbox::new();
+            c.timer_fired(key, at, &mut out);
+            assert!(
+                out.sends.iter().any(|s| matches!(
+                    s.msg.body,
+                    MsgBody::Request {
+                        style: RequestStyle::Reissue,
+                        ..
+                    }
+                )),
+                "reissue {i}"
+            );
+            (at, key) = out.timers[0];
+        }
+        assert_eq!(c.counters().reissues, 2);
+        // The next timeout escalates to a persistent request.
+        let mut out = Outbox::new();
+        c.timer_fired(key, at, &mut out);
+        assert_eq!(c.counters().persistent_requests, 1);
+        let persistent = &out.sends[0];
+        assert_eq!(persistent.dests.as_single(), Some(NodeId::new(2)));
+        assert!(matches!(
+            persistent.msg.body,
+            MsgBody::Request {
+                style: RequestStyle::Persistent,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn home_arbitrates_persistent_requests_one_at_a_time() {
+        let mut home = ctrl(4, 2);
+        let persistent = |r: u16| {
+            Msg::new(
+                a(2),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(r),
+                    serial: 0,
+                    style: RequestStyle::Persistent,
+                },
+            )
+        };
+        let mut out = Outbox::new();
+        home.handle_message(persistent(0), Cycle::ZERO, &mut out);
+        // Broadcast activation for P0.
+        assert!(out.sends.iter().any(|s| matches!(
+            s.msg.body,
+            MsgBody::PersistentActivate { starver, .. } if starver == NodeId::new(0)
+        )));
+        // P3's persistent request queues.
+        let mut out = Outbox::new();
+        home.handle_message(persistent(3), Cycle::ZERO, &mut out);
+        assert!(out.sends.is_empty());
+        // P0 completes: deactivation broadcast + P3 activated.
+        let mut out = Outbox::new();
+        home.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Deactivate {
+                    requester: NodeId::new(0),
+                    serial: 0,
+                    new_owner: true,
+                    keeps_copy: true,
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        assert!(out.sends.iter().any(|s| matches!(
+            s.msg.body,
+            MsgBody::PersistentDeactivate { .. }
+        )));
+        assert!(out.sends.iter().any(|s| matches!(
+            s.msg.body,
+            MsgBody::PersistentActivate { starver, .. } if starver == NodeId::new(3)
+        )));
+    }
+
+    #[test]
+    fn persistent_activation_surrenders_tokens() {
+        let mut c = ctrl(4, 1);
+        c.cache.insert(
+            a(2),
+            TbLine {
+                tokens: TokenSet::plain(2),
+                version: 0,
+                valid: true,
+            },
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::PersistentActivate {
+                    starver: NodeId::new(3),
+                    kind: AccessKind::Write,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].dests.as_single(), Some(NodeId::new(3)));
+        assert_eq!(out.sends[0].msg.tokens().count(), 2);
+        // Tokens that arrive later are forwarded too.
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Ack {
+                    from: NodeId::new(0),
+                    serial: 0,
+                    tokens: TokenSet::plain(1),
+                    activation: false,
+                },
+            ),
+            Cycle::new(5),
+            &mut out,
+        );
+        assert_eq!(out.sends[0].dests.as_single(), Some(NodeId::new(3)));
+        // Until the deactivation broadcast clears the table.
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::PersistentDeactivate {
+                    starver: NodeId::new(3),
+                },
+            ),
+            Cycle::new(10),
+            &mut out,
+        );
+        assert!(c.table.is_empty());
+    }
+
+    #[test]
+    fn transient_requests_suppressed_during_persistent() {
+        let mut c = ctrl(4, 1);
+        c.cache.insert(
+            a(2),
+            TbLine {
+                tokens: TokenSet::full(4, OwnerStatus::Dirty),
+                version: 1,
+                valid: true,
+            },
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::PersistentActivate {
+                    starver: NodeId::new(3),
+                    kind: AccessKind::Write,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        // Now a transient request from P0 arrives: ignored.
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Request {
+                    kind: AccessKind::Write,
+                    requester: NodeId::new(0),
+                    serial: 1,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::new(5),
+            &mut out,
+        );
+        assert!(out.sends.is_empty());
+    }
+
+    #[test]
+    fn owner_answers_read_broadcast_with_owner_token() {
+        let mut c = ctrl(4, 1);
+        c.cache.insert(
+            a(2),
+            TbLine {
+                tokens: TokenSet::full(3, OwnerStatus::Dirty),
+                version: 6,
+                valid: true,
+            },
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Request {
+                    kind: AccessKind::Read,
+                    requester: NodeId::new(0),
+                    serial: 0,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        match &out.sends[0].msg.body {
+            MsgBody::Data {
+                tokens,
+                version,
+                dirty,
+                ..
+            } => {
+                assert_eq!(tokens.count(), 1);
+                assert!(tokens.has_owner());
+                assert_eq!(*version, 6);
+                assert!(*dirty);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Keeps its plain tokens as a sharer.
+        assert_eq!(c.cache.peek(a(2)).unwrap().tokens.count(), 2);
+    }
+
+    #[test]
+    fn sharer_ignores_read_broadcast() {
+        let mut c = ctrl(4, 1);
+        c.cache.insert(
+            a(2),
+            TbLine {
+                tokens: TokenSet::plain(1),
+                version: 0,
+                valid: true,
+            },
+        );
+        let mut out = Outbox::new();
+        c.handle_message(
+            Msg::new(
+                a(2),
+                MsgBody::Request {
+                    kind: AccessKind::Read,
+                    requester: NodeId::new(0),
+                    serial: 0,
+                    style: RequestStyle::Direct,
+                },
+            ),
+            Cycle::ZERO,
+            &mut out,
+        );
+        assert!(out.sends.is_empty(), "zero-token acks are elided");
+    }
+}

@@ -1,0 +1,319 @@
+//! The per-core access-stream generator.
+
+use patchsim_kernel::SimRng;
+use patchsim_mem::{AccessKind, BlockAddr};
+use patchsim_noc::NodeId;
+
+use crate::{SharingProfile, WorkloadSpec};
+
+/// One memory operation produced by a workload generator: what to access
+/// and how long the core computes before issuing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkItem {
+    /// The block to access.
+    pub addr: BlockAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Non-memory work preceding the access, in cycles.
+    pub think_cycles: u64,
+}
+
+/// An infinite per-core stream of [`WorkItem`]s.
+///
+/// Deterministic: the stream is a pure function of `(spec, node,
+/// num_nodes, rng seed)`. Different cores fork different RNG streams from
+/// the same root seed, and perturbation runs use different root seeds —
+/// the confidence-interval methodology of the paper.
+#[derive(Debug)]
+pub struct Generator {
+    spec: WorkloadSpec,
+    node: NodeId,
+    num_nodes: u16,
+    rng: SimRng,
+    /// Second half of a migratory read-modify-write pair, if one is queued.
+    pending: Option<WorkItem>,
+    ops_generated: u64,
+}
+
+/// Address-space layout constants. Regions of different kinds (and of
+/// different clusters) must never overlap; each cluster owns a fixed-size
+/// window.
+const SHARED_REGION: u64 = 0;
+/// Per-cluster address stride: generous enough for any preset's regions.
+const CLUSTER_STRIDE: u64 = 1 << 32;
+
+impl Generator {
+    /// Creates the generator for `node` of `num_nodes`. Forks a per-node
+    /// RNG stream from `rng` so sibling generators are independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn new(spec: WorkloadSpec, node: NodeId, num_nodes: u16, rng: SimRng) -> Self {
+        assert!(node.raw() < num_nodes, "{node} out of range");
+        let rng = rng.fork(node.raw() as u64);
+        Generator {
+            spec,
+            node,
+            num_nodes,
+            rng,
+            pending: None,
+            ops_generated: 0,
+        }
+    }
+
+    /// The node this generator belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of operations generated so far.
+    pub fn ops_generated(&self) -> u64 {
+        self.ops_generated
+    }
+
+    /// Produces the next operation in the stream.
+    pub fn next_item(&mut self) -> WorkItem {
+        self.ops_generated += 1;
+        if let Some(item) = self.pending.take() {
+            return item;
+        }
+        match &self.spec {
+            WorkloadSpec::Microbenchmark {
+                table_blocks,
+                write_frac,
+                think_mean,
+            } => {
+                let (table_blocks, write_frac, think_mean) =
+                    (*table_blocks, *write_frac, *think_mean);
+                let addr = BlockAddr::new(self.rng.below(table_blocks));
+                let kind = if self.rng.chance(write_frac) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                WorkItem {
+                    addr,
+                    kind,
+                    think_cycles: self.think(think_mean),
+                }
+            }
+            WorkloadSpec::Synthetic(profile) => {
+                let profile = profile.clone();
+                self.synthetic_item(&profile)
+            }
+        }
+    }
+
+    fn synthetic_item(&mut self, p: &SharingProfile) -> WorkItem {
+        let think = self.think(p.think_mean);
+        let cluster = self.node.raw() / p.cluster_size;
+        let slot = (self.node.raw() % p.cluster_size) as u64;
+        let cluster_size = p.cluster_size.min(self.num_nodes) as u64;
+        let base = cluster as u64 * CLUSTER_STRIDE;
+
+        if self.rng.chance(p.shared_frac) {
+            let roll = self.rng.unit();
+            if roll < p.migratory_frac {
+                // Migratory pair: read now, write the same block next.
+                let addr = BlockAddr::new(base + SHARED_REGION + self.rng.below(p.shared_blocks));
+                self.pending = Some(WorkItem {
+                    addr,
+                    kind: AccessKind::Write,
+                    think_cycles: self.think(p.think_mean),
+                });
+                WorkItem {
+                    addr,
+                    kind: AccessKind::Read,
+                    think_cycles: think,
+                }
+            } else if roll < p.migratory_frac + p.producer_consumer_frac {
+                // Producer–consumer ring: write one's own region or read
+                // the predecessor's.
+                let pc_base = base + p.shared_blocks;
+                let (region_slot, kind) = if self.rng.chance(0.5) {
+                    (slot, AccessKind::Write)
+                } else {
+                    ((slot + cluster_size - 1) % cluster_size, AccessKind::Read)
+                };
+                let addr = BlockAddr::new(
+                    pc_base
+                        + region_slot * p.pc_blocks_per_core
+                        + self.rng.below(p.pc_blocks_per_core),
+                );
+                WorkItem {
+                    addr,
+                    kind,
+                    think_cycles: think,
+                }
+            } else {
+                // Plain shared-pool access.
+                let addr = BlockAddr::new(base + SHARED_REGION + self.rng.below(p.shared_blocks));
+                let kind = if self.rng.chance(p.shared_write_frac) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                WorkItem {
+                    addr,
+                    kind,
+                    think_cycles: think,
+                }
+            }
+        } else {
+            // Private access.
+            let private_base =
+                base + p.shared_blocks + cluster_size * p.pc_blocks_per_core
+                    + slot * p.private_blocks;
+            let addr = BlockAddr::new(private_base + self.rng.below(p.private_blocks));
+            let kind = if self.rng.chance(p.private_write_frac) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            WorkItem {
+                addr,
+                kind,
+                think_cycles: think,
+            }
+        }
+    }
+
+    /// Uniformly distributed think time with the requested mean.
+    fn think(&mut self, mean: u64) -> u64 {
+        if mean == 0 {
+            0
+        } else {
+            self.rng.below(2 * mean + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use std::collections::BTreeSet;
+
+    fn gen_for(spec: WorkloadSpec, node: u16, n: u16, seed: u64) -> Generator {
+        spec.generator(NodeId::new(node), n, SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = gen_for(presets::oltp(), 3, 64, 42);
+        let mut b = gen_for(presets::oltp(), 3, 64, 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_item(), b.next_item());
+        }
+    }
+
+    #[test]
+    fn different_nodes_see_different_streams() {
+        let mut a = gen_for(presets::oltp(), 0, 64, 42);
+        let mut b = gen_for(presets::oltp(), 1, 64, 42);
+        let same = (0..200)
+            .filter(|_| a.next_item() == b.next_item())
+            .count();
+        assert!(same < 20);
+    }
+
+    #[test]
+    fn microbenchmark_stays_in_table_with_write_ratio() {
+        let mut g = gen_for(WorkloadSpec::microbenchmark(), 0, 4, 7);
+        let mut writes = 0;
+        for _ in 0..10_000 {
+            let item = g.next_item();
+            assert!(item.addr.raw() < 16 * 1024);
+            if item.kind.is_write() {
+                writes += 1;
+            }
+        }
+        assert!((2_700..3_300).contains(&writes), "write frac ~0.3, got {writes}");
+    }
+
+    #[test]
+    fn migratory_pairs_are_read_then_write_same_block() {
+        let spec = WorkloadSpec::Synthetic(SharingProfile {
+            migratory_frac: 1.0,
+            shared_frac: 1.0,
+            producer_consumer_frac: 0.0,
+            ..match presets::oltp() {
+                WorkloadSpec::Synthetic(p) => p,
+                _ => unreachable!(),
+            }
+        });
+        let mut g = gen_for(spec, 0, 16, 1);
+        for _ in 0..100 {
+            let first = g.next_item();
+            let second = g.next_item();
+            assert_eq!(first.kind, AccessKind::Read);
+            assert_eq!(second.kind, AccessKind::Write);
+            assert_eq!(first.addr, second.addr);
+        }
+    }
+
+    #[test]
+    fn private_regions_do_not_overlap_across_nodes() {
+        let spec = presets::jbb();
+        let mut seen: Vec<(u16, BTreeSet<u64>)> = Vec::new();
+        for node in 0..4u16 {
+            let mut g = gen_for(spec.clone(), node, 16, 9);
+            let mut privates = BTreeSet::new();
+            for _ in 0..2000 {
+                let item = g.next_item();
+                // Shared pool and pc ring live below the private bases.
+                let WorkloadSpec::Synthetic(p) = &spec else { unreachable!() };
+                let private_floor = p.shared_blocks + 16 * p.pc_blocks_per_core;
+                if item.addr.raw() >= private_floor {
+                    privates.insert(item.addr.raw());
+                }
+            }
+            seen.push((node, privates));
+        }
+        for (i, (_, a)) in seen.iter().enumerate() {
+            for (_, b) in seen.iter().skip(i + 1) {
+                assert!(a.is_disjoint(b), "private regions overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_do_not_share() {
+        // Nodes 0 and 16 are in different 16-core clusters: no common
+        // addresses at all.
+        let spec = presets::apache();
+        let mut a = gen_for(spec.clone(), 0, 64, 5);
+        let mut b = gen_for(spec, 16, 64, 5);
+        let addrs_a: BTreeSet<u64> = (0..3000).map(|_| a.next_item().addr.raw()).collect();
+        let addrs_b: BTreeSet<u64> = (0..3000).map(|_| b.next_item().addr.raw()).collect();
+        assert!(addrs_a.is_disjoint(&addrs_b));
+    }
+
+    #[test]
+    fn nodes_within_cluster_share_the_pool() {
+        let spec = presets::apache();
+        let mut a = gen_for(spec.clone(), 0, 64, 5);
+        let mut b = gen_for(spec, 1, 64, 5);
+        let addrs_a: BTreeSet<u64> = (0..3000).map(|_| a.next_item().addr.raw()).collect();
+        let addrs_b: BTreeSet<u64> = (0..3000).map(|_| b.next_item().addr.raw()).collect();
+        assert!(!addrs_a.is_disjoint(&addrs_b), "cluster members share");
+    }
+
+    #[test]
+    fn think_time_has_requested_mean() {
+        let mut g = gen_for(WorkloadSpec::microbenchmark(), 0, 4, 3);
+        let total: u64 = (0..10_000).map(|_| g.next_item().think_cycles).sum();
+        let mean = total as f64 / 10_000.0;
+        assert!((8.0..12.0).contains(&mean), "mean think {mean} should be ~10");
+    }
+
+    #[test]
+    fn ops_generated_counts() {
+        let mut g = gen_for(WorkloadSpec::microbenchmark(), 0, 4, 3);
+        for _ in 0..5 {
+            g.next_item();
+        }
+        assert_eq!(g.ops_generated(), 5);
+    }
+}

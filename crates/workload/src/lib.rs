@@ -1,0 +1,42 @@
+//! Synthetic workload generators for `patchsim`.
+//!
+//! The paper evaluates on two SPLASH2 applications (barnes, ocean) and
+//! three Wisconsin Commercial Workload Suite applications (oltp, apache,
+//! jbb), simulated with Simics full-system simulation, plus a scalability
+//! microbenchmark. Full-system binary traces are not reproducible here, so
+//! this crate substitutes **sharing-pattern-parameterized synthetic
+//! generators** (see `DESIGN.md` §5): what the coherence protocol actually
+//! sees is a per-core stream of reads and writes with particular
+//! private/shared/migratory/producer–consumer statistics, and those
+//! statistics — not instruction semantics — drive every effect the paper
+//! measures.
+//!
+//! Each named preset ([`presets`]) fixes a [`SharingProfile`] chosen to
+//! qualitatively match the published behaviour of its namesake (commercial
+//! workloads sharing-miss-dominated, scientific workloads more
+//! private/capacity-driven). The [`WorkloadSpec::Microbenchmark`] variant
+//! is the paper's own synthetic benchmark, reproduced exactly: "each core
+//! writes a random entry in a fixed-size table (16k locations) 30% of the
+//! time and reads a random entry 70% of the time".
+//!
+//! # Examples
+//!
+//! ```
+//! use patchsim_kernel::SimRng;
+//! use patchsim_noc::NodeId;
+//! use patchsim_workload::{presets, WorkloadSpec};
+//!
+//! let spec = presets::oltp();
+//! let mut g = spec.generator(NodeId::new(0), 64, SimRng::from_seed(1));
+//! let item = g.next_item();
+//! assert!(item.think_cycles < 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod profile;
+
+pub use generator::{Generator, WorkItem};
+pub use profile::{presets, SharingProfile, WorkloadSpec};

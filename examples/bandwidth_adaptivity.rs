@@ -1,0 +1,56 @@
+//! Bandwidth adaptivity via best-effort direct requests (paper §8.4,
+//! Figures 6–7): sweep link bandwidth and watch PATCH-All track the
+//! better of DIRECTORY and its own non-adaptive variant.
+//!
+//! Run with: `cargo run --release --example bandwidth_adaptivity`
+
+use patchsim::{
+    run, LinkBandwidth, PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec,
+};
+
+fn config(kind: ProtocolKind, bw: f64) -> SimConfig {
+    SimConfig::new(kind, 16)
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(bw))
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 4096,
+            write_frac: 0.3,
+            think_mean: 10,
+        })
+        .with_ops_per_core(1_500)
+        .with_warmup(150)
+        .with_seed(11)
+}
+
+fn main() {
+    println!("bandwidth adaptivity (16 cores, microbenchmark)\n");
+    println!(
+        "{:>12} {:>12} {:>14} {:>12} {:>16}",
+        "B/cycle", "Directory", "PATCH-All-NA", "PATCH-All", "PATCH-All drops"
+    );
+    for bw in [0.3, 0.6, 1.0, 2.0, 4.0, 8.0] {
+        let dir = run(&config(ProtocolKind::Directory, bw));
+        let na = run(&config(ProtocolKind::Patch, bw)
+            .with_predictor(PredictorChoice::All)
+            .with_protocol(
+                patchsim::ProtocolConfig::new(ProtocolKind::Patch, 16)
+                    .with_predictor(PredictorChoice::All)
+                    .non_adaptive(),
+            ));
+        let adaptive = run(&config(ProtocolKind::Patch, bw).with_predictor(PredictorChoice::All));
+        let base = dir.runtime_cycles as f64;
+        println!(
+            "{:>12} {:>12.3} {:>14.3} {:>12.3} {:>16}",
+            bw,
+            1.0,
+            na.runtime_cycles as f64 / base,
+            adaptive.runtime_cycles as f64 / base,
+            adaptive.traffic.dropped_packets(),
+        );
+    }
+    println!(
+        "\nExpected shape (paper Figures 6-7): with plentiful bandwidth both\n\
+         PATCH variants beat DIRECTORY identically; as links narrow the\n\
+         non-adaptive variant degrades past DIRECTORY while adaptive\n\
+         PATCH-All drops its stale hints and never does worse than 1.0."
+    );
+}

@@ -1,0 +1,59 @@
+//! Scaling with inexact directory encodings (paper §8.5, Figures 9–10):
+//! coarse sharer vectors make DIRECTORY ack-bound while PATCH, which only
+//! hears from true token holders, barely notices.
+//!
+//! Run with: `cargo run --release --example inexact_directory`
+
+use patchsim::{
+    run, LinkBandwidth, ProtocolKind, SharerEncoding, SimConfig, TrafficClass, WorkloadSpec,
+};
+
+fn config(kind: ProtocolKind, encoding: SharerEncoding) -> SimConfig {
+    let n = 32;
+    let protocol = patchsim::ProtocolConfig::new(kind, n).with_sharer_encoding(encoding);
+    SimConfig::new(kind, n)
+        .with_protocol(protocol)
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 8192,
+            write_frac: 0.3,
+            think_mean: 10,
+        })
+        .with_ops_per_core(1_000)
+        .with_warmup(100)
+        .with_seed(5)
+}
+
+fn main() {
+    println!("inexact directory encodings (32 cores, 2 B/cycle links)\n");
+    println!(
+        "{:<12} {:<14} {:>12} {:>14} {:>14}",
+        "protocol", "encoding", "runtime", "ack bytes/miss", "fwd bytes/miss"
+    );
+    for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
+        let mut base = None;
+        for k in [1u16, 4, 16, 32] {
+            let encoding = if k == 1 {
+                SharerEncoding::FullMap
+            } else {
+                SharerEncoding::Coarse { cores_per_bit: k }
+            };
+            let r = run(&config(kind, encoding));
+            let b = *base.get_or_insert(r.runtime_cycles as f64);
+            println!(
+                "{:<12} {:<14} {:>12.3} {:>14.1} {:>14.1}",
+                kind.label(),
+                encoding.to_string(),
+                r.runtime_cycles as f64 / b,
+                r.class_bytes_per_miss(TrafficClass::Ack),
+                r.class_bytes_per_miss(TrafficClass::Forward),
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper Figures 9-10): DIRECTORY's acknowledgement\n\
+         traffic and runtime blow up as the encoding coarsens — every node\n\
+         implicated by a coarse bit must ack — while PATCH's token holders\n\
+         are the only responders, so it degrades only slightly."
+    );
+}

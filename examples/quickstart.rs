@@ -1,0 +1,69 @@
+//! Quickstart: build a small system, run every protocol on the paper's
+//! microbenchmark, and print runtime and traffic.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use patchsim::{run, PredictorChoice, ProtocolKind, SimConfig, TrafficClass, WorkloadSpec};
+
+fn config(kind: ProtocolKind, predictor: PredictorChoice) -> SimConfig {
+    SimConfig::new(kind, 16)
+        .with_predictor(predictor)
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 4096,
+            write_frac: 0.3,
+            think_mean: 10,
+        })
+        .with_ops_per_core(2_000)
+        .with_warmup(200)
+        .with_seed(7)
+}
+
+fn main() {
+    println!("patchsim quickstart: 16 cores, microbenchmark, 2000 ops/core\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "configuration", "cycles", "bytes/miss", "missLat", "dropped"
+    );
+
+    let configs = [
+        ("Directory", config(ProtocolKind::Directory, PredictorChoice::None)),
+        ("PATCH-None", config(ProtocolKind::Patch, PredictorChoice::None)),
+        ("PATCH-Owner", config(ProtocolKind::Patch, PredictorChoice::Owner)),
+        (
+            "PATCH-BcastIfShared",
+            config(ProtocolKind::Patch, PredictorChoice::BroadcastIfShared),
+        ),
+        ("PATCH-All", config(ProtocolKind::Patch, PredictorChoice::All)),
+        ("TokenB", config(ProtocolKind::TokenB, PredictorChoice::None)),
+    ];
+
+    let mut baseline = None;
+    for (name, cfg) in configs {
+        let r = run(&cfg);
+        let base = *baseline.get_or_insert(r.runtime_cycles as f64);
+        println!(
+            "{:<22} {:>12} {:>12.1} {:>12.1} {:>10}   ({:.3}x vs Directory)",
+            name,
+            r.runtime_cycles,
+            r.bytes_per_miss(),
+            r.miss_latency_mean,
+            r.traffic.dropped_packets(),
+            r.runtime_cycles as f64 / base,
+        );
+        if name == "PATCH-All" {
+            println!(
+                "{:<22} direct responses: {}, satisfied before activation: {}, tenure timeouts: {}",
+                "",
+                r.counters.direct_responses,
+                r.counters.satisfied_before_activation,
+                r.counters.tenure_timeouts
+            );
+            let ack = r.class_bytes_per_miss(TrafficClass::Ack);
+            let dreq = r.class_bytes_per_miss(TrafficClass::DirectRequest);
+            println!(
+                "{:<22} ack bytes/miss: {ack:.1}, direct-request bytes/miss: {dreq:.1}",
+                ""
+            );
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! An annotated replay of the paper's Figures 1 and 2: racing requests
+//! resolved by token tenure.
+//!
+//! Three processors and a home contend for one block. P3's direct
+//! requests strip every token from the system before its indirect request
+//! even reaches the home, while P1 wins activation at the home. Without
+//! token tenure both would wait forever (Figure 1). With it, P3's
+//! *untenured* tokens time out, funnel through the home to the active
+//! requester P1, and the home then activates P3, which completes too
+//! (Figure 2).
+//!
+//! The example drives the PATCH controllers directly, playing postman so
+//! the adversarial delivery order is explicit. Every step is narrated.
+//!
+//! Run with: `cargo run --example token_tenure_race`
+
+use patchsim::{AccessKind, BlockAddr, Cycle, NodeId, PredictorChoice, ProtocolKind};
+use patchsim_protocol::{
+    Completion, Controller, MemOp, Msg, MsgBody, OutMsg, Outbox, PatchController, ProtocolConfig,
+    RequestStyle, TimerKey, TimerKind,
+};
+
+/// A hand-cranked network: undelivered messages and unfired timers.
+struct PostOffice {
+    in_flight: Vec<(NodeId, Msg)>,
+    timers: Vec<(NodeId, Cycle, TimerKey)>,
+    completions: Vec<(NodeId, Completion)>,
+}
+
+impl PostOffice {
+    fn new() -> Self {
+        PostOffice {
+            in_flight: Vec::new(),
+            timers: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    fn collect(&mut self, from: NodeId, out: Outbox) {
+        for OutMsg { dests, msg, .. } in out.sends {
+            for dest in dests.iter() {
+                self.in_flight.push((dest, msg.clone()));
+            }
+        }
+        for (at, key) in out.timers {
+            self.timers.push((from, at, key));
+        }
+        for c in out.completions {
+            self.completions.push((from, c));
+        }
+    }
+
+    /// Delivers the first queued message matching `pred`.
+    fn deliver(
+        &mut self,
+        nodes: &mut [PatchController],
+        now: Cycle,
+        pred: impl Fn(&NodeId, &Msg) -> bool,
+        note: &str,
+    ) {
+        let idx = self
+            .in_flight
+            .iter()
+            .position(|(d, m)| pred(d, m))
+            .unwrap_or_else(|| panic!("no message matching: {note}"));
+        let (dest, msg) = self.in_flight.remove(idx);
+        println!("  -> deliver to {dest}: {} ({note})", describe(&msg));
+        let mut out = Outbox::new();
+        nodes[dest.index()].handle_message(msg, now, &mut out);
+        self.collect(dest, out);
+    }
+
+    /// Delivers every queued message, in queue order, until none remain.
+    fn deliver_all(&mut self, nodes: &mut [PatchController], now: Cycle) {
+        while !self.in_flight.is_empty() {
+            self.deliver(nodes, now, |_, _| true, "drain");
+        }
+    }
+}
+
+fn describe(msg: &Msg) -> String {
+    match &msg.body {
+        MsgBody::Request {
+            kind,
+            requester,
+            style,
+            ..
+        } => format!("{style:?} {kind} request from {requester}"),
+        MsgBody::Fwd {
+            kind, requester, ..
+        } => format!("forwarded {kind} for {requester}"),
+        MsgBody::Data {
+            tokens, activation, ..
+        } => format!(
+            "data + {tokens}{}",
+            if *activation { " [activation]" } else { "" }
+        ),
+        MsgBody::Ack {
+            tokens, activation, ..
+        } => format!(
+            "ack {tokens}{}",
+            if *activation { " [activation]" } else { "" }
+        ),
+        MsgBody::Activation { .. } => "activation".to_string(),
+        MsgBody::Deactivate { requester, .. } => format!("deactivation from {requester}"),
+        MsgBody::Put { tokens, .. } => format!("token return {tokens}"),
+        other => format!("{other:?}"),
+    }
+}
+
+fn main() {
+    let n = 4u16;
+    let config = ProtocolConfig::new(ProtocolKind::Patch, n).with_predictor(PredictorChoice::All);
+    let mut nodes: Vec<PatchController> = (0..n)
+        .map(|i| PatchController::new(config.clone(), NodeId::new(i)))
+        .collect();
+    let block = BlockAddr::new(0); // homed at node 0
+    let mut post = PostOffice::new();
+    let p = |i: u16| NodeId::new(i);
+
+    println!("== setup: P1 writes the block, then P2 reads it ==");
+    let mut out = Outbox::new();
+    nodes[1].core_request(
+        MemOp {
+            addr: block,
+            kind: AccessKind::Write,
+        },
+        Cycle::new(0),
+        &mut out,
+    );
+    post.collect(p(1), out);
+    post.deliver_all(&mut nodes, Cycle::new(10));
+    let mut out = Outbox::new();
+    nodes[2].core_request(
+        MemOp {
+            addr: block,
+            kind: AccessKind::Read,
+        },
+        Cycle::new(20),
+        &mut out,
+    );
+    post.collect(p(2), out);
+    post.deliver_all(&mut nodes, Cycle::new(30));
+    post.completions.clear();
+    println!(
+        "  state: P1 holds {} | P2 holds {} (owner) | home holds {}\n",
+        nodes[1].held_tokens(block).unwrap(),
+        nodes[2].held_tokens(block).unwrap(),
+        nodes[0].held_tokens(block).unwrap(),
+    );
+
+    println!("== the race of Figure 1 ==");
+    println!("time 1: P3 issues a write; its direct requests race ahead of its");
+    println!("        indirect request, which we delay adversarially.");
+    let mut out = Outbox::new();
+    nodes[3].core_request(
+        MemOp {
+            addr: block,
+            kind: AccessKind::Write,
+        },
+        Cycle::new(2000),
+        &mut out,
+    );
+    post.collect(p(3), out);
+
+    println!("time 2: the direct requests strip P1's and P2's tokens:");
+    post.deliver(
+        &mut nodes,
+        Cycle::new(2005),
+        |d, m| *d == p(1) && matches!(m.body, MsgBody::Request { .. }),
+        "direct request to P1",
+    );
+    post.deliver(
+        &mut nodes,
+        Cycle::new(2005),
+        |d, m| *d == p(2) && matches!(m.body, MsgBody::Request { .. }),
+        "direct request to P2",
+    );
+    post.deliver(
+        &mut nodes,
+        Cycle::new(2010),
+        |d, m| *d == p(3) && matches!(m.body, MsgBody::Ack { .. } | MsgBody::Data { .. }),
+        "P1's tokens reach P3",
+    );
+    post.deliver(
+        &mut nodes,
+        Cycle::new(2015),
+        |d, m| *d == p(3) && matches!(m.body, MsgBody::Data { .. } | MsgBody::Ack { .. }),
+        "P2's owner token + data reach P3",
+    );
+    println!(
+        "        P3 now holds {} — all of them, UNTENURED; its write performs",
+        nodes[3].held_tokens(block).unwrap()
+    );
+    assert!(
+        post.completions.iter().any(|(n, _)| *n == p(3)),
+        "P3's write performed early"
+    );
+    post.completions.clear();
+
+    println!("time 3: P1 also issues a write; ITS indirect request reaches the");
+    println!("        home first, so the home activates P1 (not P3):");
+    let mut out = Outbox::new();
+    nodes[1].core_request(
+        MemOp {
+            addr: block,
+            kind: AccessKind::Write,
+        },
+        Cycle::new(2020),
+        &mut out,
+    );
+    post.collect(p(1), out);
+    post.deliver(
+        &mut nodes,
+        Cycle::new(2030),
+        |d, m| {
+            *d == p(0)
+                && matches!(m.body, MsgBody::Request { requester, style: RequestStyle::Indirect, .. } if requester == p(1))
+        },
+        "P1's indirect request wins at the home",
+    );
+    // The home's forwards/activation go out; P2 has no tokens left and
+    // stays silent (no unnecessary acks). P1 is active but token-less.
+    post.deliver_all(&mut nodes, Cycle::new(2040));
+    println!("        P1 is active but the tokens sit untenured at P3: Figure 1's deadlock...");
+
+    println!("\n== token tenure resolves it (Figure 2) ==");
+    println!("time 4: P3's tenure timer expires (it was never activated);");
+    println!("        it discards every token to the home:");
+    let (node, at, key) = post
+        .timers
+        .iter()
+        .copied()
+        .find(|(n, _, k)| *n == p(3) && k.kind == TimerKind::Tenure)
+        .expect("P3 armed a tenure timer");
+    let mut out = Outbox::new();
+    nodes[node.index()].timer_fired(key, at, &mut out);
+    post.collect(node, out);
+    println!(
+        "        P3 tenure timeouts: {}",
+        nodes[3].counters().tenure_timeouts
+    );
+    assert_eq!(nodes[3].counters().tenure_timeouts, 1);
+
+    println!("time 5: the home redirects the returned tokens to active P1:");
+    post.deliver(
+        &mut nodes,
+        Cycle::new(3000),
+        |d, m| *d == p(0) && matches!(m.body, MsgBody::Put { .. }),
+        "P3's token return reaches the home",
+    );
+    post.deliver(
+        &mut nodes,
+        Cycle::new(3010),
+        |d, m| *d == p(1) && matches!(m.body, MsgBody::Data { .. }),
+        "redirected tokens reach P1",
+    );
+    assert!(
+        post.completions.iter().any(|(n, _)| *n == p(1)),
+        "P1's write completed"
+    );
+    println!("        P1 completes its write and deactivates.");
+
+    println!("time 6: the home activates the queued P3 and the tokens flow on:");
+    post.deliver_all(&mut nodes, Cycle::new(3100));
+    assert!(
+        nodes.iter().all(|n| n.is_quiescent()),
+        "everything quiesced"
+    );
+    println!(
+        "        final: P3 holds {} — both racing writes completed.\n",
+        nodes[3].held_tokens(block).unwrap()
+    );
+    println!("Both P1 and P3 completed without any broadcast: token tenure needed");
+    println!("only local timeouts and the home's per-block point of ordering.");
+}

@@ -1,0 +1,249 @@
+//! Adversarial-order delivery fuzzing.
+//!
+//! The timing simulator only explores message orderings that some
+//! latency assignment can produce. This harness is stronger: it drives
+//! the controllers directly and delivers pending messages in *uniformly
+//! random* order (seeded), interleaved with eligible timer firings —
+//! every interleaving of an unordered network is fair game. Throughout,
+//! it checks the single-writer/read-latest property from completion
+//! versions and finishes by asserting quiescence and token conservation.
+
+use std::collections::HashMap;
+
+use patchsim::{AccessKind, BlockAddr, Cycle, NodeId, PredictorChoice, ProtocolKind, SimRng};
+use patchsim_mem::TokenSet;
+use patchsim_protocol::{
+    build_controller, Controller, CoreResponse, MemOp, Msg, Outbox, ProtocolConfig, TimerKey,
+};
+
+struct Harness {
+    nodes: Vec<Box<dyn Controller + Send>>,
+    pending: Vec<(NodeId, Msg)>,
+    timers: Vec<(NodeId, Cycle, TimerKey)>,
+    clock: Cycle,
+    rng: SimRng,
+    /// Per-node outstanding op (blocking cores).
+    outstanding: Vec<Option<MemOp>>,
+    ops_left: Vec<u32>,
+    completed: u64,
+    /// SWMR checker state: last committed version per block.
+    versions: HashMap<BlockAddr, u64>,
+    total_tokens: u32,
+}
+
+impl Harness {
+    fn new(config: &ProtocolConfig, ops_per_node: u32, seed: u64) -> Self {
+        let n = config.num_nodes;
+        Harness {
+            nodes: (0..n).map(|i| build_controller(config, NodeId::new(i))).collect(),
+            pending: Vec::new(),
+            timers: Vec::new(),
+            clock: Cycle::ZERO,
+            rng: SimRng::from_seed(seed),
+            outstanding: vec![None; n as usize],
+            ops_left: vec![ops_per_node; n as usize],
+            completed: 0,
+            versions: HashMap::new(),
+            total_tokens: config.total_tokens,
+        }
+    }
+
+    fn collect(&mut self, from: NodeId, out: Outbox) {
+        for send in out.sends {
+            for dest in send.dests.iter() {
+                self.pending.push((dest, send.msg.clone()));
+            }
+        }
+        for (at, key) in out.timers {
+            self.timers.push((from, at, key));
+        }
+        for c in out.completions {
+            self.check_completion(from, c.addr, c.kind, c.version);
+        }
+    }
+
+    fn check_completion(&mut self, node: NodeId, addr: BlockAddr, kind: AccessKind, version: u64) {
+        let op = self.outstanding[node.index()]
+            .take()
+            .expect("completion without an outstanding op");
+        assert_eq!(op.addr, addr);
+        let last = self.versions.entry(addr).or_insert(0);
+        match kind {
+            AccessKind::Write => {
+                assert_eq!(version, *last + 1, "two writers raced on {addr}");
+                *last = version;
+            }
+            AccessKind::Read => {
+                assert_eq!(version, *last, "stale read of {addr}");
+            }
+        }
+        self.completed += 1;
+    }
+
+    fn maybe_issue(&mut self, blocks: u64) {
+        for i in 0..self.nodes.len() {
+            if self.outstanding[i].is_some() || self.ops_left[i] == 0 {
+                continue;
+            }
+            self.ops_left[i] -= 1;
+            let op = MemOp {
+                addr: BlockAddr::new(self.rng.below(blocks)),
+                kind: if self.rng.chance(0.5) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            };
+            self.outstanding[i] = Some(op);
+            let node = NodeId::new(i as u16);
+            let mut out = Outbox::new();
+            self.clock += 1;
+            let resp = self.nodes[i].core_request(op, self.clock, &mut out);
+            // Hits complete synchronously.
+            if let CoreResponse::Hit { version } = resp {
+                self.check_completion(node, op.addr, op.kind, version);
+            }
+            self.collect(node, out);
+        }
+    }
+
+    /// Delivers one uniformly random pending message.
+    fn deliver_random(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let idx = self.rng.below(self.pending.len() as u64) as usize;
+        let (dest, msg) = self.pending.swap_remove(idx);
+        self.clock += 1;
+        let mut out = Outbox::new();
+        self.nodes[dest.index()].handle_message(msg, self.clock, &mut out);
+        self.collect(dest, out);
+        true
+    }
+
+    /// Fires one random timer, jumping the clock to its deadline.
+    fn fire_random_timer(&mut self) -> bool {
+        if self.timers.is_empty() {
+            return false;
+        }
+        let idx = self.rng.below(self.timers.len() as u64) as usize;
+        let (node, at, key) = self.timers.swap_remove(idx);
+        self.clock = self.clock.max(at) + 1;
+        let mut out = Outbox::new();
+        self.nodes[node.index()].timer_fired(key, self.clock, &mut out);
+        self.collect(node, out);
+        true
+    }
+
+    fn run(&mut self, blocks: u64) {
+        let mut idle_rounds = 0;
+        loop {
+            self.maybe_issue(blocks);
+            // Mostly deliver messages; occasionally fire a timer early
+            // relative to other traffic (always at/after its deadline).
+            let did = if !self.pending.is_empty() && !self.rng.chance(0.1) {
+                self.deliver_random()
+            } else {
+                self.fire_random_timer() || self.deliver_random()
+            };
+            if !did {
+                if self.ops_left.iter().all(|&o| o == 0)
+                    && self.outstanding.iter().all(|o| o.is_none())
+                {
+                    break;
+                }
+                idle_rounds += 1;
+                if idle_rounds >= 10_000 {
+                    for (i, o) in self.outstanding.iter().enumerate() {
+                        if let Some(op) = o {
+                            eprintln!("node {i}: outstanding {op:?}");
+                        }
+                    }
+                    for b in 0..blocks {
+                        let addr = BlockAddr::new(b);
+                        for (i, node) in self.nodes.iter().enumerate() {
+                            if let Some(t) = node.held_tokens(addr) {
+                                if !t.is_empty() {
+                                    eprintln!("block {b}: node {i} holds {t}");
+                                }
+                            }
+                        }
+                    }
+                    panic!("stuck: nothing to deliver but ops outstanding");
+                }
+            } else {
+                idle_rounds = 0;
+            }
+        }
+    }
+
+    fn assert_final_invariants(&self, blocks: u64) {
+        for node in &self.nodes {
+            assert!(node.is_quiescent(), "controller not quiescent");
+        }
+        // Token conservation over every touched block.
+        for b in 0..blocks {
+            let addr = BlockAddr::new(b);
+            let mut total = TokenSet::empty();
+            let mut token_protocol = true;
+            for node in &self.nodes {
+                match node.held_tokens(addr) {
+                    Some(t) => total.merge(t),
+                    None => token_protocol = false,
+                }
+            }
+            if token_protocol {
+                assert_eq!(
+                    total.count(),
+                    self.total_tokens,
+                    "token conservation violated for {addr}"
+                );
+                assert!(total.has_owner(), "owner token lost for {addr}");
+            }
+        }
+    }
+}
+
+fn fuzz(kind: ProtocolKind, predictor: PredictorChoice, seeds: std::ops::Range<u64>) {
+    const BLOCKS: u64 = 6;
+    const OPS: u32 = 60;
+    for seed in seeds {
+        for n in [2u16, 3, 4] {
+            let config = ProtocolConfig::new(kind, n).with_predictor(predictor);
+            let mut h = Harness::new(&config, OPS, seed);
+            h.run(BLOCKS);
+            assert_eq!(
+                h.completed,
+                (n as u64) * OPS as u64,
+                "{kind}/{} n={n} seed={seed}",
+                predictor.label()
+            );
+            h.assert_final_invariants(BLOCKS);
+        }
+    }
+}
+
+#[test]
+fn adversarial_patch_none() {
+    fuzz(ProtocolKind::Patch, PredictorChoice::None, 0..25);
+}
+
+#[test]
+fn adversarial_patch_all() {
+    fuzz(ProtocolKind::Patch, PredictorChoice::All, 0..25);
+}
+
+#[test]
+fn adversarial_patch_owner() {
+    fuzz(ProtocolKind::Patch, PredictorChoice::Owner, 0..8);
+}
+
+#[test]
+fn adversarial_tokenb() {
+    fuzz(ProtocolKind::TokenB, PredictorChoice::None, 0..25);
+}
+
+#[test]
+fn adversarial_directory() {
+    fuzz(ProtocolKind::Directory, PredictorChoice::None, 0..25);
+}

@@ -1,0 +1,194 @@
+//! Protocol fuzzing: randomized workloads on small systems with tiny
+//! caches (to force evictions and writeback races), full invariant
+//! checking on, across many seeds and all three protocols.
+//!
+//! Every run continuously asserts token conservation and the
+//! single-writer/read-latest property, and finishes by asserting full
+//! quiescence — so "it completed" is a strong statement.
+
+use patchsim::{
+    run, CacheGeometry, PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec,
+};
+use patchsim_protocol::ProtocolConfig;
+
+/// A deliberately hostile configuration: few nodes, a tiny shared table
+/// (maximal contention), a tiny cache (constant evictions), short think
+/// times.
+fn hostile(kind: ProtocolKind, n: u16, seed: u64, predictor: PredictorChoice) -> SimConfig {
+    let protocol = ProtocolConfig::new(kind, n)
+        .with_predictor(predictor)
+        .with_cache_geometry(CacheGeometry::new(4, 2)); // 8 blocks!
+    SimConfig::new(kind, n)
+        .with_protocol(protocol)
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 24, // 3x the cache: eviction storm
+            write_frac: 0.5,
+            think_mean: 3,
+        })
+        .with_ops_per_core(250)
+        .with_seed(seed)
+        .with_checks()
+}
+
+#[test]
+fn fuzz_directory_small_cache() {
+    for seed in 0..8 {
+        for n in [2u16, 3, 4, 5] {
+            let r = run(&hostile(ProtocolKind::Directory, n, seed, PredictorChoice::None));
+            assert_eq!(r.ops_completed, n as u64 * 250, "n={n} seed={seed}");
+            assert!(r.counters.writebacks > 0, "evictions exercised");
+        }
+    }
+}
+
+#[test]
+fn fuzz_patch_none_small_cache() {
+    for seed in 0..8 {
+        for n in [2u16, 3, 4, 5] {
+            let r = run(&hostile(ProtocolKind::Patch, n, seed, PredictorChoice::None));
+            assert_eq!(r.ops_completed, n as u64 * 250, "n={n} seed={seed}");
+            assert!(r.token_audits > 0);
+        }
+    }
+}
+
+#[test]
+fn fuzz_patch_all_small_cache() {
+    // Direct requests + tiny caches + high write contention is the
+    // densest race mix: tenure timeouts, bounced tokens, redirects.
+    for seed in 0..8 {
+        for n in [3u16, 4, 5, 8] {
+            let r = run(&hostile(ProtocolKind::Patch, n, seed, PredictorChoice::All));
+            assert_eq!(r.ops_completed, n as u64 * 250, "n={n} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn fuzz_patch_owner_and_bcast_if_shared() {
+    for seed in 0..4 {
+        for predictor in [PredictorChoice::Owner, PredictorChoice::BroadcastIfShared] {
+            let r = run(&hostile(ProtocolKind::Patch, 4, seed, predictor));
+            assert_eq!(r.ops_completed, 1000, "{predictor} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn fuzz_tokenb_small_cache() {
+    for seed in 0..8 {
+        for n in [2u16, 3, 4, 5] {
+            let r = run(&hostile(ProtocolKind::TokenB, n, seed, PredictorChoice::None));
+            assert_eq!(r.ops_completed, n as u64 * 250, "n={n} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn fuzz_single_hot_block() {
+    // Every core hammers one block with writes: the worst possible race
+    // density for token movement.
+    for kind in [
+        ProtocolKind::Directory,
+        ProtocolKind::Patch,
+        ProtocolKind::TokenB,
+    ] {
+        for seed in 0..4 {
+            let protocol = ProtocolConfig::new(kind, 4).with_predictor(PredictorChoice::All);
+            let cfg = SimConfig::new(kind, 4)
+                .with_protocol(protocol)
+                .with_workload(WorkloadSpec::Microbenchmark {
+                    table_blocks: 1,
+                    write_frac: 0.7,
+                    think_mean: 0,
+                })
+                .with_ops_per_core(200)
+                .with_seed(seed)
+                .with_checks();
+            let r = run(&cfg);
+            assert_eq!(r.ops_completed, 800, "{kind} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn fuzz_constrained_bandwidth() {
+    // Narrow links change message orderings dramatically (and exercise
+    // the best-effort drop path under checking).
+    for kind in [ProtocolKind::Directory, ProtocolKind::Patch, ProtocolKind::TokenB] {
+        let protocol = ProtocolConfig::new(kind, 4)
+            .with_predictor(PredictorChoice::All)
+            .with_cache_geometry(CacheGeometry::new(8, 2));
+        let cfg = SimConfig::new(kind, 4)
+            .with_protocol(protocol)
+            .with_bandwidth(patchsim::LinkBandwidth::BytesPerCycle(0.5))
+            .with_workload(WorkloadSpec::Microbenchmark {
+                table_blocks: 64,
+                write_frac: 0.4,
+                think_mean: 5,
+            })
+            .with_ops_per_core(150)
+            .with_seed(17)
+            .with_checks();
+        let r = run(&cfg);
+        assert_eq!(r.ops_completed, 600, "{kind}");
+    }
+}
+
+#[test]
+fn fuzz_migratory_heavy_sharing() {
+    // Read-modify-write chains exercise the migratory optimization and
+    // its interaction with direct requests.
+    let profile = patchsim::SharingProfile {
+        name: "migratory-fuzz",
+        cluster_size: 4,
+        shared_frac: 0.9,
+        shared_blocks: 16,
+        migratory_frac: 0.8,
+        producer_consumer_frac: 0.0,
+        pc_blocks_per_core: 1,
+        shared_write_frac: 0.5,
+        private_blocks: 32,
+        private_write_frac: 0.3,
+        think_mean: 2,
+    };
+    for kind in [ProtocolKind::Directory, ProtocolKind::Patch, ProtocolKind::TokenB] {
+        for seed in 0..4 {
+            let protocol = ProtocolConfig::new(kind, 4)
+                .with_predictor(PredictorChoice::All)
+                .with_cache_geometry(CacheGeometry::new(4, 2));
+            let cfg = SimConfig::new(kind, 4)
+                .with_protocol(protocol)
+                .with_workload(WorkloadSpec::Synthetic(profile.clone()))
+                .with_ops_per_core(200)
+                .with_seed(seed)
+                .with_checks();
+            let r = run(&cfg);
+            assert_eq!(r.ops_completed, 800, "{kind} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn fuzz_coarse_encodings_under_checks() {
+    for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
+        for k in [2u16, 4] {
+            let protocol = ProtocolConfig::new(kind, 4)
+                .with_predictor(PredictorChoice::All)
+                .with_sharer_encoding(patchsim::SharerEncoding::Coarse { cores_per_bit: k })
+                .with_cache_geometry(CacheGeometry::new(8, 2));
+            let cfg = SimConfig::new(kind, 4)
+                .with_protocol(protocol)
+                .with_workload(WorkloadSpec::Microbenchmark {
+                    table_blocks: 48,
+                    write_frac: 0.4,
+                    think_mean: 4,
+                })
+                .with_ops_per_core(200)
+                .with_seed(23)
+                .with_checks();
+            let r = run(&cfg);
+            assert_eq!(r.ops_completed, 800, "{kind} K={k}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-protocol integration tests: all three protocols run the same
+//! workloads to completion under full invariant checking, and the
+//! paper's qualitative relationships hold.
+
+use patchsim::{
+    run, CheckLevel, PredictorChoice, ProtocolKind, SimConfig, TrafficClass, WorkloadSpec,
+};
+
+fn base(kind: ProtocolKind, n: u16) -> SimConfig {
+    SimConfig::new(kind, n)
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 512,
+            write_frac: 0.3,
+            think_mean: 8,
+        })
+        .with_ops_per_core(400)
+        .with_seed(21)
+        .with_checks()
+}
+
+#[test]
+fn all_protocols_complete_with_invariants() {
+    for kind in [
+        ProtocolKind::Directory,
+        ProtocolKind::Patch,
+        ProtocolKind::TokenB,
+    ] {
+        let r = run(&base(kind, 8));
+        assert_eq!(r.ops_completed, 8 * 400, "{kind} completed all ops");
+        assert!(r.coherence_checks > 0);
+    }
+}
+
+#[test]
+fn patch_none_tracks_directory_runtime() {
+    // Paper §8.2: "PATCH configured not to send any direct requests and
+    // DIRECTORY perform similarly" — no common-case penalty from token
+    // counting + token tenure.
+    let dir = run(&base(ProtocolKind::Directory, 8));
+    let patch = run(&base(ProtocolKind::Patch, 8));
+    let ratio = patch.runtime_cycles as f64 / dir.runtime_cycles as f64;
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "PATCH-None runtime should track DIRECTORY: ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn patch_none_traffic_is_close_to_directory() {
+    // Paper §8.2: PATCH-None traffic is "somewhat higher (only 2% on
+    // average)" — non-silent clean writebacks and activation messages.
+    let dir = run(&base(ProtocolKind::Directory, 8));
+    let patch = run(&base(ProtocolKind::Patch, 8));
+    let ratio = patch.bytes_per_miss() / dir.bytes_per_miss();
+    assert!(
+        (0.85..1.35).contains(&ratio),
+        "PATCH-None traffic should be near DIRECTORY's: ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn patch_all_is_faster_than_directory_when_bandwidth_is_rich() {
+    // The headline result: direct requests convert 3-hop sharing misses
+    // into 2-hop misses.
+    let dir = run(&base(ProtocolKind::Directory, 8));
+    let all = run(&base(ProtocolKind::Patch, 8).with_predictor(PredictorChoice::All));
+    assert!(
+        all.runtime_cycles < dir.runtime_cycles,
+        "PATCH-All ({}) should beat DIRECTORY ({})",
+        all.runtime_cycles,
+        dir.runtime_cycles
+    );
+    // And its average miss latency is lower.
+    assert!(all.miss_latency_mean < dir.miss_latency_mean);
+    // At the cost of more traffic.
+    assert!(all.bytes_per_miss() > dir.bytes_per_miss());
+}
+
+#[test]
+fn patch_all_latency_is_comparable_to_tokenb() {
+    // Paper §8.2: PATCH-All "generally performs the same as" TokenB.
+    let all = run(&base(ProtocolKind::Patch, 8).with_predictor(PredictorChoice::All));
+    let tokenb = run(&base(ProtocolKind::TokenB, 8));
+    let ratio = all.runtime_cycles as f64 / tokenb.runtime_cycles as f64;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "PATCH-All vs TokenB runtime ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn every_workload_preset_runs_on_every_protocol() {
+    for workload in patchsim::presets::all() {
+        for kind in [
+            ProtocolKind::Directory,
+            ProtocolKind::Patch,
+            ProtocolKind::TokenB,
+        ] {
+            let cfg = SimConfig::new(kind, 8)
+                .with_workload(workload.clone())
+                .with_ops_per_core(120)
+                .with_seed(3)
+                .with_checks();
+            let r = run(&cfg);
+            assert_eq!(r.ops_completed, 8 * 120, "{kind} on {}", workload.name());
+        }
+    }
+}
+
+#[test]
+fn patch_sends_no_acks_for_unshared_data() {
+    // Token counting elides zero-token acknowledgements entirely: a
+    // private (unshared) workload generates no ack traffic in PATCH.
+    let private_only = WorkloadSpec::Synthetic(patchsim::SharingProfile {
+        name: "private",
+        cluster_size: 4,
+        shared_frac: 0.0,
+        shared_blocks: 1,
+        migratory_frac: 0.0,
+        producer_consumer_frac: 0.0,
+        pc_blocks_per_core: 1,
+        shared_write_frac: 0.0,
+        private_blocks: 512,
+        private_write_frac: 0.4,
+        think_mean: 5,
+    });
+    let cfg = base(ProtocolKind::Patch, 4).with_workload(private_only);
+    let r = run(&cfg);
+    assert_eq!(r.traffic.bytes(TrafficClass::Ack), 0, "no sharers, no acks");
+}
+
+#[test]
+fn checks_can_be_disabled_for_scale() {
+    let mut cfg = base(ProtocolKind::Patch, 8);
+    cfg.check = CheckLevel::Off;
+    let r = run(&cfg);
+    assert_eq!(r.token_audits, 0);
+    assert_eq!(r.coherence_checks, 0);
+    assert_eq!(r.ops_completed, 8 * 400);
+}

@@ -1,0 +1,334 @@
+//! Regression tests for races found by the adversarial-delivery fuzzer
+//! during development. Each test pins one concrete interleaving that
+//! previously deadlocked or corrupted protocol state; see DESIGN.md §3.7
+//! for the analysis.
+
+use patchsim::{AccessKind, BlockAddr, Cycle, NodeId, PredictorChoice, ProtocolKind};
+use patchsim_mem::{OwnerStatus, TokenSet};
+use patchsim_protocol::{
+    Controller, MemOp, Msg, MsgBody, Outbox, PatchController, ProtocolConfig, TokenBController,
+};
+
+fn patch(n: u16, node: u16) -> PatchController {
+    PatchController::new(
+        ProtocolConfig::new(ProtocolKind::Patch, n).with_predictor(PredictorChoice::All),
+        NodeId::new(node),
+    )
+}
+
+fn tokenb(n: u16, node: u16) -> TokenBController {
+    TokenBController::new(ProtocolConfig::new(ProtocolKind::TokenB, n), NodeId::new(node))
+}
+
+/// Bug 1: a standalone activation arriving after another activation
+/// carrier already closed the transaction must be ignored, not crash.
+#[test]
+fn late_standalone_activation_is_stale() {
+    let mut c = patch(4, 1);
+    let addr = BlockAddr::new(2);
+    let mut out = Outbox::new();
+    c.core_request(
+        MemOp {
+            addr,
+            kind: AccessKind::Write,
+        },
+        Cycle::ZERO,
+        &mut out,
+    );
+    // A redirect carrying the activation flag satisfies and activates the
+    // transaction; it deactivates and closes.
+    let mut out = Outbox::new();
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Data {
+                from: NodeId::new(2),
+                serial: 0,
+                tokens: TokenSet::full(4, OwnerStatus::Clean),
+                version: 0,
+                acks_expected: 0,
+                exclusive: false,
+                dirty: false,
+                activation: true,
+            },
+        ),
+        Cycle::new(50),
+        &mut out,
+    );
+    assert!(c.is_quiescent());
+    // The standalone activation the home sent earlier now arrives late:
+    // previously this hit an `expect("activation without a miss")`.
+    let mut out = Outbox::new();
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Activation {
+                serial: 0,
+                acks_expected: 0,
+                exclusive: false,
+            },
+        ),
+        Cycle::new(60),
+        &mut out,
+    );
+    assert!(out.sends.is_empty());
+    assert!(c.is_quiescent());
+}
+
+/// Bug 2: an activation-flagged response from a *previous* transaction on
+/// the same block must not activate the current transaction (its tokens
+/// are still merged).
+#[test]
+fn stale_activation_flag_does_not_activate_new_transaction() {
+    let mut c = patch(4, 1);
+    let addr = BlockAddr::new(2);
+    // Transaction 0: write completes and deactivates normally.
+    let mut out = Outbox::new();
+    c.core_request(
+        MemOp {
+            addr,
+            kind: AccessKind::Write,
+        },
+        Cycle::ZERO,
+        &mut out,
+    );
+    let mut out = Outbox::new();
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Data {
+                from: NodeId::new(2),
+                serial: 0,
+                tokens: TokenSet::full(4, OwnerStatus::Clean),
+                version: 0,
+                acks_expected: 0,
+                exclusive: false,
+                dirty: false,
+                activation: true,
+            },
+        ),
+        Cycle::new(50),
+        &mut out,
+    );
+    assert!(c.is_quiescent());
+    // Its tokens leave again (forwarded request from a racing writer).
+    let mut out = Outbox::new();
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Fwd {
+                kind: AccessKind::Write,
+                requester: NodeId::new(3),
+                serial: 7,
+                acks_expected: 0,
+                exclusive: false,
+            },
+        ),
+        Cycle::new(60),
+        &mut out,
+    );
+    // Transaction 1 (serial 1): a new write miss on the same block.
+    let mut out = Outbox::new();
+    c.core_request(
+        MemOp {
+            addr,
+            kind: AccessKind::Write,
+        },
+        Cycle::new(2000),
+        &mut out,
+    );
+    // A LATE ack from transaction 0's era arrives, activation flag set but
+    // serial 0: the tokens must merge, the activation must NOT apply.
+    let mut out = Outbox::new();
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Ack {
+                from: NodeId::new(0),
+                serial: 0, // stale serial
+                tokens: TokenSet::plain(1),
+                activation: true,
+            },
+        ),
+        Cycle::new(2010),
+        &mut out,
+    );
+    // Were the stale activation applied, the controller would deactivate
+    // as soon as it became satisfied, producing a bogus Deactivate while
+    // the home is busy with another requester. Verify it still considers
+    // itself non-activated: satisfying the miss must NOT deactivate.
+    let mut out = Outbox::new();
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Data {
+                from: NodeId::new(3),
+                serial: 1,
+                tokens: TokenSet::full(3, OwnerStatus::Dirty),
+                version: 2,
+                acks_expected: 0,
+                exclusive: false,
+                dirty: true,
+                activation: false,
+            },
+        ),
+        Cycle::new(2020),
+        &mut out,
+    );
+    assert_eq!(out.completions.len(), 1, "performed with untenured tokens");
+    assert!(
+        out.sends
+            .iter()
+            .all(|s| !matches!(s.msg.body, MsgBody::Deactivate { .. })),
+        "must not deactivate before its own activation arrives"
+    );
+    assert!(!c.is_quiescent());
+}
+
+/// Bug 3a: a PersistentDeactivate for an old starver reordered after the
+/// next starver's PersistentActivate must not clear the fresh entry.
+#[test]
+fn reordered_persistent_deactivate_does_not_clobber_next_starver() {
+    let mut c = tokenb(4, 1);
+    let addr = BlockAddr::new(2);
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::PersistentActivate {
+                starver: NodeId::new(3),
+                kind: AccessKind::Write,
+            },
+        ),
+        Cycle::new(10),
+        &mut Outbox::new(),
+    );
+    // The deactivation broadcast for the PREVIOUS starver (node 0)
+    // arrives late.
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::PersistentDeactivate {
+                starver: NodeId::new(0),
+            },
+        ),
+        Cycle::new(20),
+        &mut Outbox::new(),
+    );
+    // Node 3's entry must survive: tokens arriving now still forward.
+    let mut out = Outbox::new();
+    c.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Ack {
+                from: NodeId::new(2),
+                serial: 0,
+                tokens: TokenSet::plain(2),
+                activation: false,
+            },
+        ),
+        Cycle::new(30),
+        &mut out,
+    );
+    assert_eq!(out.sends.len(), 1);
+    assert_eq!(out.sends[0].dests.as_single(), Some(NodeId::new(3)));
+}
+
+/// Bug 3b: a requester that completed before its persistent request
+/// reached the home must release the arbiter when the stale activation
+/// finally arrives — otherwise the entry stays active forever and every
+/// later starver queues behind it.
+#[test]
+fn stale_persistent_activation_is_released_by_starver() {
+    let mut home = tokenb(4, 2); // home of block 2
+    let addr = BlockAddr::new(2);
+    // Node 1's persistent request arrives (its miss actually completed
+    // already, but the home cannot know).
+    let mut out = Outbox::new();
+    home.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Request {
+                kind: AccessKind::Write,
+                requester: NodeId::new(1),
+                serial: 5,
+                style: patchsim_protocol::RequestStyle::Persistent,
+            },
+        ),
+        Cycle::new(10),
+        &mut out,
+    );
+    assert!(out.sends.iter().any(|s| matches!(
+        s.msg.body,
+        MsgBody::PersistentActivate { starver, .. } if starver == NodeId::new(1)
+    )));
+
+    // Node 1 receives its own activation with no transaction open: it
+    // must answer with a deactivation to release the arbiter.
+    let mut n1 = tokenb(4, 1);
+    let mut out = Outbox::new();
+    n1.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::PersistentActivate {
+                starver: NodeId::new(1),
+                kind: AccessKind::Write,
+            },
+        ),
+        Cycle::new(20),
+        &mut out,
+    );
+    let deact = out
+        .sends
+        .iter()
+        .find(|s| matches!(s.msg.body, MsgBody::Deactivate { .. }))
+        .expect("stale activation must be released");
+    assert_eq!(deact.dests.as_single(), Some(NodeId::new(2)), "to the arbiter");
+
+    // The home processes it: entry freed, next starver activates.
+    let mut out = Outbox::new();
+    home.handle_message(deact.msg.clone(), Cycle::new(30), &mut out);
+    assert!(out.sends.iter().any(|s| matches!(
+        s.msg.body,
+        MsgBody::PersistentDeactivate { starver } if starver == NodeId::new(1)
+    )));
+    assert!(home.is_quiescent());
+}
+
+/// A deactivation from a node that is not the active starver (early or
+/// duplicated) must be ignored by the arbiter.
+#[test]
+fn arbiter_ignores_foreign_deactivations() {
+    let mut home = tokenb(4, 2);
+    let addr = BlockAddr::new(2);
+    let mut out = Outbox::new();
+    home.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Request {
+                kind: AccessKind::Write,
+                requester: NodeId::new(1),
+                serial: 0,
+                style: patchsim_protocol::RequestStyle::Persistent,
+            },
+        ),
+        Cycle::new(10),
+        &mut out,
+    );
+    // Node 3's early deactivation (for a request still in flight) arrives.
+    let mut out = Outbox::new();
+    home.handle_message(
+        Msg::new(
+            addr,
+            MsgBody::Deactivate {
+                requester: NodeId::new(3),
+                serial: 0,
+                new_owner: false,
+                keeps_copy: false,
+            },
+        ),
+        Cycle::new(20),
+        &mut out,
+    );
+    assert!(out.sends.is_empty(), "node 1's entry must stay active");
+    assert!(!home.is_quiescent());
+}

@@ -1,0 +1,288 @@
+//! Directed token-tenure scenarios: the paper's Figure 1/2 race and the
+//! surrounding forward-progress machinery, driven at controller level
+//! with adversarial message ordering.
+
+use patchsim::{AccessKind, BlockAddr, Cycle, NodeId, PredictorChoice, ProtocolKind};
+use patchsim_protocol::{
+    Controller, MemOp, Msg, MsgBody, OutMsg, Outbox, PatchController, ProtocolConfig,
+    RequestStyle, TimerKey, TimerKind,
+};
+
+/// A controllable network for adversarial delivery schedules.
+struct Net {
+    in_flight: Vec<(NodeId, Msg)>,
+    timers: Vec<(NodeId, Cycle, TimerKey)>,
+    completions: Vec<NodeId>,
+}
+
+impl Net {
+    fn new() -> Self {
+        Net {
+            in_flight: Vec::new(),
+            timers: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    fn collect(&mut self, from: NodeId, out: Outbox) {
+        for OutMsg { dests, msg, .. } in out.sends {
+            for dest in dests.iter() {
+                self.in_flight.push((dest, msg.clone()));
+            }
+        }
+        for (at, key) in out.timers {
+            self.timers.push((from, at, key));
+        }
+        for _ in out.completions {
+            self.completions.push(from);
+        }
+    }
+
+    fn deliver_first(
+        &mut self,
+        nodes: &mut [PatchController],
+        now: Cycle,
+        pred: impl Fn(&NodeId, &Msg) -> bool,
+    ) -> bool {
+        let Some(idx) = self.in_flight.iter().position(|(d, m)| pred(d, m)) else {
+            return false;
+        };
+        let (dest, msg) = self.in_flight.remove(idx);
+        let mut out = Outbox::new();
+        nodes[dest.index()].handle_message(msg, now, &mut out);
+        self.collect(dest, out);
+        true
+    }
+
+    fn drain(&mut self, nodes: &mut [PatchController], now: Cycle) {
+        while self.deliver_first(nodes, now, |_, _| true) {}
+    }
+
+    fn fire_timer(
+        &mut self,
+        nodes: &mut [PatchController],
+        node: NodeId,
+        kind: TimerKind,
+    ) -> bool {
+        let Some(idx) = self
+            .timers
+            .iter()
+            .position(|(n, _, k)| *n == node && k.kind == kind)
+        else {
+            return false;
+        };
+        let (n, at, key) = self.timers.remove(idx);
+        let mut out = Outbox::new();
+        nodes[n.index()].timer_fired(key, at, &mut out);
+        self.collect(n, out);
+        true
+    }
+}
+
+fn make_nodes(n: u16) -> Vec<PatchController> {
+    let config = ProtocolConfig::new(ProtocolKind::Patch, n).with_predictor(PredictorChoice::All);
+    (0..n)
+        .map(|i| PatchController::new(config.clone(), NodeId::new(i)))
+        .collect()
+}
+
+fn request(nodes: &mut [PatchController], net: &mut Net, node: u16, kind: AccessKind, at: u64) {
+    let mut out = Outbox::new();
+    let resp = nodes[node as usize].core_request(
+        MemOp {
+            addr: BlockAddr::new(0),
+            kind,
+        },
+        Cycle::new(at),
+        &mut out,
+    );
+    // A racing writer that still holds all tokens hits silently; count it
+    // as completed just like a miss completion.
+    if matches!(resp, patchsim_protocol::CoreResponse::Hit { .. }) {
+        net.completions.push(NodeId::new(node));
+    }
+    net.collect(NodeId::new(node), out);
+}
+
+/// The full Figure 1 -> Figure 2 scenario (see also the
+/// `token_tenure_race` example, which narrates the same schedule).
+#[test]
+fn figure2_race_resolves_via_tenure() {
+    let mut nodes = make_nodes(4);
+    let mut net = Net::new();
+    let block = BlockAddr::new(0);
+    let p = NodeId::new;
+
+    // Setup: P1 writes, P2 reads (owner migrates to P2).
+    request(&mut nodes, &mut net, 1, AccessKind::Write, 0);
+    net.drain(&mut nodes, Cycle::new(10));
+    request(&mut nodes, &mut net, 2, AccessKind::Read, 20);
+    net.drain(&mut nodes, Cycle::new(30));
+    net.completions.clear();
+
+    // P3's write: direct requests delivered, indirect delayed.
+    request(&mut nodes, &mut net, 3, AccessKind::Write, 2000);
+    for target in [1u16, 2] {
+        assert!(net.deliver_first(&mut nodes, Cycle::new(2005), |d, m| {
+            *d == p(target) && matches!(m.body, MsgBody::Request { .. })
+        }));
+    }
+    // Token responses reach P3: it performs untenured.
+    for _ in 0..2 {
+        assert!(net.deliver_first(&mut nodes, Cycle::new(2010), |d, m| {
+            *d == p(3) && matches!(m.body, MsgBody::Data { .. } | MsgBody::Ack { .. })
+        }));
+    }
+    assert_eq!(net.completions, vec![p(3)], "P3 performed before activation");
+    assert_eq!(nodes[3].counters().satisfied_before_activation, 1);
+    net.completions.clear();
+
+    // P1's racing write wins at the home.
+    request(&mut nodes, &mut net, 1, AccessKind::Write, 2020);
+    assert!(net.deliver_first(&mut nodes, Cycle::new(2030), |d, m| {
+        *d == p(0)
+            && matches!(m.body, MsgBody::Request { requester, style: RequestStyle::Indirect, .. }
+                if requester == p(1))
+    }));
+    net.drain(&mut nodes, Cycle::new(2040));
+    assert!(net.completions.is_empty(), "P1 cannot complete yet");
+
+    // Tenure: P3 discards; home redirects to P1; P1 completes.
+    assert!(net.fire_timer(&mut nodes, p(3), TimerKind::Tenure));
+    assert_eq!(nodes[3].counters().tenure_timeouts, 1);
+    net.drain(&mut nodes, Cycle::new(3000));
+    assert!(net.completions.contains(&p(1)), "P1's write completed");
+
+    // Everything quiesces; P3 ends with all tokens (it was activated last).
+    assert!(nodes.iter().all(|n| n.is_quiescent()));
+    let p3 = nodes[3].held_tokens(block).unwrap();
+    assert_eq!(p3.count(), 4);
+    assert!(p3.requires_data(), "P3 holds a dirty-owner M copy");
+}
+
+/// Without the race, direct requests complete misses in two hops and the
+/// activation is off the critical path.
+#[test]
+fn direct_request_fast_path_without_race() {
+    let mut nodes = make_nodes(4);
+    let mut net = Net::new();
+    let p = NodeId::new;
+
+    request(&mut nodes, &mut net, 1, AccessKind::Write, 0);
+    net.drain(&mut nodes, Cycle::new(10));
+    net.completions.clear();
+
+    // P2 reads; deliver ONLY the direct request and its response.
+    request(&mut nodes, &mut net, 2, AccessKind::Read, 2000);
+    assert!(net.deliver_first(&mut nodes, Cycle::new(2005), |d, m| {
+        *d == p(1)
+            && matches!(
+                m.body,
+                MsgBody::Request {
+                    style: RequestStyle::Direct,
+                    ..
+                }
+            )
+    }));
+    assert!(net.deliver_first(&mut nodes, Cycle::new(2010), |d, m| {
+        *d == p(2) && matches!(m.body, MsgBody::Data { .. })
+    }));
+    assert_eq!(net.completions, vec![p(2)], "read done in 2 hops");
+    // The indirect path then merely tidies up.
+    net.drain(&mut nodes, Cycle::new(2100));
+    assert!(nodes.iter().all(|n| n.is_quiescent()));
+}
+
+/// Untenured tokens may satisfy misses (the tenure process is off the
+/// critical path), but the transaction stays open until activation.
+#[test]
+fn untenured_tokens_satisfy_but_do_not_deactivate() {
+    let mut nodes = make_nodes(4);
+    let mut net = Net::new();
+    let p = NodeId::new;
+
+    request(&mut nodes, &mut net, 1, AccessKind::Write, 0);
+    net.drain(&mut nodes, Cycle::new(10));
+    net.completions.clear();
+
+    request(&mut nodes, &mut net, 2, AccessKind::Write, 2000);
+    // Deliver only the direct request; P1 hands over all four tokens.
+    assert!(net.deliver_first(&mut nodes, Cycle::new(2005), |d, _| *d == p(1)));
+    assert!(net.deliver_first(&mut nodes, Cycle::new(2010), |d, m| {
+        *d == p(2) && matches!(m.body, MsgBody::Data { .. })
+    }));
+    assert_eq!(net.completions, vec![p(2)]);
+    assert!(!nodes[2].is_quiescent(), "TBE open until activation");
+    net.drain(&mut nodes, Cycle::new(2100));
+    assert!(nodes[2].is_quiescent(), "activation closed the transaction");
+}
+
+/// A tenure timeout before activation does not lose written data: the
+/// dirty owner token carries it home and back.
+#[test]
+fn tenure_timeout_preserves_dirty_data() {
+    let mut nodes = make_nodes(4);
+    let mut net = Net::new();
+    let p = NodeId::new;
+
+    request(&mut nodes, &mut net, 1, AccessKind::Write, 0);
+    net.drain(&mut nodes, Cycle::new(10));
+    net.completions.clear();
+
+    // P2 writes via direct requests only (indirect delayed), performs,
+    // then times out before its activation arrives.
+    request(&mut nodes, &mut net, 2, AccessKind::Write, 2000);
+    assert!(net.deliver_first(&mut nodes, Cycle::new(2005), |d, _| *d == p(1)));
+    assert!(net.deliver_first(&mut nodes, Cycle::new(2010), |d, m| {
+        *d == p(2) && matches!(m.body, MsgBody::Data { .. })
+    }));
+    assert_eq!(net.completions, vec![p(2)], "write performed (version 2)");
+    assert!(net.fire_timer(&mut nodes, p(2), TimerKind::Tenure));
+    assert_eq!(nodes[2].counters().tenure_timeouts, 1);
+    // The discarded tokens carry the dirty data home; when P2's indirect
+    // request finally activates, everything flows back and quiesces.
+    net.drain(&mut nodes, Cycle::new(3000));
+    assert!(nodes.iter().all(|n| n.is_quiescent()));
+
+    // P3 now reads and must observe version 2 (P1's write was 1, P2's 2).
+    request(&mut nodes, &mut net, 3, AccessKind::Read, 4000);
+    net.drain(&mut nodes, Cycle::new(4100));
+    assert_eq!(net.completions.last(), Some(&p(3)));
+}
+
+/// Multiple racing writers with fully adversarial direct-request
+/// interleavings still all complete (the queue at the home serializes
+/// activations).
+#[test]
+fn three_way_write_race_completes() {
+    let mut nodes = make_nodes(4);
+    let mut net = Net::new();
+
+    request(&mut nodes, &mut net, 1, AccessKind::Write, 0);
+    net.drain(&mut nodes, Cycle::new(10));
+    net.completions.clear();
+
+    // All three race.
+    request(&mut nodes, &mut net, 1, AccessKind::Write, 2000);
+    request(&mut nodes, &mut net, 2, AccessKind::Write, 2000);
+    request(&mut nodes, &mut net, 3, AccessKind::Write, 2000);
+    // Deliver everything in whatever order the queue happens to hold,
+    // repeatedly firing every pending tenure timer, until the whole
+    // system quiesces.
+    for round in 0..50 {
+        let now = Cycle::new(2100 + round * 1000);
+        net.drain(&mut nodes, now);
+        let mut fired = false;
+        for n in [1u16, 2, 3] {
+            while net.fire_timer(&mut nodes, NodeId::new(n), TimerKind::Tenure) {
+                fired = true;
+            }
+        }
+        net.drain(&mut nodes, now + 500);
+        if !fired && net.in_flight.is_empty() && nodes.iter().all(|n| n.is_quiescent()) {
+            break;
+        }
+    }
+    assert_eq!(net.completions.len(), 3, "all three writes completed");
+    assert!(nodes.iter().all(|n| n.is_quiescent()));
+}
