@@ -4,10 +4,11 @@
 //! per paper figure, so `cargo bench` exercises each experiment's full
 //! machinery (the figure *data* itself comes from the `fig*` binaries).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use patchsim::{presets, run, LinkBandwidth, ProtocolKind};
+use patchsim_bench::harness::Criterion;
 use patchsim_bench::{
-    bandwidth_sweep_configs, figure4_configs, inexact_config, scalability_configs, Scale,
+    bandwidth_sweep_configs, criterion_group, criterion_main, figure4_configs, inexact_config,
+    scalability_configs, Scale,
 };
 
 fn tiny() -> Scale {

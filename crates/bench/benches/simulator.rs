@@ -2,8 +2,9 @@
 //! the substrate costs that bound how large a system `patchsim` can
 //! simulate in reasonable wall-clock time.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use patchsim::{Cycle, NodeId};
+use patchsim_bench::harness::{BatchSize, Criterion};
+use patchsim_bench::{criterion_group, criterion_main};
 use patchsim_kernel::EventQueue;
 use patchsim_mem::{BlockAddr, CacheArray, CacheGeometry, SharerEncoding, SharerSet};
 use patchsim_noc::{DestSet, NocEvent, NocPayload, Priority, Torus, TorusConfig, TrafficClass};

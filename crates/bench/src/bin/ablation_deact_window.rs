@@ -36,7 +36,11 @@ fn main() {
             .with_ops_per_core(scale.ops)
             .with_warmup(scale.warmup);
         let summary = summarize(&run_many(&config, scale.seeds));
-        let timeouts: u64 = summary.runs.iter().map(|r| r.counters.tenure_timeouts).sum();
+        let timeouts: u64 = summary
+            .runs
+            .iter()
+            .map(|r| r.counters.tenure_timeouts)
+            .sum();
         let ignored: u64 = summary.runs.iter().map(|r| r.counters.direct_ignored).sum();
         println!(
             "{:<14} {:>12.0} {:>16} {:>16} {:>14.1}",

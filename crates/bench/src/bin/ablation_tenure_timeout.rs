@@ -8,7 +8,9 @@
 //!
 //! `cargo run --release -p patchsim-bench --bin ablation_tenure_timeout [--quick]`
 
-use patchsim::{run_many, summarize, PredictorChoice, ProtocolKind, SimConfig, TenureConfig, WorkloadSpec};
+use patchsim::{
+    run_many, summarize, PredictorChoice, ProtocolKind, SimConfig, TenureConfig, WorkloadSpec,
+};
 use patchsim_bench::Scale;
 use patchsim_protocol::ProtocolConfig;
 
@@ -43,7 +45,11 @@ fn main() {
             .with_ops_per_core(scale.ops)
             .with_warmup(scale.warmup);
         let summary = summarize(&run_many(&config, scale.seeds));
-        let timeouts: u64 = summary.runs.iter().map(|r| r.counters.tenure_timeouts).sum();
+        let timeouts: u64 = summary
+            .runs
+            .iter()
+            .map(|r| r.counters.tenure_timeouts)
+            .sum();
         let wbs: u64 = summary.runs.iter().map(|r| r.counters.writebacks).sum();
         println!(
             "{:<18} {:>12.0} {:>16} {:>14}",

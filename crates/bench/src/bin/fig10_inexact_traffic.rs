@@ -28,8 +28,7 @@ fn main() {
         for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
             let mut baseline = None;
             for k in coarseness_sweep(cores) {
-                let config =
-                    inexact_config(kind, cores, k, LinkBandwidth::BytesPerCycle(2.0), ops);
+                let config = inexact_config(kind, cores, k, LinkBandwidth::BytesPerCycle(2.0), ops);
                 let summary = summarize(&run_many(&config, scale.seeds));
                 let base = *baseline.get_or_insert(summary.bytes_per_miss.mean);
                 println!(

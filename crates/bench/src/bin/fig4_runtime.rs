@@ -19,7 +19,13 @@ fn main() {
     );
     println!(
         "{:<10} {:>10} {:>11} {:>12} {:>14} {:>10} {:>8}",
-        "workload", "Directory", "PATCH-None", "PATCH-Owner", "BcastIfShared", "PATCH-All", "TokenB"
+        "workload",
+        "Directory",
+        "PATCH-None",
+        "PATCH-Owner",
+        "BcastIfShared",
+        "PATCH-All",
+        "TokenB"
     );
 
     let mut avg_speedup = Vec::new();

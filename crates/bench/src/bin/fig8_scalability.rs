@@ -18,7 +18,9 @@ fn main() {
     } else {
         &[4, 8, 16, 32, 64, 128, 256, 512]
     };
-    println!("Figure 8: microbenchmark scalability (2 B/cycle links; runtime normalized to Directory)\n");
+    println!(
+        "Figure 8: microbenchmark scalability (2 B/cycle links; runtime normalized to Directory)\n"
+    );
     println!(
         "{:>8} {:>11} {:>14} {:>11}",
         "cores", "Directory", "PATCH-All-NA", "PATCH-All"

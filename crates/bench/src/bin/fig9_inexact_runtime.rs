@@ -24,10 +24,7 @@ fn main() {
         let ops = 0; // use the steady-state microbench schedule
         for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
             print!("{:<10} {:>4} cores |", kind.label(), cores);
-            for bandwidth in [
-                LinkBandwidth::Unbounded,
-                LinkBandwidth::BytesPerCycle(2.0),
-            ] {
+            for bandwidth in [LinkBandwidth::Unbounded, LinkBandwidth::BytesPerCycle(2.0)] {
                 let mut baseline = None;
                 let mut cells = Vec::new();
                 for k in coarseness_sweep(cores) {
@@ -36,7 +33,11 @@ fn main() {
                     let base = *baseline.get_or_insert(summary.runtime.mean);
                     cells.push(format!("K{}={:.2}", k, summary.runtime.mean / base));
                 }
-                let label = if bandwidth.is_unbounded() { "inf" } else { "2B/c" };
+                let label = if bandwidth.is_unbounded() {
+                    "inf"
+                } else {
+                    "2B/c"
+                };
                 print!("  [{label}] {}", cells.join(" "));
             }
             println!();

@@ -19,9 +19,10 @@
 //! `cargo bench` additionally runs scaled-down criterion versions of every
 //! figure plus microbenchmarks of the simulator's core data structures.
 
+pub mod harness;
+
 use patchsim::{
-    presets, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig,
-    WorkloadSpec,
+    presets, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig, WorkloadSpec,
 };
 use patchsim_protocol::ProtocolConfig;
 
@@ -253,10 +254,7 @@ mod tests {
         let configs = bandwidth_sweep_configs(Scale::quick(), &presets::ocean(), 300.0);
         assert_eq!(configs.len(), 3);
         // 300 bytes/kcycle = 0.3 bytes/cycle.
-        assert_eq!(
-            configs[0].1.bandwidth,
-            LinkBandwidth::BytesPerCycle(0.3)
-        );
+        assert_eq!(configs[0].1.bandwidth, LinkBandwidth::BytesPerCycle(0.3));
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl RunSummary {
 pub fn summarize(runs: &[RunResult]) -> RunSummary {
     assert!(!runs.is_empty(), "cannot summarize zero runs");
     let runtime = ConfidenceInterval::from_samples(
-        &runs.iter().map(|r| r.runtime_cycles as f64).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| r.runtime_cycles as f64)
+            .collect::<Vec<_>>(),
     );
     let bytes_per_miss = ConfidenceInterval::from_samples(
         &runs.iter().map(|r| r.bytes_per_miss()).collect::<Vec<_>>(),

@@ -4,8 +4,7 @@ use patchsim_kernel::stats::Histogram;
 use patchsim_kernel::{Cycle, EventQueue, SimRng};
 use patchsim_noc::{NocEvent, NodeId, Torus};
 use patchsim_protocol::{
-    build_controller, Completion, Controller, CoreResponse, MemOp, Msg, ProtocolCounters,
-    TimerKey,
+    build_controller, Completion, Controller, CoreResponse, MemOp, Msg, ProtocolCounters, TimerKey,
 };
 use patchsim_workload::Generator;
 
@@ -114,7 +113,9 @@ impl System {
             .collect();
         let cores = (0..n)
             .map(|i| CoreState {
-                generator: config.workload.generator(NodeId::new(i), n, root_rng.clone()),
+                generator: config
+                    .workload
+                    .generator(NodeId::new(i), n, root_rng.clone()),
                 pending: None,
                 outstanding: None,
                 ops_done: 0,
@@ -204,12 +205,7 @@ impl System {
 
     /// Routes a controller's outputs: messages into the interconnect,
     /// timers into the event queue, completions into the core model.
-    fn process_outbox(
-        &mut self,
-        node: NodeId,
-        out: patchsim_protocol::Outbox,
-        now: Cycle,
-    ) {
+    fn process_outbox(&mut self, node: NodeId, out: patchsim_protocol::Outbox, now: Cycle) {
         for send in out.sends {
             self.auditor.on_send(&send.msg);
             let mut scheds = Vec::new();
@@ -288,12 +284,10 @@ impl System {
             Event::Noc(ev) => {
                 let mut scheds = Vec::new();
                 let mut delivered = Vec::new();
-                self.noc.handle(
-                    now,
-                    ev,
-                    &mut |at, e| scheds.push((at, e)),
-                    &mut |n, m| delivered.push((n, m)),
-                );
+                self.noc
+                    .handle(now, ev, &mut |at, e| scheds.push((at, e)), &mut |n, m| {
+                        delivered.push((n, m))
+                    });
                 for (at, e) in scheds {
                     self.queue.push(at, Event::Noc(e));
                 }

@@ -1,17 +1,14 @@
 //! Seedable random-number generation with independent per-component streams.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random-number generator for simulation use.
 ///
-/// `SimRng` wraps [`rand::rngs::SmallRng`] and adds [`SimRng::fork`], which
-/// derives an independent child stream from a parent seed and a stream
-/// label. Components (per-node workload generators, the interconnect's
-/// jitter model, ...) each fork their own stream so that adding a new
-/// consumer of randomness never perturbs the draws seen by existing ones —
-/// a requirement for the perturbation-based confidence-interval methodology
-/// the paper borrows from Alameldeen et al.
+/// `SimRng` is a self-contained xoshiro256++ generator (Blackman & Vigna)
+/// with [`SimRng::fork`], which derives an independent child stream from a
+/// parent seed and a stream label. Components (per-node workload
+/// generators, the interconnect's jitter model, ...) each fork their own
+/// stream so that adding a new consumer of randomness never perturbs the
+/// draws seen by existing ones — a requirement for the perturbation-based
+/// confidence-interval methodology the paper borrows from Alameldeen et al.
 ///
 /// # Examples
 ///
@@ -25,7 +22,7 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 /// SplitMix64 step, used to mix seeds and stream ids into well-distributed
@@ -41,10 +38,15 @@ fn splitmix64(mut x: u64) -> u64 {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        // Expand the seed into four non-zero state words with SplitMix64,
+        // the initialisation recommended by the xoshiro authors.
+        let mut s = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            s = splitmix64(s);
+            *w = s;
         }
+        SimRng { seed, state }
     }
 
     /// Derives an independent child generator identified by `stream`.
@@ -53,13 +55,35 @@ impl SimRng {
     /// state from `self`, so the order in which components fork their
     /// streams does not matter.
     pub fn fork(&self, stream: u64) -> SimRng {
-        let child_seed = splitmix64(self.seed ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)));
+        let child_seed =
+            splitmix64(self.seed ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)));
         SimRng::from_seed(child_seed)
     }
 
     /// Returns the seed this generator was created from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Returns the next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n = [s0, s1, s2, s3];
+        n[2] ^= n[0];
+        n[3] ^= n[1];
+        n[1] ^= n[2];
+        n[0] ^= n[3];
+        n[2] ^= t;
+        n[3] = n[3].rotate_left(45);
+        self.state = n;
+        result
+    }
+
+    /// Returns the next raw 32-bit output (upper half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Returns a uniformly distributed value in `[0, bound)`.
@@ -69,7 +93,19 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Debiased multiply-shift rejection sampling (Lemire's method).
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -79,28 +115,14 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Returns a uniformly distributed `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -152,6 +174,25 @@ mod tests {
         }
         // bound of 1 always yields 0
         assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = SimRng::from_seed(17);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = SimRng::from_seed(23);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]

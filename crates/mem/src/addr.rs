@@ -54,7 +54,10 @@ impl BlockAddr {
     /// Panics if `blocks_per_macroblock` is zero.
     #[inline]
     pub fn macroblock(self, blocks_per_macroblock: u64) -> u64 {
-        assert!(blocks_per_macroblock > 0, "macroblock size must be positive");
+        assert!(
+            blocks_per_macroblock > 0,
+            "macroblock size must be positive"
+        );
         self.0 / blocks_per_macroblock
     }
 }

@@ -153,7 +153,10 @@ impl SharerSet {
     pub fn insert(&mut self, node: NodeId) {
         assert!(node.raw() < self.num_nodes, "{node} out of range");
         match &mut self.repr {
-            Repr::Bits { cores_per_bit, bits } => {
+            Repr::Bits {
+                cores_per_bit,
+                bits,
+            } => {
                 let g = node.index() / *cores_per_bit as usize;
                 bits[g / 64] |= 1 << (g % 64);
             }
@@ -183,7 +186,10 @@ impl SharerSet {
             return false;
         }
         match &mut self.repr {
-            Repr::Bits { cores_per_bit, bits } => {
+            Repr::Bits {
+                cores_per_bit,
+                bits,
+            } => {
                 if *cores_per_bit != 1 {
                     return false;
                 }
@@ -228,7 +234,10 @@ impl SharerSet {
             return false;
         }
         match &self.repr {
-            Repr::Bits { cores_per_bit, bits } => {
+            Repr::Bits {
+                cores_per_bit,
+                bits,
+            } => {
                 let g = node.index() / *cores_per_bit as usize;
                 bits[g / 64] & (1 << (g % 64)) != 0
             }
@@ -252,7 +261,10 @@ impl SharerSet {
     /// directory would forward invalidations to.
     pub fn members(&self) -> DestSet {
         match &self.repr {
-            Repr::Bits { cores_per_bit, bits } => {
+            Repr::Bits {
+                cores_per_bit,
+                bits,
+            } => {
                 let mut out = DestSet::empty(self.num_nodes);
                 let k = *cores_per_bit as usize;
                 let groups = (self.num_nodes as usize).div_ceil(k);
@@ -319,7 +331,17 @@ impl fmt::Debug for SharerSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use patchsim_kernel::SimRng;
+
+    /// Draws a random sharer set of up to 19 distinct nodes in `0..100`.
+    fn random_nodes(rng: &mut SimRng) -> std::collections::BTreeSet<u16> {
+        let count = rng.below(20);
+        let mut nodes = std::collections::BTreeSet::new();
+        for _ in 0..count {
+            nodes.insert(rng.below(100) as u16);
+        }
+        nodes
+    }
 
     #[test]
     fn full_map_is_exact() {
@@ -423,10 +445,7 @@ mod tests {
         let s = SharerSet::new(8, SharerEncoding::Coarse { cores_per_bit: 1 });
         assert_eq!(s.encoding(), SharerEncoding::FullMap);
         let s = SharerSet::new(8, SharerEncoding::LimitedPointer { pointers: 3 });
-        assert_eq!(
-            s.encoding(),
-            SharerEncoding::LimitedPointer { pointers: 3 }
-        );
+        assert_eq!(s.encoding(), SharerEncoding::LimitedPointer { pointers: 3 });
         assert_eq!(SharerEncoding::FullMap.to_string(), "full-map");
         assert_eq!(
             SharerEncoding::Coarse { cores_per_bit: 4 }.to_string(),
@@ -438,56 +457,64 @@ mod tests {
         );
     }
 
-    proptest! {
-        /// Every encoding yields a superset of the true sharer set.
-        #[test]
-        fn members_is_superset(
-            nodes in proptest::collection::btree_set(0u16..100, 0..20),
-            k in 1u16..100,
-        ) {
+    /// Every encoding yields a superset of the true sharer set.
+    /// Randomised over 256 seeded (sharer-set, K) draws.
+    #[test]
+    fn members_is_superset() {
+        let mut rng = SimRng::from_seed(0x5A4E);
+        for _ in 0..256 {
+            let nodes = random_nodes(&mut rng);
+            let k = 1 + rng.below(99) as u16;
             let mut s = SharerSet::new(100, SharerEncoding::Coarse { cores_per_bit: k });
             for &n in &nodes {
                 s.insert(NodeId::new(n));
             }
             let members = s.members();
             for &n in &nodes {
-                prop_assert!(members.contains(NodeId::new(n)));
+                assert!(members.contains(NodeId::new(n)));
             }
             // And the overapproximation is bounded by rounding: at most
             // one extra group per true sharer.
-            prop_assert!(members.len() <= nodes.len() * k as usize);
+            assert!(members.len() <= nodes.len() * k as usize);
         }
+    }
 
-        /// A full map is always exact.
-        #[test]
-        fn full_map_members_exact(nodes in proptest::collection::btree_set(0u16..100, 0..20)) {
+    /// A full map is always exact. Randomised over 256 seeded draws.
+    #[test]
+    fn full_map_members_exact() {
+        let mut rng = SimRng::from_seed(0xF011);
+        for _ in 0..256 {
+            let nodes = random_nodes(&mut rng);
             let mut s = SharerSet::new(100, SharerEncoding::FullMap);
             for &n in &nodes {
                 s.insert(NodeId::new(n));
             }
             let got: Vec<u16> = s.members().iter().map(|n| n.raw()).collect();
             let want: Vec<u16> = nodes.into_iter().collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
+    }
 
-        /// Limited pointers are a superset too, and exact within the limit.
-        #[test]
-        fn limited_pointer_superset(
-            nodes in proptest::collection::btree_set(0u16..100, 0..20),
-            max in 1u16..8,
-        ) {
+    /// Limited pointers are a superset too, and exact within the limit.
+    /// Randomised over 256 seeded (sharer-set, pointer-limit) draws.
+    #[test]
+    fn limited_pointer_superset() {
+        let mut rng = SimRng::from_seed(0x11D0);
+        for _ in 0..256 {
+            let nodes = random_nodes(&mut rng);
+            let max = 1 + rng.below(7) as u16;
             let mut s = SharerSet::new(100, SharerEncoding::LimitedPointer { pointers: max });
             for &n in &nodes {
                 s.insert(NodeId::new(n));
             }
             let members = s.members();
             for &n in &nodes {
-                prop_assert!(members.contains(NodeId::new(n)));
+                assert!(members.contains(NodeId::new(n)));
             }
             if nodes.len() <= max as usize {
-                prop_assert_eq!(members.len(), nodes.len(), "exact within the limit");
+                assert_eq!(members.len(), nodes.len(), "exact within the limit");
             } else {
-                prop_assert_eq!(members.len(), 100, "overflow broadcasts");
+                assert_eq!(members.len(), 100, "overflow broadcasts");
             }
         }
     }

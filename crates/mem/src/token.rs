@@ -51,7 +51,10 @@ impl MoesiState {
     /// Whether this state holds the owner token (and therefore must supply
     /// data in response to requests).
     pub fn owns(self) -> bool {
-        matches!(self, MoesiState::M | MoesiState::O | MoesiState::E | MoesiState::F)
+        matches!(
+            self,
+            MoesiState::M | MoesiState::O | MoesiState::E | MoesiState::F
+        )
     }
 }
 
@@ -118,10 +121,7 @@ impl TokenSet {
 
     /// A set of `count` plain (non-owner) tokens.
     pub const fn plain(count: u32) -> Self {
-        TokenSet {
-            count,
-            owner: None,
-        }
+        TokenSet { count, owner: None }
     }
 
     /// Total tokens held, including the owner token if present.
@@ -291,13 +291,19 @@ mod tests {
     #[test]
     fn table2_moesi_mapping() {
         // M: all tokens, dirty owner.
-        assert_eq!(TokenSet::full(T, OwnerStatus::Dirty).moesi(T), MoesiState::M);
+        assert_eq!(
+            TokenSet::full(T, OwnerStatus::Dirty).moesi(T),
+            MoesiState::M
+        );
         // O: some tokens, dirty owner.
         let mut o = TokenSet::full(T, OwnerStatus::Dirty);
         o.split_plain(5);
         assert_eq!(o.moesi(T), MoesiState::O);
         // E: all tokens, clean owner.
-        assert_eq!(TokenSet::full(T, OwnerStatus::Clean).moesi(T), MoesiState::E);
+        assert_eq!(
+            TokenSet::full(T, OwnerStatus::Clean).moesi(T),
+            MoesiState::E
+        );
         // F: some tokens, clean owner.
         let mut f = TokenSet::full(T, OwnerStatus::Clean);
         f.split_plain(1);
@@ -390,8 +396,14 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(TokenSet::plain(3).to_string(), "t=3");
-        assert_eq!(TokenSet::full(3, OwnerStatus::Dirty).to_string(), "t=3(+Od)");
-        assert_eq!(TokenSet::full(3, OwnerStatus::Clean).to_string(), "t=3(+Oc)");
+        assert_eq!(
+            TokenSet::full(3, OwnerStatus::Dirty).to_string(),
+            "t=3(+Od)"
+        );
+        assert_eq!(
+            TokenSet::full(3, OwnerStatus::Clean).to_string(),
+            "t=3(+Oc)"
+        );
     }
 
     #[test]

@@ -149,15 +149,15 @@ impl DestSet {
     /// Returns `true` if every member of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &DestSet) -> bool {
         assert_eq!(self.num_nodes, other.num_nodes, "mismatched system sizes");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over members in increasing index order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            next: 0,
-        }
+        Iter { set: self, next: 0 }
     }
 
     /// Returns the sole member if the set has exactly one.
@@ -221,7 +221,17 @@ impl<'a> IntoIterator for &'a DestSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use patchsim_kernel::SimRng;
+
+    /// Draws a random set of up to 39 distinct nodes in `0..300`.
+    fn random_nodes(rng: &mut SimRng) -> std::collections::BTreeSet<u16> {
+        let count = rng.below(40);
+        let mut nodes = std::collections::BTreeSet::new();
+        for _ in 0..count {
+            nodes.insert(rng.below(300) as u16);
+        }
+        nodes
+    }
 
     #[test]
     fn insert_remove_contains() {
@@ -291,20 +301,30 @@ mod tests {
         assert_eq!(format!("{s:?}"), "{NodeId(1), NodeId(2)}");
     }
 
-    proptest! {
-        #[test]
-        fn iter_matches_inserted(nodes in proptest::collection::btree_set(0u16..300, 0..40)) {
+    /// Iteration yields exactly the inserted nodes in sorted order.
+    /// Randomised over 256 seeded draws.
+    #[test]
+    fn iter_matches_inserted() {
+        let mut rng = SimRng::from_seed(0xDE57);
+        for _ in 0..256 {
+            let nodes = random_nodes(&mut rng);
             let s = DestSet::from_nodes(300, nodes.iter().map(|&n| NodeId::new(n)));
             let got: Vec<u16> = s.iter().map(|n| n.raw()).collect();
             let want: Vec<u16> = nodes.into_iter().collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
+    }
 
-        #[test]
-        fn len_matches_count(nodes in proptest::collection::btree_set(0u16..300, 0..40)) {
+    /// `len`/`is_empty` agree with the true member count.
+    /// Randomised over 256 seeded draws.
+    #[test]
+    fn len_matches_count() {
+        let mut rng = SimRng::from_seed(0x1E4);
+        for _ in 0..256 {
+            let nodes = random_nodes(&mut rng);
             let s = DestSet::from_nodes(300, nodes.iter().map(|&n| NodeId::new(n)));
-            prop_assert_eq!(s.len(), nodes.len());
-            prop_assert_eq!(s.is_empty(), nodes.is_empty());
+            assert_eq!(s.len(), nodes.len());
+            assert_eq!(s.is_empty(), nodes.is_empty());
         }
     }
 }

@@ -4,7 +4,9 @@ use patchsim_kernel::Cycle;
 
 use crate::link::PriorityQueue;
 use crate::topology::Direction;
-use crate::{DestSet, LinkBandwidth, NocPayload, NodeId, Priority, Topology, TrafficClass, TrafficStats};
+use crate::{
+    DestSet, LinkBandwidth, NocPayload, NodeId, Priority, Topology, TrafficClass, TrafficStats,
+};
 
 /// Configuration of the torus interconnect.
 ///
@@ -458,7 +460,11 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, 13);
-        assert_eq!(net.stats().total_bytes(), 0, "no link traffic for self-send");
+        assert_eq!(
+            net.stats().total_bytes(),
+            0,
+            "no link traffic for self-send"
+        );
     }
 
     #[test]
@@ -490,10 +496,7 @@ mod tests {
         // one incoming link, so the tree has exactly 15 links... but
         // unicasts would cost sum of hop distances = 1+1+2+... > 15.
         let unicast_cost: u64 = (1..16)
-            .map(|i| {
-                net.topology()
-                    .hop_distance(NodeId::new(0), NodeId::new(i)) as u64
-            })
+            .map(|i| net.topology().hop_distance(NodeId::new(0), NodeId::new(i)) as u64)
             .sum();
         assert!(traversals < unicast_cost);
         assert_eq!(traversals, 15, "one incoming link per covered node");

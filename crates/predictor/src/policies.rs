@@ -121,9 +121,7 @@ impl OwnerPredictor {
 impl Predictor for OwnerPredictor {
     fn predict(&mut self, addr: BlockAddr, _kind: AccessKind, requester: NodeId) -> DestSet {
         match self.table.last_owner(addr) {
-            Some(owner) if owner != requester => {
-                DestSet::single(self.table.num_nodes(), owner)
-            }
+            Some(owner) if owner != requester => DestSet::single(self.table.num_nodes(), owner),
             _ => DestSet::empty(self.table.num_nodes()),
         }
     }
@@ -189,7 +187,9 @@ mod tests {
     fn none_predicts_nothing_ever() {
         let mut p = NonePredictor::new(16);
         p.observe_response(a(0), NodeId::new(3));
-        assert!(p.predict(a(0), AccessKind::Write, NodeId::new(0)).is_empty());
+        assert!(p
+            .predict(a(0), AccessKind::Write, NodeId::new(0))
+            .is_empty());
     }
 
     #[test]

@@ -126,9 +126,8 @@ impl PredictorTable {
     /// other than `me` — the "recently shared" test of the
     /// broadcast-if-shared policy.
     pub fn recently_shared(&self, addr: BlockAddr, me: NodeId) -> bool {
-        self.peek(addr).is_some_and(|e| {
-            e.group.iter().any(|n| n != me)
-        })
+        self.peek(addr)
+            .is_some_and(|e| e.group.iter().any(|n| n != me))
     }
 
     /// The recent sharing group for `addr`'s macroblock.
@@ -168,7 +167,11 @@ mod tests {
         t.record_responder(a(0), NodeId::new(1));
         assert_eq!(t.last_owner(a(0)), Some(NodeId::new(1)));
         t.record_requester(a(32), NodeId::new(2)); // macroblock 2, same slot
-        assert_eq!(t.last_owner(a(0)), None, "evicted by conflicting macroblock");
+        assert_eq!(
+            t.last_owner(a(0)),
+            None,
+            "evicted by conflicting macroblock"
+        );
         assert!(t.recently_shared(a(32), NodeId::new(0)));
     }
 

@@ -235,10 +235,7 @@ mod tests {
         out.send_one(
             4,
             NodeId::new(1),
-            Msg::new(
-                BlockAddr::new(0),
-                crate::MsgBody::WbAck { stale: false },
-            ),
+            Msg::new(BlockAddr::new(0), crate::MsgBody::WbAck { stale: false }),
         );
         out.arm_timer(
             Cycle::new(10),

@@ -148,11 +148,20 @@ pub enum MsgBody {
         starver: NodeId,
         /// What the starver needs.
         kind: AccessKind,
+        /// The starver's transaction serial, as carried by its persistent
+        /// request. On an unordered network this is what lets the starver
+        /// (and the arbiter, on deactivation) tell a live activation from
+        /// a stale one left over from an earlier miss on the same block.
+        serial: u64,
     },
     /// TokenB: home arbiter → everyone; the persistent request completed.
     PersistentDeactivate {
         /// The node whose persistent request is done.
         starver: NodeId,
+        /// The transaction serial of the completed persistent request; a
+        /// late deactivation for an old serial must not clear a fresh
+        /// table entry for the same starver.
+        serial: u64,
     },
 }
 
@@ -176,7 +185,11 @@ impl Msg {
     pub fn carries_data(&self) -> bool {
         matches!(
             self.body,
-            MsgBody::Data { .. } | MsgBody::Put { version: Some(_), .. }
+            MsgBody::Data { .. }
+                | MsgBody::Put {
+                    version: Some(_),
+                    ..
+                }
         )
     }
 }

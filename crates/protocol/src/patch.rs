@@ -365,17 +365,21 @@ impl PatchController {
             valid: data_version.is_some(),
         };
         if let Some(victim) = self.cache.insert(addr, line) {
-            self.put_tokens(victim.addr, victim.payload.tokens, victim.payload.version, out);
+            self.put_tokens(
+                victim.addr,
+                victim.payload.tokens,
+                victim.payload.version,
+                out,
+            );
         }
     }
 
     fn arm_tenure_timer_if_needed(&mut self, addr: BlockAddr, now: Cycle, out: &mut Outbox) {
         let timeout = self.tenure_timeout();
-        let has_tokens = self
-            .cache
-            .peek(addr)
-            .is_some_and(|l| !l.tokens.is_empty());
-        let Some(tbe) = self.tbes.get_mut(&addr) else { return };
+        let has_tokens = self.cache.peek(addr).is_some_and(|l| !l.tokens.is_empty());
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            return;
+        };
         if tbe.activated || tbe.timer_armed || !has_tokens {
             return;
         }
@@ -395,7 +399,9 @@ impl PatchController {
     /// suffice, and deactivates once both performed and activated.
     fn try_progress(&mut self, addr: BlockAddr, now: Cycle, out: &mut Outbox) {
         let total = self.total();
-        let Some(tbe) = self.tbes.get_mut(&addr) else { return };
+        let Some(tbe) = self.tbes.get_mut(&addr) else {
+            return;
+        };
         let satisfied = match self.cache.peek(addr) {
             Some(line) => match tbe.kind {
                 AccessKind::Read => line.valid && line.tokens.can_read(),
@@ -524,8 +530,7 @@ impl PatchController {
         if self.tbes.get(&addr).is_some_and(|t| t.activated) {
             return;
         }
-        let responded =
-            self.respond_with_tokens(addr, kind, requester, serial, exclusive, out);
+        let responded = self.respond_with_tokens(addr, kind, requester, serial, exclusive, out);
         if !responded && !self.config.ack_elision && (kind.is_write() || exclusive) {
             // Ablation: mimic DIRECTORY's unconditional invalidation acks.
             out.send_one(
@@ -545,6 +550,7 @@ impl PatchController {
     }
 
     /// Tokens arrived addressed to this cache.
+    #[allow(clippy::too_many_arguments)] // mirrors the Data/Ack message fields
     fn handle_token_arrival(
         &mut self,
         addr: BlockAddr,
@@ -933,7 +939,16 @@ impl Controller for PatchController {
                 activation,
                 serial,
             } => {
-                self.handle_token_arrival(addr, tokens, None, activation, serial, Some(from), now, out);
+                self.handle_token_arrival(
+                    addr,
+                    tokens,
+                    None,
+                    activation,
+                    serial,
+                    Some(from),
+                    now,
+                    out,
+                );
             }
             MsgBody::Activation { serial, .. } => {
                 // The activation may also have ridden a token response or
@@ -958,7 +973,9 @@ impl Controller for PatchController {
     fn timer_fired(&mut self, key: TimerKey, now: Cycle, out: &mut Outbox) {
         match key.kind {
             TimerKind::Tenure => {
-                let Some(tbe) = self.tbes.get_mut(&key.addr) else { return };
+                let Some(tbe) = self.tbes.get_mut(&key.addr) else {
+                    return;
+                };
                 if tbe.timer_generation != key.generation || !tbe.timer_armed || tbe.activated {
                     return;
                 }
@@ -1006,10 +1023,7 @@ impl Controller for PatchController {
         if addr.home(self.config.num_nodes) == self.id {
             match self.home.get(&addr) {
                 Some(entry) => total.merge(entry.tokens),
-                None => total.merge(TokenSet::full(
-                    self.config.total_tokens,
-                    OwnerStatus::Clean,
-                )),
+                None => total.merge(TokenSet::full(self.config.total_tokens, OwnerStatus::Clean)),
             }
         }
         Some(total)
@@ -1148,9 +1162,13 @@ mod tests {
         assert_eq!(out.completions.len(), 1);
         assert_eq!(out.completions[0].version, 1, "write bumps the version");
         assert!(
-            out.sends
-                .iter()
-                .any(|s| matches!(s.msg.body, MsgBody::Deactivate { new_owner: true, .. })),
+            out.sends.iter().any(|s| matches!(
+                s.msg.body,
+                MsgBody::Deactivate {
+                    new_owner: true,
+                    ..
+                }
+            )),
             "deactivates once active and satisfied"
         );
         assert!(c.is_quiescent());

@@ -63,10 +63,14 @@ struct TbHome {
 }
 
 /// Home-side persistent-request arbitration (centralized, per block).
+///
+/// Entries carry the starver's transaction serial so that, on an unordered
+/// network, a stale deactivation (from an earlier miss of the same node)
+/// can never tear down a newer activation.
 #[derive(Debug, Default)]
 struct ArbEntry {
-    active: Option<(NodeId, AccessKind)>,
-    queue: VecDeque<(NodeId, AccessKind)>,
+    active: Option<(NodeId, AccessKind, u64)>,
+    queue: VecDeque<(NodeId, AccessKind, u64)>,
 }
 
 /// The TokenB controller for one node: private cache, the node's slice of
@@ -82,8 +86,8 @@ pub struct TokenBController {
     home: HashMap<BlockAddr, TbHome>,
     arb: HashMap<BlockAddr, ArbEntry>,
     /// This node's persistent-request table: blocks whose tokens must be
-    /// forwarded to a starver.
-    table: HashMap<BlockAddr, (NodeId, AccessKind)>,
+    /// forwarded to a starver, keyed with the activation's serial.
+    table: HashMap<BlockAddr, (NodeId, AccessKind, u64)>,
     latency: LatencyEstimator,
     counters: ProtocolCounters,
     next_serial: u64,
@@ -207,7 +211,9 @@ impl TokenBController {
         serial: u64,
         out: &mut Outbox,
     ) {
-        let Some(line) = self.cache.get_mut(addr) else { return };
+        let Some(line) = self.cache.get_mut(addr) else {
+            return;
+        };
         if line.tokens.is_empty() {
             self.cache.remove(addr);
             return;
@@ -395,7 +401,7 @@ impl TokenBController {
     ) {
         // Persistent-request table takes precedence: tokens for a starving
         // block are forwarded, not kept.
-        if let Some(&(starver, _)) = self.table.get(&addr) {
+        if let Some(&(starver, _, _)) = self.table.get(&addr) {
             if starver != self.id {
                 if !tokens.is_empty() {
                     self.send_tokens(addr, starver, 0, tokens, data_version.unwrap_or(0), out);
@@ -422,7 +428,12 @@ impl TokenBController {
                 valid: data_version.is_some(),
             };
             if let Some(victim) = self.cache.insert(addr, line) {
-                self.put_tokens(victim.addr, victim.payload.tokens, victim.payload.version, out);
+                self.put_tokens(
+                    victim.addr,
+                    victim.payload.tokens,
+                    victim.payload.version,
+                    out,
+                );
             }
         }
         self.try_progress(now, out);
@@ -430,7 +441,9 @@ impl TokenBController {
 
     fn try_progress(&mut self, now: Cycle, out: &mut Outbox) {
         let total = self.total();
-        let Some(tbe) = self.demand.as_mut() else { return };
+        let Some(tbe) = self.demand.as_mut() else {
+            return;
+        };
         let addr = tbe.addr;
         let satisfied = match self.cache.peek(addr) {
             Some(line) => match tbe.kind {
@@ -483,10 +496,24 @@ impl TokenBController {
     // Persistent requests
     // ------------------------------------------------------------------
 
-    fn arb_activate(&mut self, addr: BlockAddr, starver: NodeId, kind: AccessKind, out: &mut Outbox) {
+    fn arb_activate(
+        &mut self,
+        addr: BlockAddr,
+        starver: NodeId,
+        kind: AccessKind,
+        serial: u64,
+        out: &mut Outbox,
+    ) {
         out.send(
             DestSet::all(self.n()),
-            Msg::new(addr, MsgBody::PersistentActivate { starver, kind }),
+            Msg::new(
+                addr,
+                MsgBody::PersistentActivate {
+                    starver,
+                    kind,
+                    serial,
+                },
+            ),
         );
     }
 
@@ -495,38 +522,40 @@ impl TokenBController {
         addr: BlockAddr,
         starver: NodeId,
         kind: AccessKind,
+        serial: u64,
         out: &mut Outbox,
     ) {
-        self.table.insert(addr, (starver, kind));
         if starver == self.id {
-            match self.demand.as_mut().filter(|t| t.addr == addr) {
-                Some(tbe) => {
-                    // Adopt the activation (it may stem from a previous,
-                    // already-satisfied miss on this block): ensure this
-                    // transaction deactivates the arbiter when done.
-                    tbe.persistent = true;
-                }
-                None => {
-                    // Stale activation: the miss it was invoked for
-                    // completed before the persistent request reached the
-                    // home. Release the arbiter immediately.
-                    let home = addr.home(self.config.num_nodes);
-                    out.send_one(
-                        self.n(),
-                        home,
-                        Msg::new(
-                            addr,
-                            MsgBody::Deactivate {
-                                requester: self.id,
-                                serial: 0,
-                                new_owner: false,
-                                keeps_copy: false,
-                            },
-                        ),
-                    );
-                }
+            // Only the transaction that invoked this persistent request may
+            // consume the activation — matched by serial. Anything else
+            // (the miss completed already, or this is a *different* miss on
+            // the same block) must release the arbiter instead: marking an
+            // unrelated TBE `persistent` would silence its reissue timer
+            // while no live arbiter entry funnels tokens to it, which
+            // deadlocks if the activation is stale.
+            let ours = self
+                .demand
+                .as_ref()
+                .is_some_and(|t| t.addr == addr && t.persistent && t.serial == serial);
+            if !ours {
+                let home = addr.home(self.config.num_nodes);
+                out.send_one(
+                    self.n(),
+                    home,
+                    Msg::new(
+                        addr,
+                        MsgBody::Deactivate {
+                            requester: self.id,
+                            serial,
+                            new_owner: false,
+                            keeps_copy: false,
+                        },
+                    ),
+                );
+                return;
             }
         }
+        self.table.insert(addr, (starver, kind, serial));
         if starver != self.id {
             // Surrender current cache holdings.
             if let Some(line) = self.cache.get_mut(addr) {
@@ -623,17 +652,20 @@ impl Controller for TokenBController {
                 style,
             } => {
                 debug_assert!(
-                    matches!(style, RequestStyle::Direct | RequestStyle::Reissue | RequestStyle::Persistent),
+                    matches!(
+                        style,
+                        RequestStyle::Direct | RequestStyle::Reissue | RequestStyle::Persistent
+                    ),
                     "TokenB has no indirect requests"
                 );
                 if style == RequestStyle::Persistent {
                     // Home-side arbitration.
                     let entry = self.arb.entry(addr).or_default();
                     if entry.active.is_none() {
-                        entry.active = Some((requester, kind));
-                        self.arb_activate(addr, requester, kind, out);
+                        entry.active = Some((requester, kind, serial));
+                        self.arb_activate(addr, requester, kind, serial, out);
                     } else {
-                        entry.queue.push_back((requester, kind));
+                        entry.queue.push_back((requester, kind, serial));
                     }
                     return;
                 }
@@ -648,9 +680,7 @@ impl Controller for TokenBController {
                 }
                 // Cache side responds unless it has its own miss
                 // outstanding for the block (races resolve by reissue).
-                if requester != self.id
-                    && self.demand.as_ref().is_none_or(|t| t.addr != addr)
-                {
+                if requester != self.id && self.demand.as_ref().is_none_or(|t| t.addr != addr) {
                     self.cache_respond(addr, kind, requester, serial, out);
                 }
             }
@@ -670,7 +700,7 @@ impl Controller for TokenBController {
             } => {
                 // Tokens returned to memory. If a persistent request is
                 // active, funnel them onward to the starver.
-                if let Some(&(starver, _)) = self.table.get(&addr) {
+                if let Some(&(starver, _, _)) = self.table.get(&addr) {
                     if !tokens.is_empty() {
                         self.send_tokens(addr, starver, 0, tokens, version.unwrap_or(0), out);
                     }
@@ -688,50 +718,60 @@ impl Controller for TokenBController {
                 slice.tokens.merge(tokens);
             }
             MsgBody::Deactivate {
-                requester, ..
+                requester, serial, ..
             } => {
                 // Persistent-request completion at the home arbiter. A
                 // requester can complete while its persistent request is
                 // still in flight, so its deactivation may arrive early
                 // (before the request) or while another starver is active;
-                // only the *active* starver's deactivation tears down the
-                // entry. A stray activation is cancelled by the starver
+                // only the *active* starver's deactivation — matched by
+                // requester AND serial, so a stale release from an earlier
+                // miss of the same node cannot tear down a fresh entry —
+                // closes it. A stray activation is cancelled by the starver
                 // itself when it arrives (see PersistentActivate below).
                 let n = self.n();
                 let entry = self.arb.entry(addr).or_default();
-                if entry.active.map(|(node, _)| node) != Some(requester) {
+                if entry.active.map(|(node, _, s)| (node, s)) != Some((requester, serial)) {
                     return;
                 }
                 entry.active = None;
                 out.send(
                     DestSet::all(n),
-                    Msg::new(addr, MsgBody::PersistentDeactivate { starver: requester }),
+                    Msg::new(
+                        addr,
+                        MsgBody::PersistentDeactivate {
+                            starver: requester,
+                            serial,
+                        },
+                    ),
                 );
                 let next = entry.queue.pop_front();
-                if let Some((next_node, kind)) = next {
-                    entry.active = Some((next_node, kind));
-                    self.arb_activate(addr, next_node, kind, out);
+                if let Some((next_node, kind, next_serial)) = next {
+                    entry.active = Some((next_node, kind, next_serial));
+                    self.arb_activate(addr, next_node, kind, next_serial, out);
                 }
             }
-            MsgBody::PersistentActivate { starver, kind } => {
-                self.handle_persistent_activate(addr, starver, kind, out);
+            MsgBody::PersistentActivate {
+                starver,
+                kind,
+                serial,
+            } => {
+                self.handle_persistent_activate(addr, starver, kind, serial, out);
             }
-            MsgBody::PersistentDeactivate { starver } => {
+            MsgBody::PersistentDeactivate { starver, serial } => {
                 // Guarded removal: on an unordered network this broadcast
                 // can arrive after the *next* starver's activation; a late
-                // deactivation for an old starver must not clobber the
-                // fresh entry.
+                // deactivation for an old starver (or an old serial of the
+                // same starver) must not clobber the fresh entry.
                 if self
                     .table
                     .get(&addr)
-                    .is_some_and(|&(active, _)| active == starver)
+                    .is_some_and(|&(active, _, s)| active == starver && s == serial)
                 {
                     self.table.remove(&addr);
                 }
             }
-            MsgBody::Fwd { .. }
-            | MsgBody::Activation { .. }
-            | MsgBody::WbAck { .. } => {
+            MsgBody::Fwd { .. } | MsgBody::Activation { .. } | MsgBody::WbAck { .. } => {
                 unreachable!("TokenB does not use {:?}", msg.body)
             }
         }
@@ -739,7 +779,9 @@ impl Controller for TokenBController {
 
     fn timer_fired(&mut self, key: TimerKey, now: Cycle, out: &mut Outbox) {
         debug_assert_eq!(key.kind, TimerKind::Reissue);
-        let Some(tbe) = self.demand.as_mut() else { return };
+        let Some(tbe) = self.demand.as_mut() else {
+            return;
+        };
         if tbe.addr != key.addr || tbe.timer_generation != key.generation || tbe.persistent {
             return;
         }
@@ -784,10 +826,7 @@ impl Controller for TokenBController {
         if addr.home(self.config.num_nodes) == self.id {
             match self.home.get(&addr) {
                 Some(slice) => total.merge(slice.tokens),
-                None => total.merge(TokenSet::full(
-                    self.config.total_tokens,
-                    OwnerStatus::Clean,
-                )),
+                None => total.merge(TokenSet::full(self.config.total_tokens, OwnerStatus::Clean)),
             }
         }
         Some(total)
@@ -1016,10 +1055,10 @@ mod tests {
             Cycle::new(10),
             &mut out,
         );
-        assert!(out.sends.iter().any(|s| matches!(
-            s.msg.body,
-            MsgBody::PersistentDeactivate { .. }
-        )));
+        assert!(out
+            .sends
+            .iter()
+            .any(|s| matches!(s.msg.body, MsgBody::PersistentDeactivate { .. })));
         assert!(out.sends.iter().any(|s| matches!(
             s.msg.body,
             MsgBody::PersistentActivate { starver, .. } if starver == NodeId::new(3)
@@ -1044,6 +1083,7 @@ mod tests {
                 MsgBody::PersistentActivate {
                     starver: NodeId::new(3),
                     kind: AccessKind::Write,
+                    serial: 0,
                 },
             ),
             Cycle::ZERO,
@@ -1075,6 +1115,7 @@ mod tests {
                 a(2),
                 MsgBody::PersistentDeactivate {
                     starver: NodeId::new(3),
+                    serial: 0,
                 },
             ),
             Cycle::new(10),
@@ -1101,6 +1142,7 @@ mod tests {
                 MsgBody::PersistentActivate {
                     starver: NodeId::new(3),
                     kind: AccessKind::Write,
+                    serial: 0,
                 },
             ),
             Cycle::ZERO,

@@ -162,9 +162,10 @@ impl Generator {
             }
         } else {
             // Private access.
-            let private_base =
-                base + p.shared_blocks + cluster_size * p.pc_blocks_per_core
-                    + slot * p.private_blocks;
+            let private_base = base
+                + p.shared_blocks
+                + cluster_size * p.pc_blocks_per_core
+                + slot * p.private_blocks;
             let addr = BlockAddr::new(private_base + self.rng.below(p.private_blocks));
             let kind = if self.rng.chance(p.private_write_frac) {
                 AccessKind::Write
@@ -212,9 +213,7 @@ mod tests {
     fn different_nodes_see_different_streams() {
         let mut a = gen_for(presets::oltp(), 0, 64, 42);
         let mut b = gen_for(presets::oltp(), 1, 64, 42);
-        let same = (0..200)
-            .filter(|_| a.next_item() == b.next_item())
-            .count();
+        let same = (0..200).filter(|_| a.next_item() == b.next_item()).count();
         assert!(same < 20);
     }
 
@@ -229,7 +228,10 @@ mod tests {
                 writes += 1;
             }
         }
-        assert!((2_700..3_300).contains(&writes), "write frac ~0.3, got {writes}");
+        assert!(
+            (2_700..3_300).contains(&writes),
+            "write frac ~0.3, got {writes}"
+        );
     }
 
     #[test]
@@ -263,7 +265,9 @@ mod tests {
             for _ in 0..2000 {
                 let item = g.next_item();
                 // Shared pool and pc ring live below the private bases.
-                let WorkloadSpec::Synthetic(p) = &spec else { unreachable!() };
+                let WorkloadSpec::Synthetic(p) = &spec else {
+                    unreachable!()
+                };
                 let private_floor = p.shared_blocks + 16 * p.pc_blocks_per_core;
                 if item.addr.raw() >= private_floor {
                     privates.insert(item.addr.raw());
@@ -305,7 +309,10 @@ mod tests {
         let mut g = gen_for(WorkloadSpec::microbenchmark(), 0, 4, 3);
         let total: u64 = (0..10_000).map(|_| g.next_item().think_cycles).sum();
         let mean = total as f64 / 10_000.0;
-        assert!((8.0..12.0).contains(&mean), "mean think {mean} should be ~10");
+        assert!(
+            (8.0..12.0).contains(&mean),
+            "mean think {mean} should be ~10"
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example bandwidth_adaptivity`
 
-use patchsim::{
-    run, LinkBandwidth, PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec,
-};
+use patchsim::{run, LinkBandwidth, PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec};
 
 fn config(kind: ProtocolKind, bw: f64) -> SimConfig {
     SimConfig::new(kind, 16)

@@ -26,15 +26,30 @@ fn main() {
     );
 
     let configs = [
-        ("Directory", config(ProtocolKind::Directory, PredictorChoice::None)),
-        ("PATCH-None", config(ProtocolKind::Patch, PredictorChoice::None)),
-        ("PATCH-Owner", config(ProtocolKind::Patch, PredictorChoice::Owner)),
+        (
+            "Directory",
+            config(ProtocolKind::Directory, PredictorChoice::None),
+        ),
+        (
+            "PATCH-None",
+            config(ProtocolKind::Patch, PredictorChoice::None),
+        ),
+        (
+            "PATCH-Owner",
+            config(ProtocolKind::Patch, PredictorChoice::Owner),
+        ),
         (
             "PATCH-BcastIfShared",
             config(ProtocolKind::Patch, PredictorChoice::BroadcastIfShared),
         ),
-        ("PATCH-All", config(ProtocolKind::Patch, PredictorChoice::All)),
-        ("TokenB", config(ProtocolKind::TokenB, PredictorChoice::None)),
+        (
+            "PATCH-All",
+            config(ProtocolKind::Patch, PredictorChoice::All),
+        ),
+        (
+            "TokenB",
+            config(ProtocolKind::TokenB, PredictorChoice::None),
+        ),
     ];
 
     let mut baseline = None;

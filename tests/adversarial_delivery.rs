@@ -35,7 +35,9 @@ impl Harness {
     fn new(config: &ProtocolConfig, ops_per_node: u32, seed: u64) -> Self {
         let n = config.num_nodes;
         Harness {
-            nodes: (0..n).map(|i| build_controller(config, NodeId::new(i))).collect(),
+            nodes: (0..n)
+                .map(|i| build_controller(config, NodeId::new(i)))
+                .collect(),
             pending: Vec::new(),
             timers: Vec::new(),
             clock: Cycle::ZERO,

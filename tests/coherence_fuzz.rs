@@ -6,9 +6,7 @@
 //! single-writer/read-latest property, and finishes by asserting full
 //! quiescence — so "it completed" is a strong statement.
 
-use patchsim::{
-    run, CacheGeometry, PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec,
-};
+use patchsim::{run, CacheGeometry, PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec};
 use patchsim_protocol::ProtocolConfig;
 
 /// A deliberately hostile configuration: few nodes, a tiny shared table
@@ -34,7 +32,12 @@ fn hostile(kind: ProtocolKind, n: u16, seed: u64, predictor: PredictorChoice) ->
 fn fuzz_directory_small_cache() {
     for seed in 0..8 {
         for n in [2u16, 3, 4, 5] {
-            let r = run(&hostile(ProtocolKind::Directory, n, seed, PredictorChoice::None));
+            let r = run(&hostile(
+                ProtocolKind::Directory,
+                n,
+                seed,
+                PredictorChoice::None,
+            ));
             assert_eq!(r.ops_completed, n as u64 * 250, "n={n} seed={seed}");
             assert!(r.counters.writebacks > 0, "evictions exercised");
         }
@@ -45,7 +48,12 @@ fn fuzz_directory_small_cache() {
 fn fuzz_patch_none_small_cache() {
     for seed in 0..8 {
         for n in [2u16, 3, 4, 5] {
-            let r = run(&hostile(ProtocolKind::Patch, n, seed, PredictorChoice::None));
+            let r = run(&hostile(
+                ProtocolKind::Patch,
+                n,
+                seed,
+                PredictorChoice::None,
+            ));
             assert_eq!(r.ops_completed, n as u64 * 250, "n={n} seed={seed}");
             assert!(r.token_audits > 0);
         }
@@ -78,7 +86,12 @@ fn fuzz_patch_owner_and_bcast_if_shared() {
 fn fuzz_tokenb_small_cache() {
     for seed in 0..8 {
         for n in [2u16, 3, 4, 5] {
-            let r = run(&hostile(ProtocolKind::TokenB, n, seed, PredictorChoice::None));
+            let r = run(&hostile(
+                ProtocolKind::TokenB,
+                n,
+                seed,
+                PredictorChoice::None,
+            ));
             assert_eq!(r.ops_completed, n as u64 * 250, "n={n} seed={seed}");
         }
     }
@@ -115,7 +128,11 @@ fn fuzz_single_hot_block() {
 fn fuzz_constrained_bandwidth() {
     // Narrow links change message orderings dramatically (and exercise
     // the best-effort drop path under checking).
-    for kind in [ProtocolKind::Directory, ProtocolKind::Patch, ProtocolKind::TokenB] {
+    for kind in [
+        ProtocolKind::Directory,
+        ProtocolKind::Patch,
+        ProtocolKind::TokenB,
+    ] {
         let protocol = ProtocolConfig::new(kind, 4)
             .with_predictor(PredictorChoice::All)
             .with_cache_geometry(CacheGeometry::new(8, 2));
@@ -152,7 +169,11 @@ fn fuzz_migratory_heavy_sharing() {
         private_write_frac: 0.3,
         think_mean: 2,
     };
-    for kind in [ProtocolKind::Directory, ProtocolKind::Patch, ProtocolKind::TokenB] {
+    for kind in [
+        ProtocolKind::Directory,
+        ProtocolKind::Patch,
+        ProtocolKind::TokenB,
+    ] {
         for seed in 0..4 {
             let protocol = ProtocolConfig::new(kind, 4)
                 .with_predictor(PredictorChoice::All)

@@ -17,7 +17,10 @@ fn patch(n: u16, node: u16) -> PatchController {
 }
 
 fn tokenb(n: u16, node: u16) -> TokenBController {
-    TokenBController::new(ProtocolConfig::new(ProtocolKind::TokenB, n), NodeId::new(node))
+    TokenBController::new(
+        ProtocolConfig::new(ProtocolKind::TokenB, n),
+        NodeId::new(node),
+    )
 }
 
 /// Bug 1: a standalone activation arriving after another activation
@@ -197,6 +200,7 @@ fn reordered_persistent_deactivate_does_not_clobber_next_starver() {
             MsgBody::PersistentActivate {
                 starver: NodeId::new(3),
                 kind: AccessKind::Write,
+                serial: 0,
             },
         ),
         Cycle::new(10),
@@ -209,6 +213,7 @@ fn reordered_persistent_deactivate_does_not_clobber_next_starver() {
             addr,
             MsgBody::PersistentDeactivate {
                 starver: NodeId::new(0),
+                serial: 0,
             },
         ),
         Cycle::new(20),
@@ -272,6 +277,7 @@ fn stale_persistent_activation_is_released_by_starver() {
             MsgBody::PersistentActivate {
                 starver: NodeId::new(1),
                 kind: AccessKind::Write,
+                serial: 5,
             },
         ),
         Cycle::new(20),
@@ -282,14 +288,18 @@ fn stale_persistent_activation_is_released_by_starver() {
         .iter()
         .find(|s| matches!(s.msg.body, MsgBody::Deactivate { .. }))
         .expect("stale activation must be released");
-    assert_eq!(deact.dests.as_single(), Some(NodeId::new(2)), "to the arbiter");
+    assert_eq!(
+        deact.dests.as_single(),
+        Some(NodeId::new(2)),
+        "to the arbiter"
+    );
 
     // The home processes it: entry freed, next starver activates.
     let mut out = Outbox::new();
     home.handle_message(deact.msg.clone(), Cycle::new(30), &mut out);
     assert!(out.sends.iter().any(|s| matches!(
         s.msg.body,
-        MsgBody::PersistentDeactivate { starver } if starver == NodeId::new(1)
+        MsgBody::PersistentDeactivate { starver, .. } if starver == NodeId::new(1)
     )));
     assert!(home.is_quiescent());
 }

@@ -70,10 +70,9 @@ fn tokenb_relies_on_broadcast() {
     );
     // Per-miss broadcast cost grows with system size.
     let small = run(&contended(ProtocolKind::TokenB, 4));
-    let req_small = small.traffic.bytes(TrafficClass::DirectRequest) as f64
-        / small.measured_misses as f64;
-    let req_large =
-        r.traffic.bytes(TrafficClass::DirectRequest) as f64 / r.measured_misses as f64;
+    let req_small =
+        small.traffic.bytes(TrafficClass::DirectRequest) as f64 / small.measured_misses as f64;
+    let req_large = r.traffic.bytes(TrafficClass::DirectRequest) as f64 / r.measured_misses as f64;
     assert!(
         req_large > req_small * 1.3,
         "broadcast request traffic per miss must grow with cores \

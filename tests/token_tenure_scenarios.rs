@@ -4,8 +4,8 @@
 
 use patchsim::{AccessKind, BlockAddr, Cycle, NodeId, PredictorChoice, ProtocolKind};
 use patchsim_protocol::{
-    Controller, MemOp, Msg, MsgBody, OutMsg, Outbox, PatchController, ProtocolConfig,
-    RequestStyle, TimerKey, TimerKind,
+    Controller, MemOp, Msg, MsgBody, OutMsg, Outbox, PatchController, ProtocolConfig, RequestStyle,
+    TimerKey, TimerKind,
 };
 
 /// A controllable network for adversarial delivery schedules.
@@ -58,12 +58,7 @@ impl Net {
         while self.deliver_first(nodes, now, |_, _| true) {}
     }
 
-    fn fire_timer(
-        &mut self,
-        nodes: &mut [PatchController],
-        node: NodeId,
-        kind: TimerKind,
-    ) -> bool {
+    fn fire_timer(&mut self, nodes: &mut [PatchController], node: NodeId, kind: TimerKind) -> bool {
         let Some(idx) = self
             .timers
             .iter()
@@ -133,7 +128,11 @@ fn figure2_race_resolves_via_tenure() {
             *d == p(3) && matches!(m.body, MsgBody::Data { .. } | MsgBody::Ack { .. })
         }));
     }
-    assert_eq!(net.completions, vec![p(3)], "P3 performed before activation");
+    assert_eq!(
+        net.completions,
+        vec![p(3)],
+        "P3 performed before activation"
+    );
     assert_eq!(nodes[3].counters().satisfied_before_activation, 1);
     net.completions.clear();
 
