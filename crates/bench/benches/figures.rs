@@ -1,14 +1,17 @@
 //! Criterion benches covering every figure's code path at reduced scale.
 //!
 //! These measure simulator wall-clock for one representative configuration
-//! per paper figure, so `cargo bench` exercises each experiment's full
-//! machinery (the figure *data* itself comes from the `fig*` binaries).
+//! per paper figure, built through the same experiment-plan constructors
+//! the `fig*` binaries use (the figure *data* itself comes from those
+//! binaries). Cells are benchmarked individually, so each bench exercises
+//! the plan's full config-assembly machinery plus one simulation.
 
-use patchsim::{presets, run, LinkBandwidth, ProtocolKind};
+use patchsim::exp::Sweep;
+use patchsim::{presets, run, LinkBandwidth, ProtocolKind, SimConfig, WorkloadSpec};
 use patchsim_bench::harness::Criterion;
 use patchsim_bench::{
-    bandwidth_sweep_configs, criterion_group, criterion_main, figure4_configs, inexact_config,
-    scalability_configs, Scale,
+    adaptivity_protocol_axis, bandwidth_plan, coarseness_value, criterion_group, criterion_main,
+    figure4_plan, inexact_protocol_axis, Scale,
 };
 
 fn tiny() -> Scale {
@@ -21,11 +24,11 @@ fn tiny() -> Scale {
 }
 
 fn bench_fig4(c: &mut Criterion) {
-    let scale = tiny();
+    let plan = figure4_plan(tiny());
     let mut group = c.benchmark_group("fig4_runtime");
     group.sample_size(10);
-    for (name, config) in figure4_configs(scale, &presets::oltp()) {
-        group.bench_function(name, |b| b.iter(|| run(&config)));
+    for cell in plan.cells().iter().filter(|c| c.labels[0] == "oltp") {
+        group.bench_function(&cell.labels[1], |b| b.iter(|| run(&cell.config)));
     }
     group.finish();
 }
@@ -33,13 +36,17 @@ fn bench_fig4(c: &mut Criterion) {
 fn bench_fig5(c: &mut Criterion) {
     // Figure 5 uses the same runs as Figure 4 but reads the traffic
     // breakdown; bench the accounting-heavy config.
-    let scale = tiny();
+    let plan = figure4_plan(tiny());
     let mut group = c.benchmark_group("fig5_traffic");
     group.sample_size(10);
-    let (_, config) = figure4_configs(scale, &presets::apache()).swap_remove(4); // PATCH-All
+    let cell = plan
+        .cells()
+        .iter()
+        .find(|c| c.labels == ["apache", "PATCH-All"])
+        .expect("grid contains apache/PATCH-All");
     group.bench_function("patch_all_traffic_breakdown", |b| {
         b.iter(|| {
-            let r = run(&config);
+            let r = run(&cell.config);
             patchsim::TrafficClass::ALL
                 .iter()
                 .map(|&cls| r.class_bytes_per_miss(cls))
@@ -50,13 +57,15 @@ fn bench_fig5(c: &mut Criterion) {
 }
 
 fn bench_fig6_fig7(c: &mut Criterion) {
-    let scale = tiny();
     let mut group = c.benchmark_group("fig6_fig7_bandwidth");
     group.sample_size(10);
     for (workload, label) in [(presets::ocean(), "ocean"), (presets::jbb(), "jbb")] {
         // The most contended sweep point: 600 bytes / 1000 cycles.
-        for (name, config) in bandwidth_sweep_configs(scale, &workload, 600.0) {
-            group.bench_function(format!("{label}/{name}"), |b| b.iter(|| run(&config)));
+        let plan = bandwidth_plan(tiny(), workload);
+        for cell in plan.cells().iter().filter(|c| c.labels[0] == "600") {
+            group.bench_function(format!("{label}/{}", cell.labels[1]), |b| {
+                b.iter(|| run(&cell.config))
+            });
         }
     }
     group.finish();
@@ -65,8 +74,19 @@ fn bench_fig6_fig7(c: &mut Criterion) {
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_scalability");
     group.sample_size(10);
-    for (name, config) in scalability_configs(16, 100) {
-        group.bench_function(format!("16cores/{name}"), |b| b.iter(|| run(&config)));
+    // A reduced-operation 16-core slice of the Figure 8 axis.
+    let base = SimConfig::new(ProtocolKind::Directory, 16)
+        .with_workload(WorkloadSpec::microbenchmark())
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+        .with_ops_per_core(100)
+        .with_warmup(20);
+    let plan = Sweep::new("fig8-bench", base)
+        .axis("config", adaptivity_protocol_axis())
+        .build();
+    for cell in plan.cells() {
+        group.bench_function(format!("16cores/{}", cell.name()), |b| {
+            b.iter(|| run(&cell.config))
+        });
     }
     group.finish();
 }
@@ -74,13 +94,19 @@ fn bench_fig8(c: &mut Criterion) {
 fn bench_fig9_fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_fig10_inexact");
     group.sample_size(10);
-    for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
-        for k in [1u16, 16] {
-            let config = inexact_config(kind, 16, k, LinkBandwidth::BytesPerCycle(2.0), 100);
-            group.bench_function(format!("{}/K{}", kind.label(), k), |b| {
-                b.iter(|| run(&config))
-            });
-        }
+    let base = SimConfig::new(ProtocolKind::Directory, 16)
+        .with_workload(WorkloadSpec::microbenchmark())
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+        .with_ops_per_core(100)
+        .with_warmup(20);
+    let plan = Sweep::new("fig9-bench", base)
+        .axis("config", inexact_protocol_axis())
+        .axis("K", [1u16, 16].into_iter().map(coarseness_value).collect())
+        .build();
+    for cell in plan.cells() {
+        group.bench_function(format!("{}/K{}", cell.labels[0], cell.labels[1]), |b| {
+            b.iter(|| run(&cell.config))
+        });
     }
     group.finish();
 }

@@ -6,46 +6,28 @@
 //! zero-token invalidation acks quantifies exactly how much of Figures
 //! 9–10 that single property buys.
 //!
-//! `cargo run --release -p patchsim-bench --bin ablation_ack_elision [--quick]`
+//! `cargo run --release -p patchsim-bench --bin ablation_ack_elision [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{
-    run_many, summarize, LinkBandwidth, ProtocolKind, SharerEncoding, SimConfig, TrafficClass,
-    WorkloadSpec,
-};
-use patchsim_bench::Scale;
-use patchsim_protocol::ProtocolConfig;
+use patchsim::TrafficClass;
+use patchsim_bench::{ablation_ack_elision_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let coarse = SharerEncoding::Coarse {
-        cores_per_bit: (scale.cores / 4).max(2),
-    };
-    println!(
-        "Ablation: zero-token ack elision (PATCH, coarse encoding {coarse}, 2 B/cycle links)\n"
+    let args = BenchArgs::parse(
+        "ablation_ack_elision",
+        "Ablation: zero-token ack elision (PATCH, coarse encoding, 2 B/cycle links)",
     );
-    println!(
-        "{:<16} {:>12} {:>16} {:>14}",
-        "acks", "runtime", "ack bytes/miss", "bytes/miss"
-    );
-    for (name, elide) in [("elided (PATCH)", true), ("always (Dir-like)", false)] {
-        let mut protocol =
-            ProtocolConfig::new(ProtocolKind::Patch, scale.cores).with_sharer_encoding(coarse);
-        if !elide {
-            protocol = protocol.without_ack_elision();
-        }
-        let config = SimConfig::new(ProtocolKind::Patch, scale.cores)
-            .with_protocol(protocol)
-            .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
-            .with_workload(WorkloadSpec::microbenchmark())
-            .with_ops_per_core(scale.ops)
-            .with_warmup(scale.warmup);
-        let summary = summarize(&run_many(&config, scale.seeds));
-        println!(
-            "{:<16} {:>12.0} {:>16.1} {:>14.1}",
-            name,
-            summary.runtime.mean,
-            summary.class_mean(TrafficClass::Ack),
-            summary.bytes_per_miss.mean
+    let table = args
+        .runner()
+        .run(&ablation_ack_elision_plan(args.scale))
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_column("ack_bytes_per_miss", 1, |cell| {
+            cell.summary.class_mean(TrafficClass::Ack)
+        })
+        .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)
+        .with_note(
+            "forcing Directory-style zero-token acks shows how much of the Figure 9/10 \
+             advantage comes from tokenless nodes staying silent",
         );
-    }
+    args.finish(&table);
 }

@@ -6,45 +6,38 @@
 //! tokens while the home is steering them to the next active requester.
 //! This ablation removes the window and measures the extra token churn.
 //!
-//! `cargo run --release -p patchsim-bench --bin ablation_deact_window [--quick]`
+//! `cargo run --release -p patchsim-bench --bin ablation_deact_window [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{run_many, summarize, PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec};
-use patchsim_bench::Scale;
-use patchsim_protocol::ProtocolConfig;
+use patchsim_bench::{ablation_deact_window_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let workload = WorkloadSpec::Microbenchmark {
-        table_blocks: 128,
-        write_frac: 0.5,
-        think_mean: 3,
-    };
-    println!("Ablation: post-deactivation ignore window (PATCH-All, hot table)\n");
-    println!(
-        "{:<14} {:>12} {:>16} {:>16} {:>14}",
-        "window", "runtime", "tenure timeouts", "direct ignored", "bytes/miss"
+    let args = BenchArgs::parse(
+        "ablation_deact_window",
+        "Ablation: post-deactivation direct-request ignore window (PATCH-All)",
     );
-    for (name, enabled) in [("enabled", true), ("disabled", false)] {
-        let mut protocol = ProtocolConfig::new(ProtocolKind::Patch, scale.cores)
-            .with_predictor(PredictorChoice::All);
-        if !enabled {
-            protocol = protocol.without_deact_window();
-        }
-        let config = SimConfig::new(ProtocolKind::Patch, scale.cores)
-            .with_protocol(protocol)
-            .with_workload(workload.clone())
-            .with_ops_per_core(scale.ops)
-            .with_warmup(scale.warmup);
-        let summary = summarize(&run_many(&config, scale.seeds));
-        let timeouts: u64 = summary
-            .runs
-            .iter()
-            .map(|r| r.counters.tenure_timeouts)
-            .sum();
-        let ignored: u64 = summary.runs.iter().map(|r| r.counters.direct_ignored).sum();
-        println!(
-            "{:<14} {:>12.0} {:>16} {:>16} {:>14.1}",
-            name, summary.runtime.mean, timeouts, ignored, summary.bytes_per_miss.mean
+    let table = args
+        .runner()
+        .run(&ablation_deact_window_plan(args.scale))
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_column("tenure_timeouts", 0, |cell| {
+            cell.summary
+                .runs
+                .iter()
+                .map(|r| r.counters.tenure_timeouts)
+                .sum::<u64>() as f64
+        })
+        .with_column("direct_ignored", 0, |cell| {
+            cell.summary
+                .runs
+                .iter()
+                .map(|r| r.counters.direct_ignored)
+                .sum::<u64>() as f64
+        })
+        .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)
+        .with_note(
+            "disabling the window lets racing direct requests scatter tokens the home \
+             is steering, inflating tenure timeouts and traffic",
         );
-    }
+    args.finish(&table);
 }

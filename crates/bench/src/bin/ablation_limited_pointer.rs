@@ -7,56 +7,35 @@
 //! holders — extending the paper's §7 argument to a second family of
 //! inexact encodings.
 //!
-//! `cargo run --release -p patchsim-bench --bin ablation_limited_pointer [--quick]`
+//! `cargo run --release -p patchsim-bench --bin ablation_limited_pointer [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{
-    run_many, summarize, LinkBandwidth, ProtocolKind, SharerEncoding, SimConfig, TrafficClass,
-    WorkloadSpec,
-};
-use patchsim_bench::{microbench_schedule, Scale};
-use patchsim_protocol::ProtocolConfig;
+use patchsim::TrafficClass;
+use patchsim_bench::{ablation_limited_pointer_plan, BenchArgs};
+use patchsim_mem::SharerSet;
 
 fn main() {
-    let scale = Scale::from_args();
-    let cores = scale.cores;
-    let (warmup, ops) = microbench_schedule(cores);
-    println!(
-        "Extension: limited-pointer directories ({} cores, 2 B/cycle links)\n",
-        cores
+    let args = BenchArgs::parse(
+        "ablation_limited_pointer",
+        "Extension: limited-pointer directories vs coarse vectors (2 B/cycle links)",
     );
-    println!(
-        "{:<12} {:<12} {:>12} {:>14} {:>16}",
-        "protocol", "encoding", "runtime", "ack bytes/miss", "dir bits/entry"
-    );
-    let encodings = [
-        SharerEncoding::FullMap,
-        SharerEncoding::LimitedPointer { pointers: 4 },
-        SharerEncoding::LimitedPointer { pointers: 1 },
-        SharerEncoding::Coarse {
-            cores_per_bit: (cores / 4).max(2),
-        },
-    ];
-    for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
-        let mut baseline = None;
-        for encoding in encodings {
-            let protocol = ProtocolConfig::new(kind, cores).with_sharer_encoding(encoding);
-            let config = SimConfig::new(kind, cores)
-                .with_protocol(protocol)
-                .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
-                .with_workload(WorkloadSpec::microbenchmark())
-                .with_ops_per_core(ops)
-                .with_warmup(warmup);
-            let summary = summarize(&run_many(&config, scale.seeds));
-            let base = *baseline.get_or_insert(summary.runtime.mean);
-            let bits = patchsim_mem::SharerSet::new(cores, encoding).bits_per_entry();
-            println!(
-                "{:<12} {:<12} {:>12.3} {:>14.1} {:>16}",
-                kind.label(),
-                encoding.to_string(),
-                summary.runtime.mean / base,
-                summary.class_mean(TrafficClass::Ack),
-                bits,
-            );
-        }
-    }
+    let table = args
+        .runner()
+        .run(&ablation_limited_pointer_plan(args.scale))
+        .with_normalized_column("norm_runtime", 3, "encoding", "full-map", |cell| {
+            cell.summary.runtime.mean
+        })
+        .with_column("ack_bytes_per_miss", 1, |cell| {
+            cell.summary.class_mean(TrafficClass::Ack)
+        })
+        .with_column("dir_bits_per_entry", 0, |cell| {
+            let protocol = &cell.config.protocol;
+            SharerSet::new(protocol.num_nodes, protocol.sharer_encoding).bits_per_entry() as f64
+        })
+        .with_note(
+            "norm_runtime is normalized to the full-map row of the same protocol; \
+             limited pointers degrade to broadcast on overflow, which Directory pays \
+             for in ack storms while PATCH's tokenless nodes stay silent",
+        );
+    args.finish(&table);
 }

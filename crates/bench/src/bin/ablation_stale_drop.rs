@@ -6,29 +6,25 @@
 //! merely burns bandwidth when finally transmitted. This ablation sweeps
 //! the drop threshold under constrained bandwidth.
 //!
-//! `cargo run --release -p patchsim-bench --bin ablation_stale_drop [--quick]`
+//! `cargo run --release -p patchsim-bench --bin ablation_stale_drop [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{run_many, summarize, LinkBandwidth, PredictorChoice, ProtocolKind, SimConfig};
-use patchsim_bench::Scale;
+use patchsim_bench::{ablation_stale_drop_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Ablation: best-effort stale-drop threshold (PATCH-All, 1 B/cycle links)\n");
-    println!(
-        "{:<14} {:>12} {:>14} {:>14}",
-        "threshold", "runtime", "drops", "bytes/miss"
+    let args = BenchArgs::parse(
+        "ablation_stale_drop",
+        "Ablation: best-effort stale-drop threshold (PATCH-All, 1 B/cycle links)",
     );
-    for stale in [25u64, 50, 100, 200, 400, 1600] {
-        let mut config = SimConfig::new(ProtocolKind::Patch, scale.cores)
-            .with_predictor(PredictorChoice::All)
-            .with_bandwidth(LinkBandwidth::BytesPerCycle(1.0))
-            .with_ops_per_core(scale.ops)
-            .with_warmup(scale.warmup);
-        config.stale_drop_cycles = stale;
-        let summary = summarize(&run_many(&config, scale.seeds));
-        println!(
-            "{:<14} {:>12.0} {:>14.0} {:>14.1}",
-            stale, summary.runtime.mean, summary.dropped_packets, summary.bytes_per_miss.mean
+    let table = args
+        .runner()
+        .run(&ablation_stale_drop_plan(args.scale))
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_column("drops", 0, |cell| cell.summary.dropped_packets)
+        .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)
+        .with_note(
+            "the paper uses a 100-cycle staleness bound: drop too early and useful \
+             predictions are lost; too late and stale requests burn scarce bandwidth",
         );
-    }
+    args.finish(&table);
 }

@@ -6,54 +6,37 @@
 //! get to keep (wasted writebacks and refetches); too long and racing
 //! tokens sit idle before funneling to the active requester.
 //!
-//! `cargo run --release -p patchsim-bench --bin ablation_tenure_timeout [--quick]`
+//! `cargo run --release -p patchsim-bench --bin ablation_tenure_timeout [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{
-    run_many, summarize, PredictorChoice, ProtocolKind, SimConfig, TenureConfig, WorkloadSpec,
-};
-use patchsim_bench::Scale;
-use patchsim_protocol::ProtocolConfig;
+use patchsim_bench::{ablation_tenure_timeout_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    // A contended workload where tenure actually fires: many writers on a
-    // small hot table.
-    let workload = WorkloadSpec::Microbenchmark {
-        table_blocks: 256,
-        write_frac: 0.5,
-        think_mean: 5,
-    };
-    println!("Ablation: tenure timeout policy (PATCH-All, contended microbenchmark)\n");
-    println!(
-        "{:<18} {:>12} {:>16} {:>14}",
-        "policy", "runtime", "tenure timeouts", "writebacks"
+    let args = BenchArgs::parse(
+        "ablation_tenure_timeout",
+        "Ablation: tenure timeout policy (PATCH-All, contended microbenchmark)",
     );
-    let policies: Vec<(String, TenureConfig)> = vec![
-        ("fixed-50".into(), TenureConfig::Fixed(50)),
-        ("fixed-200".into(), TenureConfig::Fixed(200)),
-        ("fixed-800".into(), TenureConfig::Fixed(800)),
-        ("fixed-3200".into(), TenureConfig::Fixed(3200)),
-        ("adaptive-2x".into(), TenureConfig::paper_default()),
-    ];
-    for (name, tenure) in policies {
-        let protocol = ProtocolConfig::new(ProtocolKind::Patch, scale.cores)
-            .with_predictor(PredictorChoice::All)
-            .with_tenure(tenure);
-        let config = SimConfig::new(ProtocolKind::Patch, scale.cores)
-            .with_protocol(protocol)
-            .with_workload(workload.clone())
-            .with_ops_per_core(scale.ops)
-            .with_warmup(scale.warmup);
-        let summary = summarize(&run_many(&config, scale.seeds));
-        let timeouts: u64 = summary
-            .runs
-            .iter()
-            .map(|r| r.counters.tenure_timeouts)
-            .sum();
-        let wbs: u64 = summary.runs.iter().map(|r| r.counters.writebacks).sum();
-        println!(
-            "{:<18} {:>12.0} {:>16} {:>14}",
-            name, summary.runtime.mean, timeouts, wbs
+    let table = args
+        .runner()
+        .run(&ablation_tenure_timeout_plan(args.scale))
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_column("tenure_timeouts", 0, |cell| {
+            cell.summary
+                .runs
+                .iter()
+                .map(|r| r.counters.tenure_timeouts)
+                .sum::<u64>() as f64
+        })
+        .with_column("writebacks", 0, |cell| {
+            cell.summary
+                .runs
+                .iter()
+                .map(|r| r.counters.writebacks)
+                .sum::<u64>() as f64
+        })
+        .with_note(
+            "too-short fixed timeouts waste writebacks and refetches; too-long timeouts \
+             idle racing tokens — the paper's adaptive 2x round-trip balances both",
         );
-    }
+    args.finish(&table);
 }

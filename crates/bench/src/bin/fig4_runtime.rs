@@ -6,52 +6,31 @@
 //! PATCH-Owner roughly halves PATCH-All's speedup; BcastIfShared lands
 //! within a few percent of PATCH-All.
 //!
-//! `cargo run --release -p patchsim-bench --bin fig4_runtime [--quick] [--seeds N]`
+//! `cargo run --release -p patchsim-bench --bin fig4_runtime [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{run_many, summarize};
-use patchsim_bench::{figure4_configs, figure4_workloads, Scale};
+use patchsim_bench::{figure4_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Figure 4: normalized runtime ({} cores, {} ops/core, {} seed(s))\n",
-        scale.cores, scale.ops, scale.seeds
+    let args = BenchArgs::parse(
+        "fig4_runtime",
+        "Figure 4: normalized runtime, 5 workloads x 6 protocol configurations",
     );
-    println!(
-        "{:<10} {:>10} {:>11} {:>12} {:>14} {:>10} {:>8}",
-        "workload",
-        "Directory",
-        "PATCH-None",
-        "PATCH-Owner",
-        "BcastIfShared",
-        "PATCH-All",
-        "TokenB"
-    );
-
-    let mut avg_speedup = Vec::new();
-    for workload in figure4_workloads() {
-        let mut row = Vec::new();
-        let mut baseline = None;
-        for (_, config) in figure4_configs(scale, &workload) {
-            let summary = summarize(&run_many(&config, scale.seeds));
-            let base = *baseline.get_or_insert(summary.runtime.mean);
-            row.push(summary.runtime.mean / base);
-        }
-        println!(
-            "{:<10} {:>10.3} {:>11.3} {:>12.3} {:>14.3} {:>10.3} {:>8.3}",
-            workload.name(),
-            row[0],
-            row[1],
-            row[2],
-            row[3],
-            row[4],
-            row[5]
+    let table = args
+        .runner()
+        .run(&figure4_plan(args.scale))
+        .with_title("Figure 4: normalized runtime")
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {
+            cell.summary.runtime.mean
+        })
+        .with_note(
+            "norm_runtime is normalized to the Directory row of the same workload \
+             (< 1.0 is faster than Directory)",
+        )
+        .with_note(
+            "paper shape: PATCH-None ~ Directory; PATCH-All ~ TokenB, ~14% faster than \
+             Directory on average (22% oltp, 19% apache)",
         );
-        avg_speedup.push(1.0 - row[4]);
-    }
-    let mean_speedup = avg_speedup.iter().sum::<f64>() / avg_speedup.len() as f64;
-    println!(
-        "\nPATCH-All speedup vs DIRECTORY: mean {:.1}% (paper: ~14% avg, 22% oltp, 19% apache)",
-        mean_speedup * 100.0
-    );
+    args.finish(&table);
 }

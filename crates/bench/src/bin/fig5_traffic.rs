@@ -6,35 +6,29 @@
 //! writebacks and activations); PATCH-Owner ≈ +20%; PATCH-All ≈ +145%;
 //! BcastIfShared between Owner and All; TokenB comparable to PATCH-All.
 //!
-//! `cargo run --release -p patchsim-bench --bin fig5_traffic [--quick] [--seeds N]`
+//! `cargo run --release -p patchsim-bench --bin fig5_traffic [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{run_many, summarize, TrafficClass};
-use patchsim_bench::{figure4_configs, figure4_workloads, Scale};
+use patchsim_bench::{figure4_plan, with_traffic_class_columns, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "Figure 5: traffic per miss by class, normalized to Directory ({} cores)\n",
-        scale.cores
+    let args = BenchArgs::parse(
+        "fig5_traffic",
+        "Figure 5: traffic per miss by message class, normalized to Directory",
     );
-
-    for workload in figure4_workloads() {
-        println!("== {} ==", workload.name());
-        println!(
-            "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
-            "config", "Data", "Ack", "DirReq", "IndReq", "Fwd", "Reissue", "Activ", "WB", "total"
-        );
-        let mut baseline = None;
-        for (name, config) in figure4_configs(scale, &workload) {
-            let summary = summarize(&run_many(&config, scale.seeds));
-            let base = *baseline.get_or_insert(summary.bytes_per_miss.mean);
-            print!("{name:<20}");
-            for class in TrafficClass::ALL {
-                print!(" {:>8.1}", summary.class_mean(class));
-            }
-            println!(" {:>7.2}", summary.bytes_per_miss.mean / base);
-        }
-        println!();
-    }
-    println!("(columns are bytes/miss; 'total' is normalized to the Directory row)");
+    let table = with_traffic_class_columns(
+        args.runner()
+            .run(&figure4_plan(args.scale))
+            .with_title("Figure 5: traffic per miss by class"),
+    )
+    .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)
+    .with_normalized_column("norm_traffic", 2, "config", "Directory", |cell| {
+        cell.summary.bytes_per_miss.mean
+    })
+    .with_note("class columns are bytes/miss; norm_traffic is normalized to the Directory row")
+    .with_note(
+        "paper shape: PATCH-None ~ Directory +2%; PATCH-Owner ~ +20%; PATCH-All ~ +145%; \
+         TokenB comparable to PATCH-All",
+    );
+    args.finish(&table);
 }

@@ -6,38 +6,30 @@
 //! deteriorates past DIRECTORY while adaptive PATCH-All stays at or below
 //! 1.0, and in the middle of the sweep beats both (by up to ~6.3%).
 //!
-//! `cargo run --release -p patchsim-bench --bin fig6_bandwidth_ocean [--quick] [--seeds N]`
+//! `cargo run --release -p patchsim-bench --bin fig6_bandwidth_ocean [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{presets, run_many, summarize};
-use patchsim_bench::{bandwidth_sweep_configs, Scale, BANDWIDTH_SWEEP};
+use patchsim::presets;
+use patchsim_bench::{bandwidth_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let workload = presets::ocean();
-    println!(
-        "Figure 6: bandwidth adaptivity on {} ({} cores; runtime normalized to Directory)\n",
-        workload.name(),
-        scale.cores
+    let args = BenchArgs::parse(
+        "fig6_bandwidth_ocean",
+        "Figure 6: runtime vs link bandwidth on ocean (normalized to Directory)",
     );
-    println!(
-        "{:>16} {:>11} {:>14} {:>11} {:>14}",
-        "bytes/1000cyc", "Directory", "PATCH-All-NA", "PATCH-All", "drops(All)"
-    );
-    for bw in BANDWIDTH_SWEEP {
-        let mut norm = Vec::new();
-        let mut drops = 0.0;
-        let mut baseline = None;
-        for (name, config) in bandwidth_sweep_configs(scale, &workload, bw) {
-            let summary = summarize(&run_many(&config, scale.seeds));
-            let base = *baseline.get_or_insert(summary.runtime.mean);
-            norm.push(summary.runtime.mean / base);
-            if name == "PATCH-All" {
-                drops = summary.dropped_packets;
-            }
-        }
-        println!(
-            "{:>16} {:>11.3} {:>14.3} {:>11.3} {:>14.0}",
-            bw, norm[0], norm[1], norm[2], drops
+    let table = args
+        .runner()
+        .run(&bandwidth_plan(args.scale, presets::ocean()))
+        .with_title("Figure 6: bandwidth adaptivity on ocean")
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {
+            cell.summary.runtime.mean
+        })
+        .with_column("drops", 0, |cell| cell.summary.dropped_packets)
+        .with_note("norm_runtime is normalized to Directory at the same bandwidth")
+        .with_note(
+            "paper shape: PATCH-All-NA collapses at low bandwidth while adaptive \
+             PATCH-All stays at or below Directory (mid-sweep win up to ~6.3%)",
         );
-    }
+    args.finish(&table);
 }

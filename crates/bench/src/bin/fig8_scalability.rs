@@ -6,40 +6,28 @@
 //! non-adaptive variant at small scale and DIRECTORY's scalability at
 //! large scale, staying ahead of DIRECTORY up to ~256 cores.
 //!
-//! `cargo run --release -p patchsim-bench --bin fig8_scalability [--quick] [--seeds N]`
+//! `cargo run --release -p patchsim-bench --bin fig8_scalability [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{run_many, summarize};
-use patchsim_bench::{scalability_configs, Scale};
+use patchsim_bench::{scalability_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let core_counts: &[u16] = if scale.cores <= 16 {
-        &[4, 8, 16, 32, 64] // --quick
-    } else {
-        &[4, 8, 16, 32, 64, 128, 256, 512]
-    };
-    println!(
-        "Figure 8: microbenchmark scalability (2 B/cycle links; runtime normalized to Directory)\n"
+    let args = BenchArgs::parse(
+        "fig8_scalability",
+        "Figure 8: microbenchmark scalability, 4-512 cores (normalized to Directory)",
     );
-    println!(
-        "{:>8} {:>11} {:>14} {:>11}",
-        "cores", "Directory", "PATCH-All-NA", "PATCH-All"
-    );
-    let _ = scale;
-    for &cores in core_counts {
-        // The schedule keeps total accesses at several multiples of the
-        // 16k-entry table so caches reach steady state at every size.
-        let ops = 0;
-        let mut norm = Vec::new();
-        let mut baseline = None;
-        for (_, config) in scalability_configs(cores, ops) {
-            let summary = summarize(&run_many(&config, scale.seeds));
-            let base = *baseline.get_or_insert(summary.runtime.mean);
-            norm.push(summary.runtime.mean / base);
-        }
-        println!(
-            "{:>8} {:>11.3} {:>14.3} {:>11.3}",
-            cores, norm[0], norm[1], norm[2]
+    let table = args
+        .runner()
+        .run(&scalability_plan(args.scale))
+        .with_title("Figure 8: microbenchmark scalability (2 B/cycle links)")
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {
+            cell.summary.runtime.mean
+        })
+        .with_note("norm_runtime is normalized to Directory at the same core count")
+        .with_note(
+            "paper shape: PATCH-All-NA wins up to 64 cores then collapses; adaptive \
+             PATCH-All stays ahead of Directory up to ~256 cores",
         );
-    }
+    args.finish(&table);
 }

@@ -7,41 +7,31 @@
 //! to ~142% at 256 cores / single-bit), while PATCH grows only a few
 //! percent.
 //!
-//! `cargo run --release -p patchsim-bench --bin fig9_inexact_runtime [--quick] [--seeds N]`
+//! `cargo run --release -p patchsim-bench --bin fig9_inexact_runtime [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
 
-use patchsim::{run_many, summarize, LinkBandwidth, ProtocolKind};
-use patchsim_bench::{coarseness_sweep, inexact_config, Scale};
+use patchsim_bench::{inexact_runtime_plan, BenchArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let sizes: &[u16] = if scale.cores <= 16 {
-        &[16, 32] // --quick
-    } else {
-        &[64, 128, 256]
-    };
-    println!("Figure 9: runtime vs sharer-encoding coarseness (normalized to full map)\n");
-    for &cores in sizes {
-        let ops = 0; // use the steady-state microbench schedule
-        for kind in [ProtocolKind::Directory, ProtocolKind::Patch] {
-            print!("{:<10} {:>4} cores |", kind.label(), cores);
-            for bandwidth in [LinkBandwidth::Unbounded, LinkBandwidth::BytesPerCycle(2.0)] {
-                let mut baseline = None;
-                let mut cells = Vec::new();
-                for k in coarseness_sweep(cores) {
-                    let config = inexact_config(kind, cores, k, bandwidth, ops);
-                    let summary = summarize(&run_many(&config, scale.seeds));
-                    let base = *baseline.get_or_insert(summary.runtime.mean);
-                    cells.push(format!("K{}={:.2}", k, summary.runtime.mean / base));
-                }
-                let label = if bandwidth.is_unbounded() {
-                    "inf"
-                } else {
-                    "2B/c"
-                };
-                print!("  [{label}] {}", cells.join(" "));
-            }
-            println!();
-        }
-        println!();
-    }
+    let args = BenchArgs::parse(
+        "fig9_inexact_runtime",
+        "Figure 9: runtime vs sharer-encoding coarseness (normalized to full map)",
+    );
+    let table = args
+        .runner()
+        .run(&inexact_runtime_plan(args.scale))
+        .with_title("Figure 9: runtime vs sharer-encoding coarseness")
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_normalized_column("norm_runtime", 3, "K", "1", |cell| {
+            cell.summary.runtime.mean
+        })
+        .with_note(
+            "norm_runtime is normalized to the K=1 (full-map) row of the same \
+             cores/config/links group",
+        )
+        .with_note(
+            "paper shape: flat with unbounded links; with 2 B/cycle links Directory \
+             degrades up to ~142% at 256 cores single-bit while PATCH grows a few percent",
+        );
+    args.finish(&table);
 }

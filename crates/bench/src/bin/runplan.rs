@@ -1,0 +1,39 @@
+//! Generic experiment-plan driver: run any registered figure or ablation
+//! plan by name with the standard measurement columns.
+//!
+//! `cargo run --release -p patchsim-bench --bin runplan -- <plan> [--quick]
+//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
+//!
+//! `runplan list` prints the registered plan names.
+
+use patchsim_bench::{plan_by_name, with_standard_columns, BenchArgs, PLAN_NAMES};
+
+fn main() {
+    let (args, positional) = BenchArgs::parse_with_positional(
+        "runplan",
+        "Run any registered experiment plan by name (see `runplan list`)",
+        "plan",
+    );
+    let Some(name) = positional else {
+        eprintln!(
+            "error: missing plan name; registered plans: {}",
+            PLAN_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    if name == "list" {
+        for plan in PLAN_NAMES {
+            println!("{plan}");
+        }
+        return;
+    }
+    let Some(plan) = plan_by_name(&name, args.scale) else {
+        eprintln!(
+            "error: unknown plan '{name}'; registered plans: {}",
+            PLAN_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let table = with_standard_columns(args.runner().run(&plan));
+    args.finish(&table);
+}

@@ -1,30 +1,43 @@
 //! Benchmark and figure-regeneration harness for `patchsim`.
 //!
-//! Every table and figure of the paper's evaluation (§8) has a dedicated
-//! regeneration target:
+//! Every table and figure of the paper's evaluation (§8) is a declarative
+//! [`ExperimentPlan`] built by a constructor in this crate and executed by
+//! the parallel deterministic [`Runner`] — the
+//! binaries under `src/bin/` only pick a plan, declare result columns,
+//! and emit:
 //!
-//! | Paper result | Target |
-//! |---|---|
-//! | Figure 4 (runtime, 5 workloads × 6 configs) | `cargo run --release -p patchsim-bench --bin fig4_runtime` |
-//! | Figure 5 (traffic breakdown) | `fig5_traffic` |
-//! | Figure 6 (bandwidth sweep, ocean) | `fig6_bandwidth_ocean` |
-//! | Figure 7 (bandwidth sweep, jbb) | `fig7_bandwidth_jbb` |
-//! | Figure 8 (4–512 core scalability) | `fig8_scalability` |
-//! | Figure 9 (inexact-encoding runtime) | `fig9_inexact_runtime` |
-//! | Figure 10 (inexact-encoding traffic) | `fig10_inexact_traffic` |
-//! | DESIGN.md ablations | `ablation_tenure_timeout`, `ablation_deact_window`, `ablation_stale_drop`, `ablation_ack_elision` |
+//! | Paper result | Target | Plan |
+//! |---|---|---|
+//! | Figure 4 (runtime, 5 workloads × 6 configs) | `fig4_runtime` | [`figure4_plan`] |
+//! | Figure 5 (traffic breakdown) | `fig5_traffic` | [`figure4_plan`] |
+//! | Figure 6 (bandwidth sweep, ocean) | `fig6_bandwidth_ocean` | [`bandwidth_plan`] |
+//! | Figure 7 (bandwidth sweep, jbb) | `fig7_bandwidth_jbb` | [`bandwidth_plan`] |
+//! | Figure 8 (4–512 core scalability) | `fig8_scalability` | [`scalability_plan`] |
+//! | Figure 9 (inexact-encoding runtime) | `fig9_inexact_runtime` | [`inexact_runtime_plan`] |
+//! | Figure 10 (inexact-encoding traffic) | `fig10_inexact_traffic` | [`inexact_traffic_plan`] |
+//! | DESIGN.md ablations | `ablation_*` | [`ablation_tenure_timeout_plan`], ... |
+//! | Any of the above by name | `runplan <plan>` | [`plan_by_name`] |
 //!
-//! All binaries accept `--quick` (shrink cores/ops for a fast smoke run)
-//! and `--seeds N` (perturbed replications for confidence intervals).
-//! `cargo bench` additionally runs scaled-down criterion versions of every
-//! figure plus microbenchmarks of the simulator's core data structures.
+//! All binaries share one hardened command line ([`BenchArgs`]):
+//! `--quick` (shrink cores/ops for a fast smoke run), `--seeds N`
+//! (perturbed replications for confidence intervals), `--threads N`
+//! (worker pool size; results are bit-identical at any thread count),
+//! `--format {text,csv,json}`, and `--out PATH`. Unknown flags and
+//! malformed values print usage and exit non-zero.
+//!
+//! `cargo bench` additionally runs scaled-down versions of every figure
+//! plus microbenchmarks of the simulator's core data structures.
 
 pub mod harness;
 
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use patchsim::exp::{AxisValue, Cell, ExperimentPlan, Format, Runner, Sweep, Table};
 use patchsim::{
-    presets, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig, WorkloadSpec,
+    presets, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig, TenureConfig,
+    TrafficClass, WorkloadSpec,
 };
-use patchsim_protocol::ProtocolConfig;
 
 /// Experiment scale knobs shared by all figure targets.
 #[derive(Clone, Copy, Debug)]
@@ -59,94 +72,455 @@ impl Scale {
             seeds: 1,
         }
     }
+}
 
-    /// Parses `--quick` and `--seeds N` from the process arguments.
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut scale = if args.iter().any(|a| a == "--quick") {
-            Scale::quick()
-        } else {
-            Scale::full()
-        };
-        if let Some(pos) = args.iter().position(|a| a == "--seeds") {
-            if let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
-                scale.seeds = n;
+/// The shared figure-binary command line.
+///
+/// Parsing is strict: unknown flags, missing values, zero counts, and
+/// unparseable numbers all print usage and exit with status 2 instead of
+/// silently falling back to defaults.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Experiment scale (`--quick`, `--seeds N`).
+    pub scale: Scale,
+    /// Worker-thread override (`--threads N`); `None` uses all hardware
+    /// threads.
+    pub threads: Option<usize>,
+    /// Output format (`--format {text,csv,json}`).
+    pub format: Format,
+    /// Output path (`--out PATH`); `None` writes to stdout.
+    pub out: Option<PathBuf>,
+}
+
+/// The option block shared by every binary's usage text.
+const OPTIONS_HELP: &str = "Options:
+  --quick        shrink cores/ops for a fast smoke run
+  --seeds N      perturbed replications per cell (default 1)
+  --threads N    worker threads (default: all hardware threads)
+  --format FMT   output format: text, csv, json (default text)
+  --out PATH     write the table to PATH instead of stdout
+  -h, --help     print this help";
+
+impl BenchArgs {
+    /// Parses the process arguments, or prints usage and exits — with
+    /// status 0 for `--help`, status 2 for anything malformed.
+    pub fn parse(bin: &str, about: &str) -> Self {
+        let (args, positional) = Self::parse_or_exit(bin, about, None);
+        if let Some(p) = positional {
+            usage_error(bin, about, None, &format!("unexpected argument '{p}'"));
+        }
+        args
+    }
+
+    /// Like [`BenchArgs::parse`] but accepts one positional argument
+    /// (used by `runplan` for the plan name), described as `<positional>`
+    /// in the usage text.
+    pub fn parse_with_positional(
+        bin: &str,
+        about: &str,
+        positional: &str,
+    ) -> (Self, Option<String>) {
+        Self::parse_or_exit(bin, about, Some(positional))
+    }
+
+    fn parse_or_exit(bin: &str, about: &str, positional: Option<&str>) -> (Self, Option<String>) {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        if raw.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", usage(bin, about, positional));
+            std::process::exit(0);
+        }
+        match Self::try_parse(&raw) {
+            Ok(parsed) => parsed,
+            Err(msg) => usage_error(bin, about, positional, &msg),
+        }
+    }
+
+    /// Parses an argument list. Returns the parsed flags plus at most one
+    /// positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first unknown flag, missing or
+    /// malformed value, or surplus positional argument.
+    pub fn try_parse(raw: &[String]) -> Result<(Self, Option<String>), String> {
+        let mut quick = false;
+        let mut seeds: Option<u64> = None;
+        let mut threads: Option<usize> = None;
+        let mut format = Format::Text;
+        let mut out: Option<PathBuf> = None;
+        let mut positional: Option<String> = None;
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--seeds" => {
+                    let v = it.next().ok_or("--seeds requires a value")?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid --seeds value '{v}'"))?;
+                    if n == 0 {
+                        return Err("--seeds must be at least 1".into());
+                    }
+                    seeds = Some(n);
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads requires a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid --threads value '{v}'"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    threads = Some(n);
+                }
+                "--format" => {
+                    let v = it.next().ok_or("--format requires a value")?;
+                    format = Format::parse(v).ok_or_else(|| {
+                        format!("invalid --format '{v}' (expected text, csv, or json)")
+                    })?;
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out requires a value")?;
+                    out = Some(PathBuf::from(v));
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag '{flag}'"));
+                }
+                value => {
+                    if positional.is_some() {
+                        return Err(format!("unexpected argument '{value}'"));
+                    }
+                    positional = Some(value.to_string());
+                }
             }
         }
-        scale
+        let mut scale = if quick { Scale::quick() } else { Scale::full() };
+        if let Some(n) = seeds {
+            scale.seeds = n;
+        }
+        Ok((
+            BenchArgs {
+                scale,
+                threads,
+                format,
+                out,
+            },
+            positional,
+        ))
+    }
+
+    /// The runner this invocation asked for.
+    pub fn runner(&self) -> Runner {
+        match self.threads {
+            Some(n) => Runner::new().with_threads(n),
+            None => Runner::new(),
+        }
+    }
+
+    /// Writes `table` in the selected format to stdout or `--out`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty table (no cells or no columns — nothing a
+    /// downstream consumer could use) and on I/O errors.
+    pub fn emit(&self, table: &Table) -> io::Result<()> {
+        if table.cells().is_empty() || table.columns().is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "refusing to emit an empty table",
+            ));
+        }
+        match &self.out {
+            Some(path) => {
+                let mut file = std::fs::File::create(path)?;
+                table.emit(self.format, &mut file)?;
+                file.flush()?;
+                eprintln!("wrote {} rows to {}", table.cells().len(), path.display());
+                Ok(())
+            }
+            None => {
+                let stdout = io::stdout();
+                let mut lock = stdout.lock();
+                table.emit(self.format, &mut lock)?;
+                lock.flush()
+            }
+        }
+    }
+
+    /// Emits the table, exiting with status 1 on failure — the tail call
+    /// of every figure binary.
+    pub fn finish(&self, table: &Table) {
+        if let Err(e) = self.emit(table) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
-/// The six configurations of Figures 4 and 5, in the paper's bar order.
-pub fn figure4_configs(scale: Scale, workload: &WorkloadSpec) -> Vec<(String, SimConfig)> {
-    let base = |kind: ProtocolKind| {
-        SimConfig::new(kind, scale.cores)
-            .with_workload(workload.clone())
-            .with_ops_per_core(scale.ops)
-            .with_warmup(scale.warmup)
+fn usage(bin: &str, about: &str, positional: Option<&str>) -> String {
+    let operands = match positional {
+        Some(p) => format!(" <{p}>"),
+        None => String::new(),
+    };
+    format!("{about}\n\nUsage: {bin} [OPTIONS]{operands}\n\n{OPTIONS_HELP}")
+}
+
+fn usage_error(bin: &str, about: &str, positional: Option<&str>, msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{}", usage(bin, about, positional));
+    std::process::exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// Shared axes.
+// ---------------------------------------------------------------------------
+
+/// An axis over workloads, labeled by workload name.
+pub fn workload_axis(workloads: Vec<WorkloadSpec>) -> Vec<AxisValue> {
+    workloads
+        .into_iter()
+        .map(|w| {
+            let label = w.name();
+            AxisValue::new(label, move |c: SimConfig| c.with_workload(w.clone()))
+        })
+        .collect()
+}
+
+/// The six protocol configurations of Figures 4 and 5, in the paper's bar
+/// order, as a plan axis.
+pub fn figure4_protocol_axis() -> Vec<AxisValue> {
+    let patch = |predictor: PredictorChoice| {
+        move |c: SimConfig| c.with_kind(ProtocolKind::Patch).with_predictor(predictor)
     };
     vec![
-        ("Directory".into(), base(ProtocolKind::Directory)),
-        (
-            "PATCH-None".into(),
-            base(ProtocolKind::Patch).with_predictor(PredictorChoice::None),
+        AxisValue::new("Directory", |c| c.with_kind(ProtocolKind::Directory)),
+        AxisValue::new("PATCH-None", patch(PredictorChoice::None)),
+        AxisValue::new("PATCH-Owner", patch(PredictorChoice::Owner)),
+        AxisValue::new(
+            "PATCH-BcastIfShared",
+            patch(PredictorChoice::BroadcastIfShared),
         ),
-        (
-            "PATCH-Owner".into(),
-            base(ProtocolKind::Patch).with_predictor(PredictorChoice::Owner),
-        ),
-        (
-            "PATCH-BcastIfShared".into(),
-            base(ProtocolKind::Patch).with_predictor(PredictorChoice::BroadcastIfShared),
-        ),
-        (
-            "PATCH-All".into(),
-            base(ProtocolKind::Patch).with_predictor(PredictorChoice::All),
-        ),
-        ("TokenB".into(), base(ProtocolKind::TokenB)),
+        AxisValue::new("PATCH-All", patch(PredictorChoice::All)),
+        AxisValue::new("TokenB", |c| c.with_kind(ProtocolKind::TokenB)),
     ]
 }
 
-/// The five workloads of Figures 4 and 5, in the paper's group order.
-pub fn figure4_workloads() -> Vec<WorkloadSpec> {
-    presets::all()
+/// The three competing configurations of Figures 6–8: DIRECTORY,
+/// non-adaptive PATCH-All, and adaptive PATCH-All.
+pub fn adaptivity_protocol_axis() -> Vec<AxisValue> {
+    vec![
+        AxisValue::new("Directory", |c| c.with_kind(ProtocolKind::Directory)),
+        AxisValue::new("PATCH-All-NA", |c| {
+            let c = c
+                .with_kind(ProtocolKind::Patch)
+                .with_predictor(PredictorChoice::All);
+            let protocol = c.protocol.clone().non_adaptive();
+            c.with_protocol(protocol)
+        }),
+        AxisValue::new("PATCH-All", |c| {
+            c.with_kind(ProtocolKind::Patch)
+                .with_predictor(PredictorChoice::All)
+        }),
+    ]
 }
 
-/// One point of the Figure 6/7 bandwidth sweeps: the three competing
-/// configurations at a given link bandwidth, in bytes per 1000 cycles as
-/// the paper quotes it.
-pub fn bandwidth_sweep_configs(
-    scale: Scale,
-    workload: &WorkloadSpec,
-    bytes_per_kcycle: f64,
-) -> Vec<(String, SimConfig)> {
-    let bw = LinkBandwidth::BytesPerCycle(bytes_per_kcycle / 1000.0);
-    let base = |kind: ProtocolKind| {
-        SimConfig::new(kind, scale.cores)
-            .with_workload(workload.clone())
-            .with_bandwidth(bw)
-            .with_ops_per_core(scale.ops)
-            .with_warmup(scale.warmup)
-    };
-    vec![
-        ("Directory".into(), base(ProtocolKind::Directory)),
-        (
-            "PATCH-All-NA".into(),
-            base(ProtocolKind::Patch).with_protocol(
-                ProtocolConfig::new(ProtocolKind::Patch, scale.cores)
-                    .with_predictor(PredictorChoice::All)
-                    .non_adaptive(),
-            ),
-        ),
-        (
-            "PATCH-All".into(),
-            base(ProtocolKind::Patch).with_predictor(PredictorChoice::All),
-        ),
-    ]
+/// An axis value resizing the system to `cores` on the steady-state
+/// microbenchmark schedule, preserving every other protocol setting.
+pub fn cores_value(cores: u16) -> AxisValue {
+    AxisValue::new(cores.to_string(), move |c: SimConfig| {
+        let (warmup, ops) = microbench_schedule(cores);
+        let mut protocol = c.protocol.clone();
+        protocol.num_nodes = cores;
+        protocol.total_tokens = cores as u32;
+        c.with_protocol(protocol)
+            .with_ops_per_core(ops)
+            .with_warmup(warmup)
+    })
+}
+
+/// An axis value selecting a sharer-encoding coarseness of `k` cores per
+/// bit (`k == 1` is the full map), labeled by `k`.
+pub fn coarseness_value(k: u16) -> AxisValue {
+    AxisValue::new(k.to_string(), move |c: SimConfig| {
+        let encoding = if k <= 1 {
+            SharerEncoding::FullMap
+        } else {
+            SharerEncoding::Coarse { cores_per_bit: k }
+        };
+        let protocol = c.protocol.clone().with_sharer_encoding(encoding);
+        c.with_protocol(protocol)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure plans.
+// ---------------------------------------------------------------------------
+
+/// The Figure 4/5 grid: the five paper workloads × the six protocol
+/// configurations at the scale's core count.
+pub fn figure4_plan(scale: Scale) -> ExperimentPlan {
+    let base = SimConfig::new(ProtocolKind::Directory, scale.cores)
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    Sweep::new(format!("Figure 4/5 grid ({} cores)", scale.cores), base)
+        .axis("workload", workload_axis(presets::all()))
+        .axis("config", figure4_protocol_axis())
+        .seeds(scale.seeds)
+        .build()
 }
 
 /// The paper's bandwidth sweep points (bytes per 1000 cycles, Figures 6–7).
 pub const BANDWIDTH_SWEEP: [f64; 6] = [300.0, 600.0, 900.0, 2000.0, 4000.0, 8000.0];
+
+/// The Figure 6/7 grid for one workload: the paper's six link bandwidths ×
+/// {DIRECTORY, PATCH-All-NA, PATCH-All}.
+pub fn bandwidth_plan(scale: Scale, workload: WorkloadSpec) -> ExperimentPlan {
+    let name = format!(
+        "Bandwidth adaptivity on {} ({} cores)",
+        workload.name(),
+        scale.cores
+    );
+    let base = SimConfig::new(ProtocolKind::Directory, scale.cores)
+        .with_workload(workload)
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    Sweep::new(name, base)
+        .axis(
+            "bytes_per_kcycle",
+            BANDWIDTH_SWEEP
+                .iter()
+                .map(|&bw| {
+                    AxisValue::new(format!("{bw:.0}"), move |c: SimConfig| {
+                        c.with_bandwidth(LinkBandwidth::BytesPerCycle(bw / 1000.0))
+                    })
+                })
+                .collect(),
+        )
+        .axis("config", adaptivity_protocol_axis())
+        .seeds(scale.seeds)
+        .build()
+}
+
+/// The Figure 8 core counts (`--quick` stops at 64).
+pub fn scalability_core_counts(scale: Scale) -> &'static [u16] {
+    if scale.cores <= 16 {
+        &[4, 8, 16, 32, 64]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256, 512]
+    }
+}
+
+/// The Figure 8 grid: core counts × {DIRECTORY, PATCH-All-NA, PATCH-All}
+/// on the microbenchmark with 2-byte/cycle links.
+pub fn scalability_plan(scale: Scale) -> ExperimentPlan {
+    let base = SimConfig::new(ProtocolKind::Directory, 4)
+        .with_workload(WorkloadSpec::microbenchmark())
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0));
+    Sweep::new("Microbenchmark scalability (2 B/cycle links)", base)
+        .axis(
+            "cores",
+            scalability_core_counts(scale)
+                .iter()
+                .map(|&n| cores_value(n))
+                .collect(),
+        )
+        .axis("config", adaptivity_protocol_axis())
+        .seeds(scale.seeds)
+        .build()
+}
+
+/// The Figure 9/10 core counts (`--quick` uses small systems).
+pub fn inexact_core_counts(scale: Scale) -> &'static [u16] {
+    if scale.cores <= 16 {
+        &[16, 32]
+    } else {
+        &[64, 128, 256]
+    }
+}
+
+/// The coarseness sweep (`K` cores per sharer bit) of Figures 9–10.
+pub const COARSENESS_SWEEP: [u16; 5] = [1, 4, 16, 64, 256];
+
+/// The protocol axis of Figures 9–10: DIRECTORY vs (predictorless) PATCH.
+pub fn inexact_protocol_axis() -> Vec<AxisValue> {
+    vec![
+        AxisValue::new("Directory", |c| c.with_kind(ProtocolKind::Directory)),
+        AxisValue::new("PATCH", |c| c.with_kind(ProtocolKind::Patch)),
+    ]
+}
+
+/// Keeps coarseness cells whose `K` does not exceed the cell's core count
+/// (a 256-cores-per-bit encoding is meaningless on a 64-core system).
+fn coarseness_fits(cell: &Cell) -> bool {
+    match cell.config.protocol.sharer_encoding {
+        SharerEncoding::Coarse { cores_per_bit } => cores_per_bit <= cell.config.protocol.num_nodes,
+        _ => true,
+    }
+}
+
+/// The Figure 9 grid: core counts × protocol × {unbounded, 2 B/cycle}
+/// links × sharer-encoding coarseness (clamped to the core count).
+pub fn inexact_runtime_plan(scale: Scale) -> ExperimentPlan {
+    let base =
+        SimConfig::new(ProtocolKind::Directory, 4).with_workload(WorkloadSpec::microbenchmark());
+    Sweep::new("Runtime vs sharer-encoding coarseness", base)
+        .axis(
+            "cores",
+            inexact_core_counts(scale)
+                .iter()
+                .map(|&n| cores_value(n))
+                .collect(),
+        )
+        .axis("config", inexact_protocol_axis())
+        .axis(
+            "links",
+            vec![
+                AxisValue::new("inf", |c| c.with_bandwidth(LinkBandwidth::Unbounded)),
+                AxisValue::new("2B/c", |c| {
+                    c.with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+                }),
+            ],
+        )
+        .axis(
+            "K",
+            COARSENESS_SWEEP
+                .iter()
+                .map(|&k| coarseness_value(k))
+                .collect(),
+        )
+        .filter(coarseness_fits)
+        .seeds(scale.seeds)
+        .build()
+}
+
+/// The Figure 10 grid: like [`inexact_runtime_plan`] but at the paper's
+/// constrained 2-byte/cycle links only (the traffic figure).
+pub fn inexact_traffic_plan(scale: Scale) -> ExperimentPlan {
+    let base = SimConfig::new(ProtocolKind::Directory, 4)
+        .with_workload(WorkloadSpec::microbenchmark())
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0));
+    Sweep::new(
+        "Traffic vs sharer-encoding coarseness (2 B/cycle links)",
+        base,
+    )
+    .axis(
+        "cores",
+        inexact_core_counts(scale)
+            .iter()
+            .map(|&n| cores_value(n))
+            .collect(),
+    )
+    .axis("config", inexact_protocol_axis())
+    .axis(
+        "K",
+        COARSENESS_SWEEP
+            .iter()
+            .map(|&k| coarseness_value(k))
+            .collect(),
+    )
+    .filter(coarseness_fits)
+    .seeds(scale.seeds)
+    .build()
+}
 
 /// Warmup/measurement schedule for the microbenchmark experiments
 /// (Figures 8–10): the paper measures warmed, steady-state caches, so
@@ -160,77 +534,243 @@ pub fn microbench_schedule(cores: u16) -> (u64, u64) {
     (warmup, ops)
 }
 
-/// The Figure 8 configurations: three protocols on the microbenchmark
-/// with 2-byte/cycle links at a given core count.
-pub fn scalability_configs(cores: u16, ops: u64) -> Vec<(String, SimConfig)> {
-    let (warmup, default_ops) = microbench_schedule(cores);
-    let ops = if ops == 0 { default_ops } else { ops };
-    let base = |kind: ProtocolKind| {
-        SimConfig::new(kind, cores)
-            .with_workload(WorkloadSpec::microbenchmark())
-            .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
-            .with_ops_per_core(ops)
-            .with_warmup(warmup)
+// ---------------------------------------------------------------------------
+// Ablation plans.
+// ---------------------------------------------------------------------------
+
+/// Ablation: tenure-timeout policy (fixed sweeps vs the paper's adaptive
+/// 2× round-trip) on a contended microbenchmark.
+pub fn ablation_tenure_timeout_plan(scale: Scale) -> ExperimentPlan {
+    // A contended workload where tenure actually fires: many writers on a
+    // small hot table.
+    let workload = WorkloadSpec::Microbenchmark {
+        table_blocks: 256,
+        write_frac: 0.5,
+        think_mean: 5,
     };
-    vec![
-        ("Directory".into(), base(ProtocolKind::Directory)),
-        (
-            "PATCH-All-NA".into(),
-            base(ProtocolKind::Patch).with_protocol(
-                ProtocolConfig::new(ProtocolKind::Patch, cores)
-                    .with_predictor(PredictorChoice::All)
-                    .non_adaptive(),
-            ),
-        ),
-        (
-            "PATCH-All".into(),
-            base(ProtocolKind::Patch).with_predictor(PredictorChoice::All),
-        ),
-    ]
+    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
+        .with_predictor(PredictorChoice::All)
+        .with_workload(workload)
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    let policies: Vec<(&str, TenureConfig)> = vec![
+        ("fixed-50", TenureConfig::Fixed(50)),
+        ("fixed-200", TenureConfig::Fixed(200)),
+        ("fixed-800", TenureConfig::Fixed(800)),
+        ("fixed-3200", TenureConfig::Fixed(3200)),
+        ("adaptive-2x", TenureConfig::paper_default()),
+    ];
+    Sweep::new(
+        "Ablation: tenure timeout policy (PATCH-All, contended)",
+        base,
+    )
+    .axis(
+        "policy",
+        policies
+            .into_iter()
+            .map(|(label, tenure)| {
+                AxisValue::new(label, move |c: SimConfig| {
+                    let protocol = c.protocol.clone().with_tenure(tenure);
+                    c.with_protocol(protocol)
+                })
+            })
+            .collect(),
+    )
+    .seeds(scale.seeds)
+    .build()
 }
 
-/// One Figure 9/10 configuration: `kind` at `cores` with a coarse sharer
-/// encoding of `k` cores per bit (`k == 1` is the full map), under the
-/// chosen link bandwidth.
-pub fn inexact_config(
-    kind: ProtocolKind,
-    cores: u16,
-    k: u16,
-    bandwidth: LinkBandwidth,
-    ops: u64,
-) -> SimConfig {
-    let encoding = if k <= 1 {
-        SharerEncoding::FullMap
-    } else {
-        SharerEncoding::Coarse { cores_per_bit: k }
+/// Ablation: the post-deactivation direct-request ignore window.
+pub fn ablation_deact_window_plan(scale: Scale) -> ExperimentPlan {
+    let workload = WorkloadSpec::Microbenchmark {
+        table_blocks: 128,
+        write_frac: 0.5,
+        think_mean: 3,
     };
-    let protocol = ProtocolConfig::new(kind, cores).with_sharer_encoding(encoding);
-    let (warmup, default_ops) = microbench_schedule(cores);
-    let ops = if ops == 0 { default_ops } else { ops };
-    SimConfig::new(kind, cores)
-        .with_protocol(protocol)
-        .with_bandwidth(bandwidth)
+    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
+        .with_predictor(PredictorChoice::All)
+        .with_workload(workload)
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    Sweep::new(
+        "Ablation: post-deactivation ignore window (PATCH-All)",
+        base,
+    )
+    .axis(
+        "window",
+        vec![
+            AxisValue::new("enabled", |c| c),
+            AxisValue::new("disabled", |c| {
+                let protocol = c.protocol.clone().without_deact_window();
+                c.with_protocol(protocol)
+            }),
+        ],
+    )
+    .seeds(scale.seeds)
+    .build()
+}
+
+/// Ablation: the best-effort staleness bound under constrained bandwidth.
+pub fn ablation_stale_drop_plan(scale: Scale) -> ExperimentPlan {
+    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
+        .with_predictor(PredictorChoice::All)
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(1.0))
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    Sweep::new(
+        "Ablation: stale-drop threshold (PATCH-All, 1 B/cycle links)",
+        base,
+    )
+    .axis(
+        "stale_cycles",
+        [25u64, 50, 100, 200, 400, 1600]
+            .into_iter()
+            .map(|stale| {
+                AxisValue::new(stale.to_string(), move |mut c: SimConfig| {
+                    c.stale_drop_cycles = stale;
+                    c
+                })
+            })
+            .collect(),
+    )
+    .seeds(scale.seeds)
+    .build()
+}
+
+/// Ablation: zero-token acknowledgement elision under a coarse sharer
+/// encoding and 2-byte/cycle links.
+pub fn ablation_ack_elision_plan(scale: Scale) -> ExperimentPlan {
+    let coarse = SharerEncoding::Coarse {
+        cores_per_bit: (scale.cores / 4).max(2),
+    };
+    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
+        .with_protocol(
+            patchsim::ProtocolConfig::new(ProtocolKind::Patch, scale.cores)
+                .with_sharer_encoding(coarse),
+        )
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    Sweep::new(
+        format!("Ablation: zero-token ack elision (PATCH, {coarse}, 2 B/cycle links)"),
+        base,
+    )
+    .axis(
+        "acks",
+        vec![
+            AxisValue::new("elided (PATCH)", |c| c),
+            AxisValue::new("always (Dir-like)", |c| {
+                let protocol = c.protocol.clone().without_ack_elision();
+                c.with_protocol(protocol)
+            }),
+        ],
+    )
+    .seeds(scale.seeds)
+    .build()
+}
+
+/// Extension study: limited-pointer directories (Dir-i-B) alongside the
+/// paper's coarse-vector sweep.
+pub fn ablation_limited_pointer_plan(scale: Scale) -> ExperimentPlan {
+    let cores = scale.cores;
+    let (warmup, ops) = microbench_schedule(cores);
+    let base = SimConfig::new(ProtocolKind::Directory, cores)
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
         .with_workload(WorkloadSpec::microbenchmark())
         .with_ops_per_core(ops)
-        .with_warmup(warmup)
+        .with_warmup(warmup);
+    let encodings = [
+        SharerEncoding::FullMap,
+        SharerEncoding::LimitedPointer { pointers: 4 },
+        SharerEncoding::LimitedPointer { pointers: 1 },
+        SharerEncoding::Coarse {
+            cores_per_bit: (cores / 4).max(2),
+        },
+    ];
+    Sweep::new(
+        format!("Extension: limited-pointer directories ({cores} cores, 2 B/cycle links)"),
+        base,
+    )
+    .axis("config", inexact_protocol_axis())
+    .axis(
+        "encoding",
+        encodings
+            .into_iter()
+            .map(|encoding| {
+                AxisValue::new(encoding.to_string(), move |c: SimConfig| {
+                    let protocol = c.protocol.clone().with_sharer_encoding(encoding);
+                    c.with_protocol(protocol)
+                })
+            })
+            .collect(),
+    )
+    .seeds(scale.seeds)
+    .build()
 }
 
-/// The coarseness sweep (`K` cores per sharer bit) for a given core count,
-/// matching Figure 9's x-axis.
-pub fn coarseness_sweep(cores: u16) -> Vec<u16> {
-    [1u16, 4, 16, 64, 256]
-        .into_iter()
-        .filter(|&k| k <= cores)
-        .collect()
-}
+// ---------------------------------------------------------------------------
+// Plan registry and shared column sets.
+// ---------------------------------------------------------------------------
 
-/// Formats a right-aligned figure row.
-pub fn print_row(label: &str, values: &[(String, f64)]) {
-    print!("{label:<24}");
-    for (name, v) in values {
-        print!(" {name}={v:<8.3}");
+/// Every named plan `runplan` can execute.
+pub const PLAN_NAMES: [&str; 12] = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "tenure_timeout",
+    "deact_window",
+    "stale_drop",
+    "ack_elision",
+    "limited_pointer",
+];
+
+/// Builds a registered plan by name (see [`PLAN_NAMES`]).
+pub fn plan_by_name(name: &str, scale: Scale) -> Option<ExperimentPlan> {
+    match name {
+        "fig4" | "fig5" => Some(figure4_plan(scale)),
+        "fig6" => Some(bandwidth_plan(scale, presets::ocean())),
+        "fig7" => Some(bandwidth_plan(scale, presets::jbb())),
+        "fig8" => Some(scalability_plan(scale)),
+        "fig9" => Some(inexact_runtime_plan(scale)),
+        "fig10" => Some(inexact_traffic_plan(scale)),
+        "tenure_timeout" => Some(ablation_tenure_timeout_plan(scale)),
+        "deact_window" => Some(ablation_deact_window_plan(scale)),
+        "stale_drop" => Some(ablation_stale_drop_plan(scale)),
+        "ack_elision" => Some(ablation_ack_elision_plan(scale)),
+        "limited_pointer" => Some(ablation_limited_pointer_plan(scale)),
+        _ => None,
     }
-    println!();
+}
+
+/// The default measurement columns: runtime and bytes/miss with 95% CIs,
+/// pooled miss-latency percentiles, and best-effort drops.
+pub fn with_standard_columns(table: Table) -> Table {
+    table
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)
+        .with_column("lat_p50", 0, |cell| {
+            cell.summary.miss_latency_percentiles.p50 as f64
+        })
+        .with_column("lat_p95", 0, |cell| {
+            cell.summary.miss_latency_percentiles.p95 as f64
+        })
+        .with_column("lat_p99", 0, |cell| {
+            cell.summary.miss_latency_percentiles.p99 as f64
+        })
+        .with_column("drops", 0, |cell| cell.summary.dropped_packets)
+}
+
+/// One bytes-per-miss column per traffic class, in [`TrafficClass::ALL`]
+/// order (the paper's Figure 5/10 breakdowns).
+pub fn with_traffic_class_columns(mut table: Table) -> Table {
+    for class in TrafficClass::ALL {
+        table = table.with_column(class.label(), 1, move |cell| cell.summary.class_mean(class));
+    }
+    table
 }
 
 #[cfg(test)]
@@ -238,39 +778,121 @@ mod tests {
     use super::*;
 
     #[test]
-    fn figure4_has_six_bars_and_five_groups() {
-        let scale = Scale::quick();
-        let workloads = figure4_workloads();
-        assert_eq!(workloads.len(), 5);
-        let configs = figure4_configs(scale, &workloads[0]);
-        assert_eq!(configs.len(), 6);
-        assert_eq!(configs[0].0, "Directory");
-        assert_eq!(configs[5].0, "TokenB");
+    fn figure4_grid_is_five_by_six() {
+        let plan = figure4_plan(Scale::quick());
+        assert_eq!(plan.axis_names(), &["workload", "config"]);
+        assert_eq!(plan.len(), 30);
+        assert_eq!(plan.cells()[0].labels[1], "Directory");
+        assert_eq!(plan.cells()[5].labels[1], "TokenB");
     }
 
     #[test]
-    fn bandwidth_sweep_matches_paper_points() {
-        assert_eq!(BANDWIDTH_SWEEP.len(), 6);
-        let configs = bandwidth_sweep_configs(Scale::quick(), &presets::ocean(), 300.0);
-        assert_eq!(configs.len(), 3);
+    fn bandwidth_plan_matches_paper_points() {
+        let plan = bandwidth_plan(Scale::quick(), presets::ocean());
+        assert_eq!(plan.len(), BANDWIDTH_SWEEP.len() * 3);
         // 300 bytes/kcycle = 0.3 bytes/cycle.
-        assert_eq!(configs[0].1.bandwidth, LinkBandwidth::BytesPerCycle(0.3));
-    }
-
-    #[test]
-    fn coarseness_sweep_clamps_to_cores() {
-        assert_eq!(coarseness_sweep(64), vec![1, 4, 16, 64]);
-        assert_eq!(coarseness_sweep(256), vec![1, 4, 16, 64, 256]);
-    }
-
-    #[test]
-    fn inexact_config_selects_encoding() {
-        let c = inexact_config(ProtocolKind::Patch, 64, 1, LinkBandwidth::Unbounded, 10);
-        assert_eq!(c.protocol.sharer_encoding, SharerEncoding::FullMap);
-        let c = inexact_config(ProtocolKind::Patch, 64, 16, LinkBandwidth::Unbounded, 10);
         assert_eq!(
-            c.protocol.sharer_encoding,
-            SharerEncoding::Coarse { cores_per_bit: 16 }
+            plan.cells()[0].config.bandwidth,
+            LinkBandwidth::BytesPerCycle(0.3)
         );
+        assert_eq!(plan.cells()[0].labels, vec!["300", "Directory"]);
+    }
+
+    #[test]
+    fn scalability_plan_resizes_tokens_with_cores() {
+        let plan = scalability_plan(Scale::quick());
+        for cell in plan.cells() {
+            let cores: u16 = cell.labels[0].parse().unwrap();
+            assert_eq!(cell.config.protocol.num_nodes, cores);
+            assert_eq!(cell.config.protocol.total_tokens, cores as u32);
+            let (warmup, ops) = microbench_schedule(cores);
+            assert_eq!(cell.config.warmup_ops_per_core, warmup);
+            assert_eq!(cell.config.ops_per_core, ops);
+        }
+    }
+
+    #[test]
+    fn coarseness_is_clamped_to_the_core_count() {
+        let plan = inexact_traffic_plan(Scale::quick()); // 16- and 32-core systems
+        assert!(plan
+            .cells()
+            .iter()
+            .all(|cell| match cell.config.protocol.sharer_encoding {
+                SharerEncoding::Coarse { cores_per_bit } =>
+                    cores_per_bit <= cell.config.protocol.num_nodes,
+                _ => true,
+            }));
+        // 16 cores keep K ∈ {1, 4, 16}; 32 cores keep {1, 4, 16}.
+        let per_16: Vec<_> = plan
+            .cells()
+            .iter()
+            .filter(|c| c.labels[0] == "16" && c.labels[1] == "PATCH")
+            .map(|c| c.labels[2].clone())
+            .collect();
+        assert_eq!(per_16, vec!["1", "4", "16"]);
+    }
+
+    #[test]
+    fn inexact_runtime_plan_sweeps_both_bandwidths() {
+        let plan = inexact_runtime_plan(Scale::quick());
+        assert_eq!(plan.axis_names(), &["cores", "config", "links", "K"]);
+        assert!(plan.cells().iter().any(|c| c.labels[2] == "inf"));
+        assert!(plan.cells().iter().any(|c| c.labels[2] == "2B/c"));
+    }
+
+    #[test]
+    fn every_registered_plan_builds() {
+        let scale = Scale::quick();
+        for name in PLAN_NAMES {
+            let plan = plan_by_name(name, scale).expect(name);
+            assert!(!plan.is_empty(), "{name} built an empty plan");
+        }
+        assert!(plan_by_name("nope", scale).is_none());
+    }
+
+    #[test]
+    fn strict_parser_rejects_malformed_input() {
+        let args = |list: &[&str]| {
+            BenchArgs::try_parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert!(args(&["--seeds"]).is_err());
+        assert!(args(&["--seeds", "zero"]).is_err());
+        assert!(args(&["--seeds", "0"]).is_err());
+        assert!(args(&["--threads", "-3"]).is_err());
+        assert!(args(&["--format", "yaml"]).is_err());
+        assert!(args(&["--frobnicate"]).is_err());
+        assert!(args(&["a", "b"]).is_err());
+
+        let (ok, positional) = args(&[
+            "--quick",
+            "--seeds",
+            "3",
+            "--threads",
+            "2",
+            "--format",
+            "csv",
+            "--out",
+            "x.csv",
+            "fig4",
+        ])
+        .unwrap();
+        assert_eq!(ok.scale.cores, Scale::quick().cores);
+        assert_eq!(ok.scale.seeds, 3);
+        assert_eq!(ok.threads, Some(2));
+        assert_eq!(ok.format, Format::Csv);
+        assert_eq!(ok.out.as_deref(), Some(std::path::Path::new("x.csv")));
+        assert_eq!(positional.as_deref(), Some("fig4"));
+    }
+
+    #[test]
+    fn standard_columns_attach_to_a_real_table() {
+        let mut scale = Scale::quick();
+        scale.cores = 4;
+        scale.ops = 40;
+        scale.warmup = 0;
+        let plan = ablation_deact_window_plan(scale);
+        let table = with_standard_columns(Runner::serial().run(&plan));
+        assert_eq!(table.columns().len(), 6);
+        assert!(table.value(0, 0).primary() > 0.0);
     }
 }

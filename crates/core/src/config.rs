@@ -77,6 +77,16 @@ impl SimConfig {
         }
     }
 
+    /// Switches the coherence protocol in place, preserving every other
+    /// protocol setting (system size, sharer encoding, tenure policy,
+    /// cache geometry, ...). This is the protocol-axis transform of the
+    /// experiment-plan API, where a kind change must not clobber settings
+    /// applied by earlier axes.
+    pub fn with_kind(mut self, kind: ProtocolKind) -> Self {
+        self.protocol.kind = kind;
+        self
+    }
+
     /// Sets the destination-set predictor (PATCH).
     pub fn with_predictor(mut self, predictor: PredictorChoice) -> Self {
         self.protocol = self.protocol.with_predictor(predictor);

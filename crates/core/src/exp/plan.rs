@@ -1,0 +1,384 @@
+//! Declarative experiment plans: labeled axes crossed into a grid of
+//! named simulation configurations.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::SimConfig;
+
+/// The configuration transform one axis value applies.
+pub type ConfigTransform = dyn Fn(SimConfig) -> SimConfig;
+
+/// A cell predicate used by [`Sweep::filter`] to make grids sparse.
+pub type CellFilter = Box<dyn Fn(&Cell) -> bool>;
+
+/// One value of a sweep axis: a display label plus the configuration
+/// transform the value applies to every cell it participates in.
+///
+/// Transforms run in axis declaration order, so a later axis sees the
+/// settings established by earlier ones (e.g. a sharer-encoding axis can
+/// follow a protocol axis and read `config.protocol.num_nodes`).
+pub struct AxisValue {
+    label: String,
+    apply: Box<ConfigTransform>,
+}
+
+impl AxisValue {
+    /// Creates an axis value from a label and a configuration transform.
+    pub fn new(label: impl Into<String>, apply: impl Fn(SimConfig) -> SimConfig + 'static) -> Self {
+        AxisValue {
+            label: label.into(),
+            apply: Box::new(apply),
+        }
+    }
+
+    /// The value's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Debug for AxisValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AxisValue")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+struct Axis {
+    name: String,
+    values: Vec<AxisValue>,
+}
+
+/// Builder for an [`ExperimentPlan`]: a base configuration plus labeled
+/// axes whose cross product defines the experiment grid.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim::exp::{AxisValue, Sweep};
+/// use patchsim::{ProtocolKind, SimConfig};
+///
+/// let base = SimConfig::new(ProtocolKind::Directory, 4).with_ops_per_core(50);
+/// let plan = Sweep::new("demo", base)
+///     .axis(
+///         "config",
+///         vec![
+///             AxisValue::new("Directory", |c| c),
+///             AxisValue::new("PATCH", |c| c.with_kind(ProtocolKind::Patch)),
+///         ],
+///     )
+///     .axis(
+///         "seed",
+///         vec![
+///             AxisValue::new("a", |c| c.with_seed(1)),
+///             AxisValue::new("b", |c| c.with_seed(2)),
+///         ],
+///     )
+///     .build();
+/// assert_eq!(plan.len(), 4);
+/// assert_eq!(plan.cells()[1].labels, vec!["Directory", "b"]);
+/// ```
+pub struct Sweep {
+    name: String,
+    base: SimConfig,
+    axes: Vec<Axis>,
+    seeds: u64,
+    filters: Vec<CellFilter>,
+}
+
+impl fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sweep")
+            .field("name", &self.name)
+            .field("axes", &self.axes)
+            .field("seeds", &self.seeds)
+            .field("filters", &self.filters.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sweep {
+    /// Starts a sweep named `name` whose cells all derive from `base`.
+    pub fn new(name: impl Into<String>, base: SimConfig) -> Self {
+        Sweep {
+            name: name.into(),
+            base,
+            axes: Vec::new(),
+            seeds: 1,
+            filters: Vec::new(),
+        }
+    }
+
+    /// Appends an axis. The grid iterates later axes fastest (the last
+    /// axis is the innermost loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, if a value label repeats within the
+    /// axis, or if `name` repeats an earlier axis name — all of which
+    /// would make cells or normalization baselines ambiguous.
+    pub fn axis(mut self, name: impl Into<String>, values: Vec<AxisValue>) -> Self {
+        let name = name.into();
+        assert!(!values.is_empty(), "axis '{name}' has no values");
+        assert!(
+            !self.axes.iter().any(|a| a.name == name),
+            "duplicate axis name '{name}'"
+        );
+        let mut seen = HashSet::new();
+        for v in &values {
+            assert!(
+                seen.insert(v.label.clone()),
+                "duplicate label '{}' on axis '{name}'",
+                v.label
+            );
+        }
+        self.axes.push(Axis { name, values });
+        self
+    }
+
+    /// Sets the number of perturbed-seed replications the runner executes
+    /// per cell (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is zero.
+    pub fn seeds(mut self, seeds: u64) -> Self {
+        assert!(seeds > 0, "at least one replication required");
+        self.seeds = seeds;
+        self
+    }
+
+    /// Keeps only cells for which `keep` returns true, making the grid
+    /// sparse (e.g. a coarseness axis clamped to the cell's core count).
+    /// Filters see the fully assembled cell — labels and configuration —
+    /// and apply when the plan is built.
+    pub fn filter(mut self, keep: impl Fn(&Cell) -> bool + 'static) -> Self {
+        self.filters.push(Box::new(keep));
+        self
+    }
+
+    /// Materialises the grid: every combination of axis values, applied to
+    /// the base configuration in axis order, minus filtered-out cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no axis was declared, or if the filters reject every
+    /// cell.
+    pub fn build(self) -> ExperimentPlan {
+        assert!(!self.axes.is_empty(), "a plan needs at least one axis");
+        let total: usize = self.axes.iter().map(|a| a.values.len()).product();
+        let mut cells = Vec::with_capacity(total);
+        let mut coords = vec![0usize; self.axes.len()];
+        for _ in 0..total {
+            let mut config = self.base.clone();
+            let mut labels = Vec::with_capacity(self.axes.len());
+            for (axis, &vi) in self.axes.iter().zip(coords.iter()) {
+                let value = &axis.values[vi];
+                labels.push(value.label.clone());
+                config = (value.apply)(config);
+            }
+            let cell = Cell { labels, config };
+            if self.filters.iter().all(|keep| keep(&cell)) {
+                cells.push(cell);
+            }
+            // Odometer increment, last axis fastest.
+            for d in (0..coords.len()).rev() {
+                coords[d] += 1;
+                if coords[d] < self.axes[d].values.len() {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+        assert!(!cells.is_empty(), "filters rejected every cell");
+        ExperimentPlan {
+            name: self.name,
+            axis_names: self.axes.into_iter().map(|a| a.name).collect(),
+            seeds: self.seeds,
+            cells,
+        }
+    }
+}
+
+/// One cell of an experiment grid: its axis labels and the fully
+/// assembled configuration to simulate. A cell's position is its index
+/// in [`ExperimentPlan::cells`] (grid order, last axis fastest, minus
+/// filtered-out cells).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// One label per axis, in axis declaration order.
+    pub labels: Vec<String>,
+    /// The configuration this cell simulates.
+    pub config: SimConfig,
+}
+
+impl Cell {
+    /// The cell's display name: its labels joined with `/`.
+    pub fn name(&self) -> String {
+        self.labels.join("/")
+    }
+}
+
+/// A materialised experiment grid, ready for [`Runner::run`].
+///
+/// [`Runner::run`]: crate::exp::Runner::run
+#[derive(Debug)]
+pub struct ExperimentPlan {
+    name: String,
+    axis_names: Vec<String>,
+    seeds: u64,
+    cells: Vec<Cell>,
+}
+
+impl ExperimentPlan {
+    /// The plan's name (becomes the result table's title).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Axis names, in declaration order.
+    pub fn axis_names(&self) -> &[String] {
+        &self.axis_names
+    }
+
+    /// Perturbed-seed replications per cell.
+    pub fn seeds(&self) -> u64 {
+        self.seeds
+    }
+
+    /// The grid cells, in grid order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid is empty (never true for a built plan).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total simulation runs the runner will execute (`len × seeds`).
+    pub fn total_runs(&self) -> u64 {
+        self.cells.len() as u64 * self.seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkBandwidth, ProtocolKind};
+
+    fn base() -> SimConfig {
+        SimConfig::new(ProtocolKind::Directory, 4)
+    }
+
+    fn plan_2x3() -> ExperimentPlan {
+        Sweep::new("p", base())
+            .axis(
+                "config",
+                vec![
+                    AxisValue::new("Directory", |c| c),
+                    AxisValue::new("PATCH", |c| c.with_kind(ProtocolKind::Patch)),
+                ],
+            )
+            .axis(
+                "bw",
+                vec![
+                    AxisValue::new("1", |c| c.with_bandwidth(LinkBandwidth::BytesPerCycle(1.0))),
+                    AxisValue::new("2", |c| c.with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))),
+                    AxisValue::new("inf", |c| c.with_bandwidth(LinkBandwidth::Unbounded)),
+                ],
+            )
+            .seeds(3)
+            .build()
+    }
+
+    #[test]
+    fn grid_is_cross_product_in_row_major_order() {
+        let plan = plan_2x3();
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.total_runs(), 18);
+        assert_eq!(plan.axis_names(), &["config", "bw"]);
+        let names: Vec<String> = plan.cells().iter().map(Cell::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Directory/1",
+                "Directory/2",
+                "Directory/inf",
+                "PATCH/1",
+                "PATCH/2",
+                "PATCH/inf"
+            ]
+        );
+    }
+
+    #[test]
+    fn transforms_compose_in_axis_order() {
+        let plan = plan_2x3();
+        let cell = &plan.cells()[4]; // PATCH/2
+        assert_eq!(cell.config.protocol.kind, ProtocolKind::Patch);
+        assert_eq!(cell.config.bandwidth, LinkBandwidth::BytesPerCycle(2.0));
+    }
+
+    #[test]
+    fn filters_make_the_grid_sparse_with_stable_indices() {
+        let plan = Sweep::new("p", base())
+            .axis(
+                "bw",
+                vec![
+                    AxisValue::new("1", |c| c.with_bandwidth(LinkBandwidth::BytesPerCycle(1.0))),
+                    AxisValue::new("inf", |c| c.with_bandwidth(LinkBandwidth::Unbounded)),
+                ],
+            )
+            .filter(|cell| !cell.config.bandwidth.is_unbounded())
+            .build();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.cells()[0].labels, vec!["1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected every cell")]
+    fn all_rejecting_filter_panics() {
+        let _ = Sweep::new("p", base())
+            .axis("a", vec![AxisValue::new("x", |c| c)])
+            .filter(|_| false)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_rejected() {
+        let _ = Sweep::new("p", base()).axis(
+            "a",
+            vec![AxisValue::new("x", |c| c), AxisValue::new("x", |c| c)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate axis")]
+    fn duplicate_axis_names_rejected() {
+        let _ = Sweep::new("p", base())
+            .axis("a", vec![AxisValue::new("x", |c| c)])
+            .axis("a", vec![AxisValue::new("y", |c| c)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn empty_axis_rejected() {
+        let _ = Sweep::new("p", base()).axis("a", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one axis")]
+    fn axisless_plan_rejected() {
+        let _ = Sweep::new("p", base()).build();
+    }
+}

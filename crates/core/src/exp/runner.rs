@@ -1,0 +1,198 @@
+//! The experiment runner: executes a plan's cells on a worker pool with
+//! deterministic per-cell seed derivation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use patchsim_kernel::replicate_seed;
+
+use crate::exp::plan::ExperimentPlan;
+use crate::exp::table::{CellResult, Table};
+use crate::report::summarize;
+use crate::system::{run, RunResult};
+use crate::SimConfig;
+
+/// Executes every cell of an [`ExperimentPlan`] and aggregates the
+/// results into a [`Table`].
+///
+/// Runs execute on a self-contained `std::thread` worker pool. Each
+/// simulation is a pure function of its configuration, and every
+/// replication's seed is derived with [`replicate_seed`] from the cell's
+/// base seed — never from execution order — so the table is bit-identical
+/// whatever the thread count. Grid cells are embarrassingly parallel
+/// (Figure 4 alone is 30 independent cells), which makes the pool a
+/// wall-clock win on every figure.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner using all available hardware parallelism.
+    pub fn new() -> Self {
+        Runner {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// A single-threaded runner (runs cells inline, in grid order).
+    pub fn serial() -> Self {
+        Runner { threads: 1 }
+    }
+
+    /// Sets the worker count (clamped to at least one).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every `(cell, replication)` pair of `plan` and returns one
+    /// summarized [`Table`] row per cell, in grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation panics (a detected protocol bug — see
+    /// [`System::run`](crate::System::run)); with multiple workers the
+    /// panic is propagated when the pool joins.
+    pub fn run(&self, plan: &ExperimentPlan) -> Table {
+        let seeds = plan.seeds();
+        // One work item per (cell, replication), flattened in grid order.
+        let configs: Vec<SimConfig> = plan
+            .cells()
+            .iter()
+            .flat_map(|cell| {
+                (0..seeds).map(|rep| {
+                    let base = cell.config.seed;
+                    cell.config.clone().with_seed(replicate_seed(base, rep))
+                })
+            })
+            .collect();
+        let results = execute(&configs, self.threads);
+        let cells = plan
+            .cells()
+            .iter()
+            .zip(results.chunks(seeds as usize))
+            .map(|(cell, runs)| CellResult {
+                labels: cell.labels.clone(),
+                config: cell.config.clone(),
+                summary: summarize(runs),
+            })
+            .collect();
+        Table::new(plan.name(), plan.axis_names().to_vec(), cells)
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+/// Runs every configuration and returns the results in input order,
+/// regardless of which worker executed which run.
+fn execute(configs: &[SimConfig], threads: usize) -> Vec<RunResult> {
+    let threads = threads.min(configs.len()).max(1);
+    if threads == 1 {
+        return configs.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let result = run(&configs[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::{AxisValue, Sweep};
+    use crate::{ProtocolKind, WorkloadSpec};
+
+    fn tiny_plan(seeds: u64) -> ExperimentPlan {
+        let base = SimConfig::new(ProtocolKind::Directory, 4)
+            .with_workload(WorkloadSpec::Microbenchmark {
+                table_blocks: 32,
+                write_frac: 0.3,
+                think_mean: 2,
+            })
+            .with_ops_per_core(40);
+        Sweep::new("tiny", base)
+            .axis(
+                "config",
+                vec![
+                    AxisValue::new("Directory", |c| c),
+                    AxisValue::new("PATCH", |c| c.with_kind(ProtocolKind::Patch)),
+                    AxisValue::new("TokenB", |c| c.with_kind(ProtocolKind::TokenB)),
+                ],
+            )
+            .axis(
+                "seed",
+                vec![
+                    AxisValue::new("s1", |c| c.with_seed(1)),
+                    AxisValue::new("s2", |c| c.with_seed(2)),
+                ],
+            )
+            .seeds(seeds)
+            .build()
+    }
+
+    #[test]
+    fn parallel_matches_serial_cell_for_cell() {
+        let plan = tiny_plan(2);
+        let serial = Runner::serial().run(&plan);
+        let parallel = Runner::new().with_threads(4).run(&plan);
+        assert_eq!(serial.cells().len(), parallel.cells().len());
+        for (a, b) in serial.cells().iter().zip(parallel.cells().iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.summary.runtime, b.summary.runtime);
+            assert_eq!(a.summary.bytes_per_miss, b.summary.bytes_per_miss);
+            for (ra, rb) in a.summary.runs.iter().zip(b.summary.runs.iter()) {
+                assert_eq!(ra.runtime_cycles, rb.runtime_cycles);
+                assert_eq!(ra.traffic, rb.traffic);
+                assert_eq!(ra.measured_misses, rb.measured_misses);
+            }
+        }
+    }
+
+    #[test]
+    fn replications_use_derived_seeds() {
+        let plan = tiny_plan(3);
+        let table = Runner::serial().run(&plan);
+        let runs = &table.cells()[0].summary.runs;
+        assert_eq!(runs.len(), 3);
+        // Replications differ from each other (the seeds really changed).
+        assert!(
+            runs[0].runtime_cycles != runs[1].runtime_cycles
+                || runs[1].runtime_cycles != runs[2].runtime_cycles
+        );
+    }
+
+    #[test]
+    fn oversized_thread_count_is_clamped() {
+        let plan = tiny_plan(1);
+        let table = Runner::new().with_threads(64).run(&plan);
+        assert_eq!(table.cells().len(), 6);
+    }
+}

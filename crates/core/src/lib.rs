@@ -12,10 +12,10 @@
 //! sibling crates (DES kernel, 2D-torus interconnect, cache/directory
 //! structures, the three coherence protocols, destination-set predictors,
 //! and synthetic workloads) into a runnable simulated multicore, and
-//! provides the experiment runner used to regenerate every figure of the
-//! paper's evaluation.
+//! provides the declarative experiment-plan API ([`exp`]) used to
+//! regenerate every figure of the paper's evaluation.
 //!
-//! ## Quickstart
+//! ## Quickstart: a single run
 //!
 //! ```
 //! use patchsim::{SimConfig, ProtocolKind, PredictorChoice};
@@ -28,6 +28,59 @@
 //! let result = patchsim::run(&config);
 //! assert_eq!(result.ops_completed, 16 * 200);
 //! assert!(result.runtime_cycles > 0);
+//! ```
+//!
+//! ## Quickstart: a declarative experiment sweep
+//!
+//! Every paper figure is a [`Sweep`](exp::Sweep): labeled axes crossed
+//! into a grid of configurations, executed by the parallel deterministic
+//! [`Runner`](exp::Runner), rendered as text, CSV, or JSON. A 2-axis
+//! sweep — two protocols × two write ratios, two perturbed seeds per
+//! cell:
+//!
+//! ```
+//! use patchsim::exp::{AxisValue, Format, Runner, Sweep};
+//! use patchsim::{PredictorChoice, ProtocolKind, SimConfig, WorkloadSpec};
+//!
+//! fn microbench(write_frac: f64) -> WorkloadSpec {
+//!     WorkloadSpec::Microbenchmark { table_blocks: 64, write_frac, think_mean: 5 }
+//! }
+//!
+//! let base = SimConfig::new(ProtocolKind::Directory, 4)
+//!     .with_workload(microbench(0.3))
+//!     .with_ops_per_core(60);
+//! let plan = Sweep::new("demo sweep", base)
+//!     .axis(
+//!         "config",
+//!         vec![
+//!             AxisValue::new("Directory", |c| c),
+//!             AxisValue::new("PATCH-All", |c| {
+//!                 c.with_kind(ProtocolKind::Patch)
+//!                     .with_predictor(PredictorChoice::All)
+//!             }),
+//!         ],
+//!     )
+//!     .axis(
+//!         "writes",
+//!         vec![
+//!             AxisValue::new("30%", |c| c.with_workload(microbench(0.3))),
+//!             AxisValue::new("60%", |c| c.with_workload(microbench(0.6))),
+//!         ],
+//!     )
+//!     .seeds(2)
+//!     .build();
+//! let table = Runner::new() // worker pool; identical output at any thread count
+//!     .run(&plan)
+//!     .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+//!     .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {
+//!         cell.summary.runtime.mean
+//!     });
+//! assert_eq!(table.cells().len(), 4);
+//! let mut out = Vec::new();
+//! table.emit(Format::Csv, &mut out).unwrap();
+//! let csv = String::from_utf8(out).unwrap();
+//! assert!(csv.starts_with("config,writes,runtime,runtime_ci95,norm_runtime"));
+//! assert_eq!(csv.lines().count(), 5); // header + one record per cell
 //! ```
 //!
 //! ## What the simulator checks while it runs
@@ -48,18 +101,19 @@
 
 mod checker;
 mod config;
+pub mod exp;
 mod report;
 mod system;
 
 pub use checker::{CoherenceChecker, TokenAuditor};
 pub use config::{CheckLevel, SimConfig};
-pub use report::{summarize, RunSummary};
+pub use report::{summarize, ClassBytes, LatencyPercentiles, RunSummary};
 pub use system::{run, run_many, RunResult, System};
 
 // Re-export the vocabulary types users need to configure and interpret
 // experiments, so downstream code can depend on `patchsim` alone.
 pub use patchsim_kernel::stats::ConfidenceInterval;
-pub use patchsim_kernel::{Cycle, SimRng};
+pub use patchsim_kernel::{replicate_seed, Cycle, SimRng};
 pub use patchsim_mem::{AccessKind, BlockAddr, CacheGeometry, SharerEncoding};
 pub use patchsim_noc::{LinkBandwidth, NodeId, Priority, TrafficClass, TrafficStats};
 pub use patchsim_predictor::PredictorChoice;

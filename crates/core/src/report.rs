@@ -1,9 +1,92 @@
-//! Summaries of repeated runs: means, confidence intervals, and
-//! figure-style formatting helpers.
+//! Summaries of repeated runs: means, confidence intervals, percentiles,
+//! and figure-style formatting helpers.
 
-use patchsim_kernel::stats::ConfidenceInterval;
+use std::ops::Index;
+
+use patchsim_kernel::stats::{ConfidenceInterval, Histogram};
 
 use crate::{RunResult, TrafficClass};
+
+/// Per-class mean bytes per miss, with one slot per [`TrafficClass::ALL`]
+/// entry — the representation is tied to the class list, so adding a
+/// traffic class cannot silently truncate the breakdown.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim::{ClassBytes, TrafficClass};
+///
+/// let cb = ClassBytes::from_fn(|class| {
+///     if class == TrafficClass::Data { 72.0 } else { 0.0 }
+/// });
+/// assert_eq!(cb[TrafficClass::Data], 72.0);
+/// assert_eq!(cb.iter().filter(|(_, v)| *v > 0.0).count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassBytes([f64; TrafficClass::ALL.len()]);
+
+impl ClassBytes {
+    /// Builds a breakdown by evaluating `f` for every traffic class.
+    pub fn from_fn(mut f: impl FnMut(TrafficClass) -> f64) -> Self {
+        let mut values = [0.0; TrafficClass::ALL.len()];
+        for (slot, class) in values.iter_mut().zip(TrafficClass::ALL) {
+            *slot = f(class);
+        }
+        ClassBytes(values)
+    }
+
+    /// The value for one traffic class.
+    pub fn get(&self, class: TrafficClass) -> f64 {
+        self[class]
+    }
+
+    /// Iterates `(class, value)` pairs in [`TrafficClass::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, f64)> + '_ {
+        TrafficClass::ALL.into_iter().zip(self.0)
+    }
+
+    /// Sum across all classes.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+impl Index<TrafficClass> for ClassBytes {
+    type Output = f64;
+
+    fn index(&self, class: TrafficClass) -> &f64 {
+        let idx = TrafficClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("every class is in ALL");
+        &self.0[idx]
+    }
+}
+
+/// Miss-latency percentiles pooled over every run of a configuration, in
+/// cycles. Derived from the power-of-two bucketed [`Histogram`] each run
+/// already collects, so values are exact to within one octave (p-th
+/// sample's bucket lower bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyPercentiles {
+    /// Median miss latency.
+    pub p50: u64,
+    /// 95th-percentile miss latency.
+    pub p95: u64,
+    /// 99th-percentile miss latency.
+    pub p99: u64,
+}
+
+impl LatencyPercentiles {
+    /// Extracts the percentiles from a latency histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        LatencyPercentiles {
+            p50: h.percentile(0.50),
+            p95: h.percentile(0.95),
+            p99: h.percentile(0.99),
+        }
+    }
+}
 
 /// Statistics over a set of perturbed runs of one configuration.
 ///
@@ -21,6 +104,7 @@ use crate::{RunResult, TrafficClass};
 ///     .with_ops_per_core(50);
 /// let summary = summarize(&run_many(&cfg, 3));
 /// assert!(summary.runtime.mean > 0.0);
+/// assert!(summary.miss_latency_percentiles.p99 >= summary.miss_latency_percentiles.p50);
 /// ```
 #[derive(Debug, Clone)]
 pub struct RunSummary {
@@ -32,8 +116,10 @@ pub struct RunSummary {
     pub bytes_per_miss: ConfidenceInterval,
     /// Mean measured miss latency across runs.
     pub miss_latency: ConfidenceInterval,
-    /// Per-class mean bytes per miss, in [`TrafficClass::ALL`] order.
-    pub class_bytes_per_miss: [f64; 8],
+    /// Miss-latency percentiles pooled over all runs.
+    pub miss_latency_percentiles: LatencyPercentiles,
+    /// Per-class mean bytes per miss.
+    pub class_bytes_per_miss: ClassBytes,
     /// Mean number of best-effort packets dropped per run.
     pub dropped_packets: f64,
     /// The individual runs.
@@ -54,11 +140,7 @@ impl RunSummary {
 
     /// Mean bytes per miss for one traffic class.
     pub fn class_mean(&self, class: TrafficClass) -> f64 {
-        let idx = TrafficClass::ALL
-            .iter()
-            .position(|c| *c == class)
-            .expect("class in ALL");
-        self.class_bytes_per_miss[idx]
+        self.class_bytes_per_miss[class]
     }
 }
 
@@ -82,14 +164,16 @@ pub fn summarize(runs: &[RunResult]) -> RunSummary {
     let miss_latency = ConfidenceInterval::from_samples(
         &runs.iter().map(|r| r.miss_latency_mean).collect::<Vec<_>>(),
     );
-    let mut class_bytes_per_miss = [0.0f64; 8];
-    for (i, class) in TrafficClass::ALL.iter().enumerate() {
-        class_bytes_per_miss[i] = runs
-            .iter()
-            .map(|r| r.class_bytes_per_miss(*class))
-            .sum::<f64>()
-            / runs.len() as f64;
+    let mut pooled_latency = Histogram::new();
+    for r in runs {
+        pooled_latency.merge(&r.miss_latency);
     }
+    let class_bytes_per_miss = ClassBytes::from_fn(|class| {
+        runs.iter()
+            .map(|r| r.class_bytes_per_miss(class))
+            .sum::<f64>()
+            / runs.len() as f64
+    });
     let dropped_packets = runs
         .iter()
         .map(|r| r.traffic.dropped_packets() as f64)
@@ -100,6 +184,7 @@ pub fn summarize(runs: &[RunResult]) -> RunSummary {
         runtime,
         bytes_per_miss,
         miss_latency,
+        miss_latency_percentiles: LatencyPercentiles::from_histogram(&pooled_latency),
         class_bytes_per_miss,
         dropped_packets,
         runs: runs.to_vec(),
@@ -131,6 +216,20 @@ mod tests {
         assert_eq!(summary.runs.len(), 3);
         // Data traffic dominates a miss-heavy microbenchmark.
         assert!(summary.class_mean(TrafficClass::Data) > 0.0);
+        // The per-class breakdown sums to the total.
+        let total: f64 = summary.class_bytes_per_miss.total();
+        assert!((total - summary.bytes_per_miss.mean).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let summary = summarize(&runs());
+        let p = summary.miss_latency_percentiles;
+        assert!(p.p50 > 0);
+        assert!(p.p50 <= p.p95);
+        assert!(p.p95 <= p.p99);
+        let max = summary.runs.iter().map(|r| r.miss_latency.max()).max();
+        assert!(p.p99 <= max.unwrap());
     }
 
     #[test]

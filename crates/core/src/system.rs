@@ -372,13 +372,24 @@ pub fn run(config: &SimConfig) -> RunResult {
     System::new(config.clone()).run()
 }
 
-/// Runs `seeds` perturbed copies of the simulation (seeds `base_seed`,
-/// `base_seed+1`, …), the methodology behind the paper's 95% confidence
-/// intervals.
+/// Runs `seeds` perturbed copies of the simulation, the methodology
+/// behind the paper's 95% confidence intervals.
+///
+/// Replication `i` runs with [`patchsim_kernel::replicate_seed`]`(config.seed, i)`
+/// — replication 0 is the configured seed itself, and later replications
+/// are SplitMix-derived so experiments with adjacent base seeds never
+/// share replication streams (the naive `seed + i` derivation collides
+/// `(seed, i)` with `(seed + 1, i - 1)`). The parallel
+/// [`Runner`](crate::exp::Runner) uses the same derivation, so its
+/// results are bit-identical to this serial loop.
 pub fn run_many(config: &SimConfig, seeds: u64) -> Vec<RunResult> {
     assert!(seeds > 0, "at least one run required");
     (0..seeds)
-        .map(|i| run(&config.clone().with_seed(config.seed + i)))
+        .map(|i| {
+            run(&config
+                .clone()
+                .with_seed(patchsim_kernel::replicate_seed(config.seed, i)))
+        })
         .collect()
 }
 

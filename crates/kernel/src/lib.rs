@@ -33,4 +33,4 @@ pub mod stats;
 
 pub use cycle::Cycle;
 pub use event::EventQueue;
-pub use rng::SimRng;
+pub use rng::{replicate_seed, SimRng};

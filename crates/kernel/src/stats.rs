@@ -223,6 +223,47 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `p`-th percentile of the recorded samples, for `p` in `[0, 1]`.
+    ///
+    /// Returns the lower bound of the power-of-two bucket containing the
+    /// percentile rank (so the value is exact to within one octave), or
+    /// zero for an empty histogram. `percentile(1.0)` is clamped to the
+    /// exact recorded maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return self.max;
+        }
+        // Rank of the percentile sample, 1-based (ceil(p * n), at least 1).
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                return lower.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Returns `(lower_bound, count)` pairs for non-empty buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -371,6 +412,49 @@ mod tests {
         assert_eq!(h.max(), 1024);
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 1030);
+    }
+
+    #[test]
+    fn histogram_merge_sums_everything() {
+        let mut a = Histogram::new();
+        a.record(3);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(5000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 3 + 100 + 3 + 5000);
+        assert_eq!(a.max(), 5000);
+        let buckets: Vec<_> = a.buckets().collect();
+        assert_eq!(buckets, vec![(2, 2), (64, 1), (4096, 1)]);
+    }
+
+    #[test]
+    fn histogram_percentiles_land_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 8, 16, 32, 64, 128, 1000] {
+            h.record(v);
+        }
+        // 10 samples: p50 is the 5th (value 8, bucket lower bound 8).
+        assert_eq!(h.percentile(0.5), 8);
+        // p90 is the 9th sample (128).
+        assert_eq!(h.percentile(0.9), 128);
+        // p100 clamps to the exact max.
+        assert_eq!(h.percentile(1.0), 1000);
+        // p -> 0 picks the first non-empty bucket.
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_percentile_empty_is_zero() {
+        assert_eq!(Histogram::new().percentile(0.99), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn histogram_percentile_rejects_out_of_range() {
+        let _ = Histogram::new().percentile(1.5);
     }
 
     #[test]

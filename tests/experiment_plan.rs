@@ -1,0 +1,228 @@
+//! Integration tests of the declarative experiment-plan API: the
+//! parallel runner's determinism guarantee and golden outputs for the
+//! machine-readable emitters.
+
+use patchsim::exp::{AxisValue, CellResult, Format, Runner, Sweep, Table};
+use patchsim::{
+    replicate_seed, run_many, ClassBytes, ConfidenceInterval, LatencyPercentiles, ProtocolKind,
+    RunSummary, SimConfig, WorkloadSpec,
+};
+
+fn grid_plan(seeds: u64) -> patchsim::exp::ExperimentPlan {
+    let base = SimConfig::new(ProtocolKind::Directory, 8)
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 128,
+            write_frac: 0.4,
+            think_mean: 3,
+        })
+        .with_ops_per_core(80)
+        .with_warmup(20);
+    Sweep::new("determinism grid", base)
+        .axis(
+            "config",
+            vec![
+                AxisValue::new("Directory", |c| c),
+                AxisValue::new("PATCH", |c| c.with_kind(ProtocolKind::Patch)),
+                AxisValue::new("TokenB", |c| c.with_kind(ProtocolKind::TokenB)),
+            ],
+        )
+        .axis(
+            "cores",
+            vec![
+                AxisValue::new("4", |c| {
+                    let mut p = c.protocol.clone();
+                    p.num_nodes = 4;
+                    p.total_tokens = 4;
+                    c.with_protocol(p)
+                }),
+                AxisValue::new("8", |c| c),
+            ],
+        )
+        .seeds(seeds)
+        .build()
+}
+
+/// The runner's core guarantee: thread count never changes the results.
+/// Every per-run measurement of every cell must match bit-for-bit between
+/// serial execution and a saturated worker pool.
+#[test]
+fn parallel_runner_is_bit_identical_to_serial() {
+    let plan = grid_plan(3);
+    let serial = Runner::serial().run(&plan);
+    let parallel = Runner::new().with_threads(8).run(&plan);
+    assert_eq!(serial.cells().len(), plan.len());
+    assert_eq!(parallel.cells().len(), plan.len());
+    for (a, b) in serial.cells().iter().zip(parallel.cells().iter()) {
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.summary.runtime, b.summary.runtime, "cell {:?}", a.labels);
+        assert_eq!(a.summary.bytes_per_miss, b.summary.bytes_per_miss);
+        assert_eq!(
+            a.summary.miss_latency_percentiles,
+            b.summary.miss_latency_percentiles
+        );
+        assert_eq!(a.summary.runs.len(), b.summary.runs.len());
+        for (ra, rb) in a.summary.runs.iter().zip(b.summary.runs.iter()) {
+            assert_eq!(ra.runtime_cycles, rb.runtime_cycles);
+            assert_eq!(ra.ops_completed, rb.ops_completed);
+            assert_eq!(ra.traffic, rb.traffic);
+            assert_eq!(ra.measured_misses, rb.measured_misses);
+            assert_eq!(ra.miss_latency_mean, rb.miss_latency_mean);
+        }
+    }
+}
+
+/// The runner's replication seeds must match the serial `run_many`
+/// derivation exactly — the runner is a drop-in replacement for the old
+/// per-binary loops.
+#[test]
+fn runner_replications_match_run_many() {
+    let plan = grid_plan(3);
+    let table = Runner::new().with_threads(4).run(&plan);
+    for cell in table.cells() {
+        let expected = run_many(&cell.config, 3);
+        for (from_runner, from_loop) in cell.summary.runs.iter().zip(expected.iter()) {
+            assert_eq!(from_runner.runtime_cycles, from_loop.runtime_cycles);
+            assert_eq!(from_runner.traffic, from_loop.traffic);
+        }
+    }
+}
+
+/// Seed derivation is mixing, not addition: experiments started from
+/// adjacent base seeds must not share any replication stream.
+#[test]
+fn adjacent_base_seeds_do_not_share_replications() {
+    let mut seen = std::collections::HashSet::new();
+    for base in [1u64, 2, 3] {
+        for rep in 0..8 {
+            assert!(
+                seen.insert(replicate_seed(base, rep)),
+                "base {base} rep {rep} collided"
+            );
+        }
+    }
+}
+
+fn fixed_summary(runtime: f64, half_width: f64, bytes: f64) -> RunSummary {
+    let ci = |mean, hw| ConfidenceInterval {
+        mean,
+        half_width: hw,
+        n: 2,
+    };
+    RunSummary {
+        protocol: "Directory",
+        runtime: ci(runtime, half_width),
+        bytes_per_miss: ci(bytes, 0.5),
+        miss_latency: ci(40.0, 1.0),
+        miss_latency_percentiles: LatencyPercentiles {
+            p50: 32,
+            p95: 128,
+            p99: 256,
+        },
+        class_bytes_per_miss: ClassBytes::from_fn(|_| 0.0),
+        dropped_packets: 3.0,
+        runs: Vec::new(),
+    }
+}
+
+/// A two-cell, one-axis table with fully synthetic numbers, so emitter
+/// output is stable by construction.
+fn golden_table() -> Table {
+    let config = SimConfig::new(ProtocolKind::Directory, 4);
+    let cells = vec![
+        CellResult {
+            labels: vec!["Directory".into()],
+            config: config.clone(),
+            summary: fixed_summary(1000.0, 0.0, 72.0),
+        },
+        CellResult {
+            labels: vec!["PATCH, \"adaptive\"".into()],
+            config,
+            summary: fixed_summary(860.0, 12.5, 96.0),
+        },
+    ];
+    Table::new("golden", vec!["config".into()], cells)
+        .with_ci_column("runtime", 1, |cell| cell.summary.runtime)
+        .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {
+            cell.summary.runtime.mean
+        })
+        .with_column("drops", 0, |cell| cell.summary.dropped_packets)
+        .with_note("synthetic numbers")
+}
+
+#[test]
+fn csv_emitter_golden_output() {
+    let mut out = Vec::new();
+    golden_table().emit(Format::Csv, &mut out).unwrap();
+    let expected = "\
+config,runtime,runtime_ci95,norm_runtime,drops
+Directory,1000.0,0.0,1.000,3
+\"PATCH, \"\"adaptive\"\"\",860.0,12.5,0.860,3
+";
+    assert_eq!(String::from_utf8(out).unwrap(), expected);
+}
+
+#[test]
+fn json_emitter_golden_output() {
+    let mut out = Vec::new();
+    golden_table().emit(Format::Json, &mut out).unwrap();
+    let expected = r#"{
+  "title": "golden",
+  "axes": ["config"],
+  "notes": ["synthetic numbers"],
+  "rows": [
+    {"config": "Directory", "runtime": {"mean": 1000.0, "ci95": 0.0, "n": 2}, "norm_runtime": 1.000, "drops": 3},
+    {"config": "PATCH, \"adaptive\"", "runtime": {"mean": 860.0, "ci95": 12.5, "n": 2}, "norm_runtime": 0.860, "drops": 3}
+  ]
+}
+"#;
+    assert_eq!(String::from_utf8(out).unwrap(), expected);
+}
+
+#[test]
+fn text_emitter_aligns_and_carries_notes() {
+    let mut out = Vec::new();
+    golden_table().emit(Format::Text, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "golden");
+    assert!(lines[2].contains("config") && lines[2].contains("norm_runtime"));
+    assert!(lines[3].contains("1.000"));
+    assert!(lines[4].contains("0.860"));
+    assert_eq!(*lines.last().unwrap(), "# synthetic numbers");
+}
+
+/// A normalized table emitted per format stays self-consistent when the
+/// grid came from a real (tiny) run.
+#[test]
+fn real_grid_emits_in_every_format() {
+    let base = SimConfig::new(ProtocolKind::Directory, 4)
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 64,
+            write_frac: 0.3,
+            think_mean: 2,
+        })
+        .with_ops_per_core(40);
+    let plan = Sweep::new("tiny", base)
+        .axis(
+            "config",
+            vec![
+                AxisValue::new("Directory", |c| c),
+                AxisValue::new("PATCH", |c| c.with_kind(ProtocolKind::Patch)),
+            ],
+        )
+        .seeds(2)
+        .build();
+    let table = Runner::new()
+        .run(&plan)
+        .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
+        .with_normalized_column("norm", 3, "config", "Directory", |cell| {
+            cell.summary.runtime.mean
+        });
+    for format in Format::ALL {
+        let mut out = Vec::new();
+        table.emit(format, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Directory"), "{format} output missing label");
+        assert!(!text.trim().is_empty());
+    }
+}
