@@ -39,6 +39,32 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue_drain(c: &mut Criterion) {
+    // The drain_current_cycle fast path versus pop-per-event on a
+    // same-cycle-heavy mix (the shape of a saturated interconnect tick).
+    c.bench_function("kernel/event_queue_drain_cycles_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::<u32>::with_capacity(1024);
+                for i in 0..1000u32 {
+                    q.push(Cycle::new(i as u64 / 50), i);
+                }
+                q
+            },
+            |mut q| {
+                let mut sum = 0u64;
+                while !q.is_empty() {
+                    for (_, v) in q.drain_current_cycle() {
+                        sum += v as u64;
+                    }
+                }
+                sum
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn bench_torus(c: &mut Criterion) {
     c.bench_function("noc/unicast_64node_torus", |b| {
         b.iter_batched(
@@ -142,6 +168,7 @@ fn bench_dest_set(c: &mut Criterion) {
 criterion_group!(
     simulator,
     bench_event_queue,
+    bench_event_queue_drain,
     bench_torus,
     bench_cache,
     bench_sharers,

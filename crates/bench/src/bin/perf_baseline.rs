@@ -1,0 +1,276 @@
+//! Simulator-throughput benchmark: a pinned mid-size configuration timed
+//! end to end, reported as events per second.
+//!
+//! Every figure in the paper is an average over many full-system runs, so
+//! events/sec directly bounds how many seeds, node counts, and sweep cells
+//! the experiment harness can afford. This binary runs a fixed 16-node
+//! PATCH configuration over a fixed seed set and writes the measured
+//! throughput (plus a determinism hash of every run's results) to a JSON
+//! file, giving CI and the perf trajectory a stable number to track.
+//!
+//! Usage: `perf_baseline [--threads N] [--seeds N] [--quick] [--out PATH]`
+//!
+//! The result hash folds each run's `RunResult` (runtime, traffic,
+//! counters, miss histogram) with the deterministic Fx hasher; it must be
+//! identical for any `--threads` value, which CI checks by diffing the
+//! hash between `--threads 1` and `--threads 4`.
+
+use std::hash::Hasher;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use patchsim::{PredictorChoice, ProtocolKind, RunResult, SimConfig, TrafficClass, WorkloadSpec};
+use patchsim_kernel::collections::FxHasher;
+use patchsim_kernel::replicate_seed;
+
+/// The pinned base seed; replications derive from it with `replicate_seed`.
+const BASE_SEED: u64 = 0xB_0A7;
+
+/// Pre-change reference throughput for the default configuration
+/// (`--seeds 3`, `--threads 1`, full size), measured on the PR-3 baseline
+/// tree (global `BinaryHeap` queue, heap-allocated `DestSet`, SipHash
+/// protocol tables, per-event `Outbox`/`Vec` allocations): mean of two
+/// runs on the development machine. Comparable numbers only come from
+/// the same machine, so the emitted speedup is indicative, not portable.
+const PRE_CHANGE_EVENTS_PER_SEC: f64 = 4_008_054.0;
+
+/// Default output path, matching the perf-trajectory naming scheme.
+const DEFAULT_OUT: &str = "BENCH_3.json";
+
+/// Measured operations per core for the pinned configuration.
+const fn pinned_ops(quick: bool) -> u64 {
+    if quick {
+        500
+    } else {
+        4_000
+    }
+}
+
+/// The pinned benchmark configuration: 16 nodes, PATCH with the
+/// broadcast-if-shared predictor (exercises multicast fan-out, the
+/// predictor, and best-effort traffic), paper-default torus.
+fn pinned_config(quick: bool) -> SimConfig {
+    let ops = pinned_ops(quick);
+    SimConfig::new(ProtocolKind::Patch, 16)
+        .with_predictor(PredictorChoice::BroadcastIfShared)
+        .with_workload(WorkloadSpec::Microbenchmark {
+            table_blocks: 4_096,
+            write_frac: 0.3,
+            think_mean: 10,
+        })
+        .with_ops_per_core(ops)
+        .with_warmup(ops / 4)
+        .with_seed(BASE_SEED)
+}
+
+/// Folds the deterministic fields of one run into `h`. Floats are
+/// excluded: everything here is an exact integer product of the
+/// simulation, so the hash is bit-stable across platforms.
+fn fold_result(h: &mut FxHasher, r: &RunResult) {
+    h.write_u64(r.runtime_cycles);
+    h.write_u64(r.ops_completed);
+    h.write_u64(r.measured_misses);
+    h.write_u64(r.events_processed);
+    for class in TrafficClass::ALL {
+        h.write_u64(r.traffic.bytes(class));
+        h.write_u64(r.traffic.traversals(class));
+    }
+    h.write_u64(r.traffic.dropped_packets());
+    h.write_u64(r.traffic.dropped_bytes());
+    let c = &r.counters;
+    for v in [
+        c.hits,
+        c.misses,
+        c.satisfied_before_activation,
+        c.tenure_timeouts,
+        c.direct_responses,
+        c.direct_ignored,
+        c.reissues,
+        c.persistent_requests,
+        c.writebacks,
+    ] {
+        h.write_u64(v);
+    }
+    for (lower, count) in r.miss_latency.buckets() {
+        h.write_u64(lower);
+        h.write_u64(count);
+    }
+}
+
+/// Runs `configs` on `threads` workers, returning results in input order.
+///
+/// Deliberately not `exp::Runner`: the runner consumes an
+/// `ExperimentPlan` and returns a summarized `Table`, but this benchmark
+/// needs the raw per-run `RunResult`s to fold into the determinism hash.
+/// The worker-pool shape and `replicate_seed` derivation match the
+/// runner's exactly, so `--threads N` is bit-identical to serial here for
+/// the same reason it is there.
+fn execute(configs: &[SimConfig], threads: usize) -> Vec<RunResult> {
+    let threads = threads.min(configs.len()).max(1);
+    if threads == 1 {
+        return configs.iter().map(patchsim::run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let result = patchsim::run(&configs[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("worker ran"))
+        .collect()
+}
+
+/// Parsed flags. Not `BenchArgs`: this binary's contract differs from
+/// the figure binaries' on purpose — the pinned defaults (`--seeds 3`,
+/// `--threads 1`, a fixed `--out` path) define the recorded baseline,
+/// and output is raw JSON rather than an emitted `Table`, so the shared
+/// parser's defaults and `--format` flag do not apply. The help/exit
+/// conventions (help → stdout, exit 0; malformed → message + usage,
+/// exit 2) match `BenchArgs` exactly.
+struct Args {
+    threads: usize,
+    seeds: u64,
+    quick: bool,
+    out: PathBuf,
+}
+
+fn usage_text() -> String {
+    format!(
+        "Simulator-throughput benchmark on a pinned 16-node configuration.\n\n\
+         Usage: perf_baseline [OPTIONS]\n\n\
+         Options:\n  \
+         --threads N    worker threads (default 1)\n  \
+         --seeds N      replications of the pinned seed (default 3)\n  \
+         --quick        shrink ops for a fast smoke run\n  \
+         --out PATH     output JSON path (default {DEFAULT_OUT})\n  \
+         -h, --help     print this help"
+    )
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{}", usage_text());
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 1,
+        seeds: 3,
+        quick: false,
+        out: PathBuf::from(DEFAULT_OUT),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{}", usage_text());
+        std::process::exit(0);
+    }
+    let positive = |flag: &str, v: Option<&String>| -> u64 {
+        let v = v.unwrap_or_else(|| usage_error(&format!("{flag} requires a value")));
+        match v.parse() {
+            Ok(n) if n > 0 => n,
+            Ok(_) => usage_error(&format!("{flag} must be at least 1")),
+            Err(_) => usage_error(&format!("invalid {flag} value '{v}'")),
+        }
+    };
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => args.threads = positive("--threads", it.next()) as usize,
+            "--seeds" => args.seeds = positive("--seeds", it.next()),
+            "--quick" => args.quick = true,
+            "--out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--out requires a value"));
+                args.out = PathBuf::from(v);
+            }
+            other => usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let base = pinned_config(args.quick);
+    let configs: Vec<SimConfig> = (0..args.seeds)
+        .map(|i| base.clone().with_seed(replicate_seed(BASE_SEED, i)))
+        .collect();
+
+    // One untimed warmup run so first-touch page faults and lazy
+    // allocations don't pollute the measurement.
+    let _ = patchsim::run(&configs[0]);
+
+    let wall = Instant::now();
+    let results = execute(&configs, args.threads);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    let total_events: u64 = results.iter().map(|r| r.events_processed).sum();
+    let mut hasher = FxHasher::default();
+    for r in &results {
+        fold_result(&mut hasher, r);
+    }
+    let result_hash = hasher.finish();
+    let events_per_sec = total_events as f64 / (wall_ms / 1e3);
+
+    // The recorded pre-change baseline was measured with the default
+    // full-size, single-threaded, 3-seed invocation; only emit a speedup
+    // when this run is actually comparable to it.
+    let comparable = !args.quick && args.threads == 1 && args.seeds == 3;
+    let baseline_fields = if comparable {
+        format!(
+            ",\n  \"pre_change_events_per_sec\": {:.1},\n  \"speedup_vs_pre_change\": {:.2}",
+            PRE_CHANGE_EVENTS_PER_SEC,
+            events_per_sec / PRE_CHANGE_EVENTS_PER_SEC,
+        )
+    } else {
+        String::new()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"perf_baseline\",\n  \"config\": {{\n    \"nodes\": 16,\n    \
+         \"protocol\": \"PATCH-BcastIfShared\",\n    \"ops_per_core\": {},\n    \
+         \"base_seed\": {},\n    \"seeds\": {},\n    \"quick\": {}\n  }},\n  \
+         \"threads\": {},\n  \"total_events\": {},\n  \"wall_ms\": {:.3},\n  \
+         \"events_per_sec\": {:.1},\n  \"result_hash\": \"{:#018x}\"{}\n}}\n",
+        pinned_ops(args.quick),
+        BASE_SEED,
+        args.seeds,
+        args.quick,
+        args.threads,
+        total_events,
+        wall_ms,
+        events_per_sec,
+        result_hash,
+        baseline_fields,
+    );
+
+    match std::fs::File::create(&args.out).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {}", args.out.display()),
+        Err(e) => {
+            eprintln!("error writing {}: {e}", args.out.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "perf_baseline: {total_events} events in {wall_ms:.1} ms = {events_per_sec:.0} events/s \
+         (threads={}, hash={result_hash:#018x})",
+        args.threads
+    );
+    if total_events == 0 {
+        eprintln!("error: benchmark produced zero events");
+        std::process::exit(1);
+    }
+}

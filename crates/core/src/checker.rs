@@ -1,6 +1,6 @@
 //! Runtime invariant checkers: token conservation and coherence.
 
-use std::collections::HashMap;
+use patchsim_kernel::collections::FxHashMap;
 
 use patchsim_kernel::Cycle;
 use patchsim_mem::{AccessKind, BlockAddr, TokenSet};
@@ -29,7 +29,7 @@ use patchsim_protocol::{Controller, Msg};
 /// ```
 #[derive(Debug, Default)]
 pub struct CoherenceChecker {
-    state: HashMap<BlockAddr, BlockVersion>,
+    state: FxHashMap<BlockAddr, BlockVersion>,
     checks: u64,
 }
 
@@ -95,7 +95,14 @@ impl CoherenceChecker {
 #[derive(Debug)]
 pub struct TokenAuditor {
     total: u32,
-    in_flight: HashMap<BlockAddr, InFlight>,
+    /// Whether per-block in-flight state is maintained (required by
+    /// [`TokenAuditor::audit`]). Coarse auditors track only the global
+    /// net in-flight count — two integer ops per message instead of a
+    /// hash-map update — for runs with per-event checking off.
+    track_blocks: bool,
+    /// Tokens currently in flight across all blocks.
+    net_tokens: u64,
+    in_flight: FxHashMap<BlockAddr, InFlight>,
     audits: u64,
 }
 
@@ -110,20 +117,37 @@ impl TokenAuditor {
     pub fn new(total: u32) -> Self {
         TokenAuditor {
             total,
-            in_flight: HashMap::new(),
+            track_blocks: true,
+            net_tokens: 0,
+            in_flight: FxHashMap::default(),
             audits: 0,
         }
     }
 
+    /// Creates a coarse auditor: no per-block state, only the global
+    /// in-flight count needed by the end-of-run drain check. Used when
+    /// per-event checking is off; [`TokenAuditor::audit`] must not be
+    /// called on it.
+    pub fn coarse(total: u32) -> Self {
+        TokenAuditor {
+            track_blocks: false,
+            ..Self::new(total)
+        }
+    }
+
     /// Records a message entering the interconnect.
+    #[inline]
     pub fn on_send(&mut self, msg: &Msg) {
         let tokens = msg.tokens();
         if tokens.is_empty() {
             return;
         }
-        let entry = self.in_flight.entry(msg.addr).or_default();
-        entry.tokens += tokens.count() as u64;
-        entry.owners += u32::from(tokens.has_owner());
+        self.net_tokens += tokens.count() as u64;
+        if self.track_blocks {
+            let entry = self.in_flight.entry(msg.addr).or_default();
+            entry.tokens += tokens.count() as u64;
+            entry.owners += u32::from(tokens.has_owner());
+        }
     }
 
     /// Records a message leaving the interconnect.
@@ -131,19 +155,29 @@ impl TokenAuditor {
     /// # Panics
     ///
     /// Panics if more tokens arrive than were sent — a token was forged.
+    /// (Coarse auditors detect only global forgery, not per-block.)
+    #[inline]
     pub fn on_deliver(&mut self, msg: &Msg) {
         let tokens = msg.tokens();
         if tokens.is_empty() {
             return;
         }
-        let entry = self.in_flight.entry(msg.addr).or_default();
         assert!(
-            entry.tokens >= tokens.count() as u64,
+            self.net_tokens >= tokens.count() as u64,
             "token forgery: more tokens delivered than sent for {}",
             msg.addr
         );
-        entry.tokens -= tokens.count() as u64;
-        entry.owners -= u32::from(tokens.has_owner());
+        self.net_tokens -= tokens.count() as u64;
+        if self.track_blocks {
+            let entry = self.in_flight.entry(msg.addr).or_default();
+            assert!(
+                entry.tokens >= tokens.count() as u64,
+                "token forgery: more tokens delivered than sent for {}",
+                msg.addr
+            );
+            entry.tokens -= tokens.count() as u64;
+            entry.owners -= u32::from(tokens.has_owner());
+        }
     }
 
     /// Verifies conservation for `addr` across `nodes`.
@@ -151,8 +185,14 @@ impl TokenAuditor {
     /// # Panics
     ///
     /// Panics if tokens were created or destroyed, or the owner token
-    /// duplicated or lost.
+    /// duplicated or lost — or if this auditor was built with
+    /// [`TokenAuditor::coarse`], which does not keep the per-block state
+    /// an audit needs.
     pub fn audit(&mut self, addr: BlockAddr, nodes: &[Box<dyn Controller + Send>]) {
+        assert!(
+            self.track_blocks,
+            "audit called on a coarse (checks-off) token auditor"
+        );
         self.audits += 1;
         let mut held = 0u64;
         let mut owners = 0u32;
@@ -185,9 +225,14 @@ impl TokenAuditor {
         self.audits
     }
 
-    /// Sums the tokens currently in flight, for end-of-run drain checks.
+    /// Tokens currently in flight across all blocks, for end-of-run
+    /// drain checks.
     pub fn tokens_in_flight(&self) -> u64 {
-        self.in_flight.values().map(|f| f.tokens).sum()
+        debug_assert!(
+            !self.track_blocks
+                || self.net_tokens == self.in_flight.values().map(|f| f.tokens).sum::<u64>()
+        );
+        self.net_tokens
     }
 
     /// The sum of `TokenSet` holdings a protocol reports for `addr`; test

@@ -4,7 +4,8 @@ use patchsim_kernel::stats::Histogram;
 use patchsim_kernel::{Cycle, EventQueue, SimRng};
 use patchsim_noc::{NocEvent, NodeId, Torus};
 use patchsim_protocol::{
-    build_controller, Completion, Controller, CoreResponse, MemOp, Msg, ProtocolCounters, TimerKey,
+    build_controller, Completion, Controller, CoreResponse, MemOp, Msg, Outbox, ProtocolCounters,
+    TimerKey,
 };
 use patchsim_workload::Generator;
 
@@ -58,6 +59,9 @@ pub struct RunResult {
     pub coherence_checks: u64,
     /// Token audits performed (0 when checking is off).
     pub token_audits: u64,
+    /// Total kernel events processed over the whole run (including
+    /// warmup) — the denominator of simulator-throughput benchmarks.
+    pub events_processed: u64,
 }
 
 impl RunResult {
@@ -94,6 +98,12 @@ pub struct System {
     cores: Vec<CoreState>,
     checker: CoherenceChecker,
     auditor: TokenAuditor,
+    /// Reusable controller-output scratch: taken at the start of each
+    /// event, drained by `process_outbox`, and put back — the event loop
+    /// allocates no fresh `Outbox` per event.
+    outbox: Outbox,
+    /// Reusable delivery scratch for NoC events, same discipline.
+    delivered: Vec<(NodeId, Msg)>,
     miss_latency: Histogram,
     measured_misses: u64,
     ops_completed_measured: u64,
@@ -104,8 +114,14 @@ pub struct System {
 
 impl System {
     /// Builds the system described by `config`.
-    pub fn new(config: SimConfig) -> Self {
+    pub fn new(mut config: SimConfig) -> Self {
         let n = config.protocol.num_nodes;
+        // Pre-size the controllers' block-keyed tables from the workload's
+        // actual footprint (a hint only — results are unaffected). An
+        // explicit user-supplied hint wins over the derived estimate.
+        if config.protocol.working_set_hint.is_none() {
+            config.protocol.working_set_hint = Some(config.workload.working_set_blocks(n));
+        }
         let noc = Torus::new(config.torus_config());
         let root_rng = SimRng::from_seed(config.seed).fork(WORKLOAD_STREAM);
         let nodes = (0..n)
@@ -122,14 +138,24 @@ impl System {
                 finished: false,
             })
             .collect();
-        let auditor = TokenAuditor::new(config.protocol.total_tokens);
+        // With per-event checking off, the auditor only needs the global
+        // in-flight count (end-of-run drain check), not per-block state.
+        let auditor = if config.check == CheckLevel::Assert {
+            TokenAuditor::new(config.protocol.total_tokens)
+        } else {
+            TokenAuditor::coarse(config.protocol.total_tokens)
+        };
         let mut system = System {
-            queue: EventQueue::new(),
+            // Pending events scale with cores (one issue or miss chain
+            // each) plus in-flight link events.
+            queue: EventQueue::with_capacity(n as usize * 16),
             noc,
             nodes,
             cores,
             checker: CoherenceChecker::new(),
             auditor,
+            outbox: Outbox::new(),
+            delivered: Vec::with_capacity(n as usize),
             miss_latency: Histogram::new(),
             measured_misses: 0,
             ops_completed_measured: 0,
@@ -205,26 +231,25 @@ impl System {
 
     /// Routes a controller's outputs: messages into the interconnect,
     /// timers into the event queue, completions into the core model.
-    fn process_outbox(&mut self, node: NodeId, out: patchsim_protocol::Outbox, now: Cycle) {
-        for send in out.sends {
+    /// Drains `out` (leaving its capacity for reuse) and schedules NoC
+    /// follow-ups straight into the event queue — no per-event buffers.
+    fn process_outbox(&mut self, node: NodeId, out: &mut Outbox, now: Cycle) {
+        for send in out.sends.drain(..) {
             self.auditor.on_send(&send.msg);
-            let mut scheds = Vec::new();
-            self.noc.send(
+            let Self { noc, queue, .. } = self;
+            noc.send(
                 now + send.delay,
                 node,
                 send.dests,
                 send.priority,
                 send.msg,
-                &mut |at, ev| scheds.push((at, ev)),
+                &mut |at, ev| queue.push(at, Event::Noc(ev)),
             );
-            for (at, ev) in scheds {
-                self.queue.push(at, Event::Noc(ev));
-            }
         }
-        for (at, key) in out.timers {
+        for (at, key) in out.timers.drain(..) {
             self.queue.push(at, Event::Timer { node, key });
         }
-        for completion in out.completions {
+        for completion in out.completions.drain(..) {
             self.finish_miss(node, completion, now);
         }
     }
@@ -234,8 +259,8 @@ impl System {
             .outstanding
             .take()
             .expect("completion without an outstanding miss");
-        assert_eq!(op.addr, completion.addr, "completion for the wrong block");
-        assert_eq!(op.kind, completion.kind);
+        debug_assert_eq!(op.addr, completion.addr, "completion for the wrong block");
+        debug_assert_eq!(op.kind, completion.kind);
         if self.in_measurement(node) {
             self.miss_latency.record(now - completion.issued_at);
             self.measured_misses += 1;
@@ -244,12 +269,27 @@ impl System {
         self.schedule_next(node, now);
     }
 
+    /// Takes the reusable outbox scratch (callers must hand it back via
+    /// [`System::restore_outbox`]). The take-and-restore discipline keeps
+    /// the borrow checker happy while controller calls and
+    /// `process_outbox` both need `&mut self`.
+    fn take_outbox(&mut self) -> Outbox {
+        debug_assert!(self.outbox.is_empty(), "outbox scratch taken re-entrantly");
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn restore_outbox(&mut self, out: Outbox) {
+        debug_assert!(out.is_empty(), "restored outbox was not drained");
+        self.outbox = out;
+    }
+
     fn deliver(&mut self, node: NodeId, msg: Msg, now: Cycle) {
         self.auditor.on_deliver(&msg);
         let addr = msg.addr;
-        let mut out = patchsim_protocol::Outbox::new();
+        let mut out = self.take_outbox();
         self.nodes[node.index()].handle_message(msg, now, &mut out);
-        self.process_outbox(node, out, now);
+        self.process_outbox(node, &mut out, now);
+        self.restore_outbox(out);
         if self.config.check == CheckLevel::Assert {
             self.auditor.audit(addr, &self.nodes);
         }
@@ -262,9 +302,10 @@ impl System {
                     .pending
                     .take()
                     .expect("issue without a pending op");
-                let mut out = patchsim_protocol::Outbox::new();
+                let mut out = self.take_outbox();
                 let resp = self.nodes[node.index()].core_request(op, now, &mut out);
-                self.process_outbox(node, out, now);
+                self.process_outbox(node, &mut out, now);
+                self.restore_outbox(out);
                 match resp {
                     CoreResponse::Hit { version } => {
                         let done_at = now + self.config.protocol.cache_hit_latency;
@@ -277,23 +318,28 @@ impl System {
                 }
             }
             Event::Timer { node, key } => {
-                let mut out = patchsim_protocol::Outbox::new();
+                let mut out = self.take_outbox();
                 self.nodes[node.index()].timer_fired(key, now, &mut out);
-                self.process_outbox(node, out, now);
+                self.process_outbox(node, &mut out, now);
+                self.restore_outbox(out);
             }
             Event::Noc(ev) => {
-                let mut scheds = Vec::new();
-                let mut delivered = Vec::new();
-                self.noc
-                    .handle(now, ev, &mut |at, e| scheds.push((at, e)), &mut |n, m| {
-                        delivered.push((n, m))
-                    });
-                for (at, e) in scheds {
-                    self.queue.push(at, Event::Noc(e));
-                }
-                for (n, m) in delivered {
+                // Follow-up NoC events go straight into the queue;
+                // deliveries buffer in the persistent scratch because
+                // handling them needs `&mut self` again.
+                let mut delivered = std::mem::take(&mut self.delivered);
+                debug_assert!(delivered.is_empty());
+                let Self { noc, queue, .. } = self;
+                noc.handle(
+                    now,
+                    ev,
+                    &mut |at, e| queue.push(at, Event::Noc(e)),
+                    &mut |n, m| delivered.push((n, m)),
+                );
+                for (n, m) in delivered.drain(..) {
                     self.deliver(n, m, now);
                 }
+                self.delivered = delivered;
             }
         }
     }
@@ -361,6 +407,7 @@ impl System {
             miss_latency: self.miss_latency.clone(),
             coherence_checks: self.checker.checks_performed(),
             token_audits: self.auditor.audits_performed(),
+            events_processed: self.queue.total_pushed(),
         }
     }
 }
@@ -473,6 +520,32 @@ mod tests {
         assert!(
             with_warmup.traffic.total_bytes() < without.traffic.total_bytes(),
             "warmup traffic was discarded"
+        );
+    }
+
+    /// The completion/outstanding consistency checks are debug-only
+    /// (`debug_assert_eq!`); this pins the debug-build panic so the
+    /// checks cannot silently rot.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "completion for the wrong block")]
+    fn mismatched_completion_panics_in_debug() {
+        use patchsim_mem::{AccessKind, BlockAddr};
+
+        let mut sys = System::new(small(ProtocolKind::Directory));
+        sys.cores[0].outstanding = Some(MemOp {
+            addr: BlockAddr::new(1),
+            kind: AccessKind::Read,
+        });
+        sys.finish_miss(
+            NodeId::new(0),
+            Completion {
+                addr: BlockAddr::new(2),
+                kind: AccessKind::Read,
+                version: 0,
+                issued_at: Cycle::ZERO,
+            },
+            Cycle::ZERO,
         );
     }
 

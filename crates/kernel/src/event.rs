@@ -1,13 +1,23 @@
-//! Deterministic time-ordered event queue.
+//! Deterministic time-ordered event queue backed by a timer wheel.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::Cycle;
 
-/// An entry in the queue: ordered by time, then by insertion sequence so
-/// that same-cycle events pop in FIFO order. `BinaryHeap` is a max-heap, so
-/// the comparison is reversed.
+/// Number of wheel slots. Power of two so the slot of a timestamp is a
+/// mask. Sized to cover the overwhelming majority of schedule distances in
+/// a NoC simulation — hop latencies, serialization delays, think times,
+/// DRAM accesses, and most protocol timeouts are all well under 1024
+/// cycles — so the overflow heap sees only rare far timers.
+const WHEEL_SLOTS: usize = 1024;
+const SLOT_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+/// Occupancy-bitmap words (64 slots per word).
+const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// An entry in the overflow heap: ordered by time, then by insertion
+/// sequence so that same-cycle events pop in FIFO order. `BinaryHeap` is a
+/// max-heap, so the comparison is reversed.
 struct Entry<E> {
     at: Cycle,
     seq: u64,
@@ -41,6 +51,25 @@ impl<E> Ord for Entry<E> {
 /// FIFO tie-break is what makes whole-simulation runs reproducible: the
 /// simulator never depends on an unspecified heap ordering.
 ///
+/// # Implementation
+///
+/// The queue is a hierarchical timer wheel: a ring of 1024 FIFO buckets
+/// covers the near future (`now .. now + 1024` cycles), with
+/// an occupancy bitmap for constant-ish-time scans, backed by a spill
+/// [`BinaryHeap`] for the rare timer scheduled further out. Since almost
+/// every NoC event lands within a few dozen cycles of `now`, pushes and
+/// pops are O(1) on the hot path instead of the heap's O(log n) — and
+/// same-cycle events sit contiguously in one bucket, so draining a cycle
+/// touches no comparison logic at all.
+///
+/// Overflow entries migrate into the wheel as simulated time advances
+/// (whenever `now` moves, at the end of each pop). An overflow entry for
+/// cycle `t` always migrates before any *later-pushed* event for `t` can
+/// enter the wheel — a direct push for `t` requires `t - now <
+/// WHEEL_SLOTS`, and the pop that first advanced `now` past `t -
+/// WHEEL_SLOTS` migrated the overflow entry on its way out — so bucket
+/// order remains exactly (time, push-sequence) order.
+///
 /// # Examples
 ///
 /// ```
@@ -54,7 +83,16 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(order, ["c", "a", "b"]);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Near-future buckets; slot `t & SLOT_MASK` holds the events for
+    /// cycle `t` while `t - now < WHEEL_SLOTS`. Every resident event is
+    /// within that window, so a slot never mixes cycles.
+    wheel: Box<[VecDeque<(Cycle, E)>]>,
+    /// One bit per wheel slot: set iff the bucket is non-empty.
+    occupied: [u64; BITMAP_WORDS],
+    /// Events scheduled at or beyond `now + WHEEL_SLOTS`.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Number of events currently resident in the wheel.
+    wheel_len: usize,
     next_seq: u64,
     /// Timestamp of the most recently popped event, used to reject
     /// scheduling into the past.
@@ -65,7 +103,27 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at [`Cycle::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
+            next_seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for roughly `events` concurrently
+    /// pending events, so steady-state operation performs no bucket
+    /// reallocation.
+    pub fn with_capacity(events: usize) -> Self {
+        let per_bucket = events.div_ceil(WHEEL_SLOTS).clamp(1, 32);
+        EventQueue {
+            wheel: (0..WHEEL_SLOTS)
+                .map(|_| VecDeque::with_capacity(per_bucket))
+                .collect(),
+            occupied: [0; BITMAP_WORDS],
+            overflow: BinaryHeap::with_capacity(events.min(1024)),
+            wheel_len: 0,
             next_seq: 0,
             now: Cycle::ZERO,
         }
@@ -73,34 +131,141 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to be delivered at cycle `at`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `at` is earlier than the timestamp of the most recently
-    /// popped event — scheduling into the past is always a simulator bug.
+    /// Scheduling earlier than the most recently popped timestamp is
+    /// always a simulator bug; debug builds panic on it.
     pub fn push(&mut self, at: Cycle, event: E) {
-        assert!(
+        debug_assert!(
             at >= self.now,
             "scheduled event at {at} but simulation time has reached {}",
             self.now
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        // `at >= now` is an invariant (debug-asserted above); saturating
+        // keeps release builds from corrupting the wheel if it is broken.
+        if at.as_u64().saturating_sub(self.now.as_u64()) < WHEEL_SLOTS as u64 {
+            self.wheel_insert(at, event);
+        } else {
+            self.overflow.push(Entry { at, seq, event });
+        }
+    }
+
+    #[inline]
+    fn wheel_insert(&mut self, at: Cycle, event: E) {
+        let slot = (at.as_u64() & SLOT_MASK) as usize;
+        let bucket = &mut self.wheel[slot];
+        debug_assert!(
+            bucket.back().is_none_or(|(t, _)| *t == at),
+            "wheel slot mixes cycles"
+        );
+        bucket.push_back((at, event));
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+        self.wheel_len += 1;
+    }
+
+    /// Moves every overflow entry that now falls inside the wheel horizon
+    /// into its bucket. Entries leave the heap in (time, seq) order, and
+    /// any future direct push to the same cycle necessarily happens after
+    /// this migration, so bucket FIFO order equals global (time, seq)
+    /// order.
+    fn migrate_overflow(&mut self) {
+        while let Some(head) = self.overflow.peek() {
+            if head.at.as_u64().saturating_sub(self.now.as_u64()) >= WHEEL_SLOTS as u64 {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry exists");
+            self.wheel_insert(entry.at, entry.event);
+        }
+    }
+
+    /// Index of the first occupied wheel slot at or cyclically after
+    /// `start`, or `None` if the wheel is empty.
+    fn next_occupied_slot(&self, start: usize) -> Option<usize> {
+        let first_word = start / 64;
+        // Mask off bits below `start` in its word.
+        let masked = self.occupied[first_word] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return Some(first_word * 64 + masked.trailing_zeros() as usize);
+        }
+        // Remaining words, wrapping; the starting word is revisited last
+        // with its full contents (covering bits below `start`).
+        for i in 1..=BITMAP_WORDS {
+            let w = (first_word + i) % BITMAP_WORDS;
+            if self.occupied[w] != 0 {
+                return Some(w * 64 + self.occupied[w].trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Removes and returns the earliest event together with its timestamp,
     /// advancing the queue's notion of "now" to that timestamp.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        let (at, event) = if self.wheel_len > 0 {
+            // Every wheel event is earlier than every overflow event
+            // (wheel < now + WHEEL_SLOTS <= overflow), and the first
+            // occupied slot scanning from now's slot is the earliest
+            // cycle in the wheel.
+            let cursor = (self.now.as_u64() & SLOT_MASK) as usize;
+            let slot = self
+                .next_occupied_slot(cursor)
+                .expect("wheel_len > 0 implies an occupied slot");
+            let bucket = &mut self.wheel[slot];
+            let (at, event) = bucket.pop_front().expect("occupied slot is non-empty");
+            if bucket.is_empty() {
+                self.occupied[slot / 64] &= !(1 << (slot % 64));
+            }
+            self.wheel_len -= 1;
+            (at, event)
+        } else {
+            let entry = self.overflow.pop()?;
+            (entry.at, entry.event)
+        };
+        debug_assert!(at >= self.now);
+        self.now = at;
+        // `now` advanced: pull newly in-horizon overflow entries into the
+        // wheel *before* returning, so they precede any later push for
+        // the same cycle.
+        self.migrate_overflow();
+        Some((at, event))
+    }
+
+    /// Drains every event already queued for the earliest pending cycle,
+    /// without rescanning the wheel between events.
+    ///
+    /// Events pushed for that same cycle *while* iterating are not seen by
+    /// the iterator (it borrows the queue exclusively); they pop next, in
+    /// FIFO position, exactly as [`EventQueue::pop`] would deliver them.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use patchsim_kernel::{Cycle, EventQueue};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.push(Cycle::new(3), "a");
+    /// q.push(Cycle::new(3), "b");
+    /// q.push(Cycle::new(9), "later");
+    /// let batch: Vec<_> = q.drain_current_cycle().collect();
+    /// assert_eq!(batch, [(Cycle::new(3), "a"), (Cycle::new(3), "b")]);
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    pub fn drain_current_cycle(&mut self) -> DrainCurrentCycle<'_, E> {
+        let at = self.peek_time();
+        DrainCurrentCycle { queue: self, at }
     }
 
     /// Returns the timestamp of the earliest pending event without removing
     /// it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        if self.wheel_len > 0 {
+            let cursor = (self.now.as_u64() & SLOT_MASK) as usize;
+            let slot = self
+                .next_occupied_slot(cursor)
+                .expect("wheel_len > 0 implies an occupied slot");
+            return self.wheel[slot].front().map(|(at, _)| *at);
+        }
+        self.overflow.peek().map(|e| e.at)
     }
 
     /// Returns the timestamp of the most recently popped event.
@@ -110,12 +275,12 @@ impl<E> EventQueue<E> {
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Returns the total number of events ever pushed; a cheap progress
@@ -134,16 +299,59 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len())
+            .field("wheel_len", &self.wheel_len)
+            .field("overflow_len", &self.overflow.len())
             .field("now", &self.now)
             .field("total_pushed", &self.next_seq)
             .finish()
     }
 }
 
+/// Draining iterator over the events of the earliest pending cycle. See
+/// [`EventQueue::drain_current_cycle`].
+#[derive(Debug)]
+pub struct DrainCurrentCycle<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    at: Option<Cycle>,
+}
+
+impl<E> Iterator for DrainCurrentCycle<'_, E> {
+    type Item = (Cycle, E);
+
+    fn next(&mut self) -> Option<(Cycle, E)> {
+        let at = self.at?;
+        // Fast path: every remaining event for `at` sits in `at`'s bucket
+        // (a slot never mixes cycles), so pop its front directly — no
+        // bitmap scan per event. The first event can instead still be in
+        // the overflow heap when the wheel is empty; the slow path below
+        // pops it, and migration then fills the bucket for the rest.
+        let q = &mut *self.queue;
+        let slot = (at.as_u64() & SLOT_MASK) as usize;
+        let bucket = &mut q.wheel[slot];
+        if let Some(&(t, _)) = bucket.front() {
+            debug_assert_eq!(t, at, "current-cycle bucket holds a different cycle");
+            let (t, event) = bucket.pop_front().expect("front exists");
+            if bucket.is_empty() {
+                q.occupied[slot / 64] &= !(1 << (slot % 64));
+            }
+            q.wheel_len -= 1;
+            q.now = t;
+            q.migrate_overflow();
+            return Some((t, event));
+        }
+        if q.peek_time() == Some(at) {
+            return q.pop();
+        }
+        self.at = None;
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -180,6 +388,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "scheduled event at cycle 1")]
     fn scheduling_into_the_past_panics() {
         let mut q = EventQueue::new();
@@ -207,5 +416,157 @@ mod tests {
         q.push(Cycle::new(42), ());
         q.pop();
         assert_eq!(q.now(), Cycle::new(42));
+    }
+
+    #[test]
+    fn far_events_spill_to_overflow_and_return() {
+        let mut q = EventQueue::new();
+        // Far beyond the wheel horizon, interleaved with near events.
+        q.push(Cycle::new(1_000_000), "far");
+        q.push(Cycle::new(5), "near");
+        q.push(Cycle::new(2_000_000), "farther");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop(), Some((Cycle::new(1_000_000), "far")));
+        assert_eq!(q.pop(), Some((Cycle::new(2_000_000), "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_migration_preserves_fifo_with_later_direct_pushes() {
+        let mut q = EventQueue::new();
+        // "early" is pushed while cycle 2000 is beyond the horizon, so it
+        // spills; after popping the cycle-1500 event the horizon covers
+        // 2000 and "late" goes into the wheel directly. FIFO demands
+        // "early" still pops first.
+        q.push(Cycle::new(2_000), "early");
+        q.push(Cycle::new(1_500), "advance");
+        assert_eq!(q.pop().unwrap().1, "advance");
+        q.push(Cycle::new(2_000), "late");
+        assert_eq!(q.pop(), Some((Cycle::new(2_000), "early")));
+        assert_eq!(q.pop(), Some((Cycle::new(2_000), "late")));
+    }
+
+    #[test]
+    fn wheel_wraparound_cycles_map_to_distinct_slots() {
+        let mut q = EventQueue::new();
+        // Advance now to a non-zero wheel position, then schedule across
+        // the wrap boundary.
+        q.push(Cycle::new(1_000), 0);
+        q.pop();
+        q.push(Cycle::new(1_030), 30); // slot 6 after wrap
+        q.push(Cycle::new(1_001), 1);
+        q.push(Cycle::new(1_023), 23); // last slot before wrap
+        q.push(Cycle::new(1_024), 24); // slot 0
+        assert_eq!(q.pop(), Some((Cycle::new(1_001), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(1_023), 23)));
+        assert_eq!(q.pop(), Some((Cycle::new(1_024), 24)));
+        assert_eq!(q.pop(), Some((Cycle::new(1_030), 30)));
+    }
+
+    #[test]
+    fn drain_current_cycle_takes_exactly_one_cycle() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(4), 1);
+        q.push(Cycle::new(4), 2);
+        q.push(Cycle::new(4), 3);
+        q.push(Cycle::new(5), 4);
+        let batch: Vec<_> = q.drain_current_cycle().map(|(_, e)| e).collect();
+        assert_eq!(batch, [1, 2, 3]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), Cycle::new(4));
+        // Draining an empty queue yields nothing.
+        q.pop();
+        assert_eq!(q.drain_current_cycle().count(), 0);
+    }
+
+    #[test]
+    fn drain_current_cycle_partial_leaves_rest() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(4), 1);
+        q.push(Cycle::new(4), 2);
+        assert_eq!(q.drain_current_cycle().next(), Some((Cycle::new(4), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(4), 2)));
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut q = EventQueue::with_capacity(10_000);
+        for i in 0..2_048u64 {
+            q.push(Cycle::new(i / 3), i);
+        }
+        let mut last = (Cycle::ZERO, 0);
+        for _ in 0..2_048 {
+            let got = q.pop().unwrap();
+            assert!(got.0 > last.0 || (got.0 == last.0 && got.1 >= last.1));
+            last = got;
+        }
+        assert!(q.is_empty());
+    }
+
+    /// A straightforward (time, seq) reference implementation: the wheel
+    /// must reproduce its pop sequence exactly.
+    struct ReferenceHeap<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> ReferenceHeap<E> {
+        fn new() -> Self {
+            ReferenceHeap {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+        fn push(&mut self, at: Cycle, event: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { at, seq, event });
+        }
+        fn pop(&mut self) -> Option<(Cycle, E)> {
+            self.heap.pop().map(|e| (e.at, e.event))
+        }
+    }
+
+    /// Property test: random (time, payload) mixes with interleaved pops
+    /// produce exactly the reference heap's (time, seq) order. Schedule
+    /// distances mix the wheel hot path, the wrap boundary, and the
+    /// overflow heap. Randomised over 64 seeded episodes.
+    #[test]
+    fn wheel_matches_reference_heap_order() {
+        let mut rng = SimRng::from_seed(0x37EE1);
+        for _ in 0..64 {
+            let mut wheel = EventQueue::new();
+            let mut reference = ReferenceHeap::new();
+            let mut now = 0u64;
+            for step in 0..800u64 {
+                if rng.below(3) < 2 || wheel.is_empty() {
+                    // Push at a distance that exercises all three regimes.
+                    let dist = match rng.below(10) {
+                        0..=5 => rng.below(16),                  // hot bucket
+                        6 | 7 => rng.below(WHEEL_SLOTS as u64),  // whole wheel
+                        8 => WHEEL_SLOTS as u64 + rng.below(64), // horizon edge
+                        _ => rng.below(100_000),                 // deep overflow
+                    };
+                    wheel.push(Cycle::new(now + dist), step);
+                    reference.push(Cycle::new(now + dist), step);
+                } else {
+                    let got = wheel.pop();
+                    let want = reference.pop();
+                    assert_eq!(got, want, "pop sequences diverged");
+                    if let Some((at, _)) = got {
+                        now = at.as_u64();
+                    }
+                }
+            }
+            loop {
+                let got = wheel.pop();
+                let want = reference.pop();
+                assert_eq!(got, want, "drain sequences diverged");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -26,11 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collections;
 mod cycle;
 mod event;
 mod rng;
 pub mod stats;
 
 pub use cycle::Cycle;
-pub use event::EventQueue;
+pub use event::{DrainCurrentCycle, EventQueue};
 pub use rng::{replicate_seed, SimRng};

@@ -187,6 +187,7 @@ impl Histogram {
     }
 
     /// Records one sample.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         let bucket = if value <= 1 {
             0

@@ -1,0 +1,173 @@
+//! Golden event-order test for the timer-wheel [`EventQueue`].
+//!
+//! Whole-simulation reproducibility rests on the queue's (time, push-seq)
+//! delivery order. This test drives a small scripted pseudo-simulation —
+//! events that spawn follow-up events at NoC-like schedule distances —
+//! through both the production wheel and a straightforward reference
+//! binary heap, hashes the full `(cycle, event-discriminant)` pop
+//! sequence of each, and requires them to match exactly. The hash is also
+//! pinned to a constant so an ordering change cannot slip through as a
+//! "both implementations changed together" accident.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::hash::Hasher;
+
+use patchsim_kernel::collections::FxHasher;
+use patchsim_kernel::{Cycle, EventQueue, SimRng};
+
+/// A miniature simulation vocabulary: shaped like the real system's mix
+/// (per-hop arrivals, link-free bookkeeping, protocol timers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    /// A packet hop; respawns until its ttl runs out.
+    Hop { ttl: u8 },
+    /// Link bookkeeping; spawns nothing.
+    Free,
+    /// A far-future timer; spawns one near event.
+    Timer,
+}
+
+impl Ev {
+    fn discriminant(self) -> u64 {
+        match self {
+            Ev::Hop { .. } => 0,
+            Ev::Free => 1,
+            Ev::Timer => 2,
+        }
+    }
+}
+
+/// The minimal queue interface the script needs, so the identical script
+/// drives both implementations.
+trait Queue {
+    fn push(&mut self, at: Cycle, ev: Ev);
+    fn pop(&mut self) -> Option<(Cycle, Ev)>;
+}
+
+impl Queue for EventQueue<Ev> {
+    fn push(&mut self, at: Cycle, ev: Ev) {
+        EventQueue::push(self, at, ev);
+    }
+    fn pop(&mut self) -> Option<(Cycle, Ev)> {
+        EventQueue::pop(self)
+    }
+}
+
+/// Reference implementation: an explicit (time, seq)-ordered binary heap,
+/// the behaviourally-obvious specification the wheel must reproduce.
+struct RefEntry {
+    at: Cycle,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for RefEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for RefEntry {}
+impl PartialOrd for RefEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RefEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Default)]
+struct ReferenceHeap {
+    heap: BinaryHeap<RefEntry>,
+    next_seq: u64,
+}
+
+impl Queue for ReferenceHeap {
+    fn push(&mut self, at: Cycle, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(RefEntry { at, seq, ev });
+    }
+    fn pop(&mut self) -> Option<(Cycle, Ev)> {
+        self.heap.pop().map(|e| (e.at, e.ev))
+    }
+}
+
+/// Runs the scripted pseudo-simulation to completion and returns
+/// `(pop_count, fx_hash_of_pop_sequence)`. Deterministic: both the seed
+/// and every schedule decision are pure functions of popped state.
+fn run_script(queue: &mut impl Queue) -> (u64, u64) {
+    let mut rng = SimRng::from_seed(0x0E5C_E11A);
+    // Initial burst: a spread of hops, frees, and far timers.
+    for i in 0..64u64 {
+        queue.push(Cycle::new(rng.below(40)), Ev::Hop { ttl: 6 });
+        if i % 3 == 0 {
+            queue.push(Cycle::new(rng.below(40) + 1), Ev::Free);
+        }
+        if i % 7 == 0 {
+            // Beyond the wheel horizon: exercises the overflow heap.
+            queue.push(Cycle::new(2_000 + rng.below(5_000)), Ev::Timer);
+        }
+    }
+    let mut hasher = FxHasher::default();
+    let mut pops = 0u64;
+    while let Some((now, ev)) = queue.pop() {
+        pops += 1;
+        hasher.write_u64(now.as_u64());
+        hasher.write_u64(ev.discriminant());
+        match ev {
+            Ev::Hop { ttl } if ttl > 0 => {
+                // A hop spawns its next hop (near) and link bookkeeping,
+                // like Arrive + LinkFree; occasionally a same-cycle event,
+                // exercising the FIFO tie-break.
+                let hop_latency = 1 + rng.below(12);
+                queue.push(now + hop_latency, Ev::Hop { ttl: ttl - 1 });
+                queue.push(now + rng.below(3), Ev::Free);
+            }
+            Ev::Hop { .. } | Ev::Free => {}
+            Ev::Timer => {
+                queue.push(now + rng.below(8), Ev::Hop { ttl: 2 });
+            }
+        }
+    }
+    (pops, hasher.finish())
+}
+
+/// The pinned golden hash of the pop sequence. If this changes, the
+/// queue's delivery order changed — which silently breaks bit-exact
+/// reproducibility of every recorded simulation result. Do not update
+/// this constant without understanding why the order moved.
+const GOLDEN_POPS: u64 = 914;
+const GOLDEN_HASH: u64 = 0x7add_d6a4_3648_5c3b;
+
+#[test]
+fn wheel_reproduces_reference_heap_pop_sequence() {
+    let (wheel_pops, wheel_hash) = run_script(&mut EventQueue::new());
+    let (ref_pops, ref_hash) = run_script(&mut ReferenceHeap::default());
+    assert_eq!(wheel_pops, ref_pops, "pop counts diverged");
+    assert_eq!(
+        wheel_hash, ref_hash,
+        "wheel pop order diverged from the (time, seq) reference heap"
+    );
+}
+
+#[test]
+fn pop_sequence_matches_pinned_golden() {
+    let (pops, hash) = run_script(&mut EventQueue::new());
+    assert_eq!(pops, GOLDEN_POPS, "event count changed");
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "golden (cycle, discriminant) pop-sequence hash changed: \
+         delivery order is no longer what recorded results were built on \
+         (got {hash:#018x})"
+    );
+}
+
+#[test]
+fn with_capacity_queue_produces_identical_sequence() {
+    let (pops, hash) = run_script(&mut EventQueue::with_capacity(10_000));
+    assert_eq!((pops, hash), (GOLDEN_POPS, GOLDEN_HASH));
+}

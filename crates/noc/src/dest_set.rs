@@ -12,6 +12,11 @@ use crate::NodeId;
 /// to any size; all sets in one system must be created with the same
 /// `num_nodes`.
 ///
+/// Systems of up to 64 nodes — every configuration in the paper's sweeps —
+/// use a single inline `u64` word, so creating, cloning, and branching a
+/// set in the interconnect hot path allocates nothing. Larger systems
+/// spill to a heap-allocated word vector with identical semantics.
+///
 /// # Examples
 ///
 /// ```
@@ -27,17 +32,28 @@ use crate::NodeId;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct DestSet {
-    words: Vec<u64>,
+    repr: Repr,
     num_nodes: u16,
+}
+
+/// The bit-vector storage: one inline word for ≤64 nodes, a spill vector
+/// above. The variant is a pure function of `num_nodes`, so derived
+/// equality/hashing never compares across representations.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Inline(u64),
+    Spill(Vec<u64>),
 }
 
 impl DestSet {
     /// Creates an empty set for a system of `num_nodes` nodes.
     pub fn empty(num_nodes: u16) -> Self {
-        DestSet {
-            words: vec![0; (num_nodes as usize).div_ceil(64)],
-            num_nodes,
-        }
+        let repr = if num_nodes <= 64 {
+            Repr::Inline(0)
+        } else {
+            Repr::Spill(vec![0; (num_nodes as usize).div_ceil(64)])
+        };
+        DestSet { repr, num_nodes }
     }
 
     /// Creates a set containing only `node`.
@@ -54,8 +70,14 @@ impl DestSet {
     /// Creates a set containing every node.
     pub fn all(num_nodes: u16) -> Self {
         let mut s = Self::empty(num_nodes);
-        for i in 0..num_nodes {
-            s.insert(NodeId::new(i));
+        for w in 0..(num_nodes as usize).div_ceil(64) {
+            let bits_here = (num_nodes as usize - w * 64).min(64);
+            let word = if bits_here == 64 {
+                !0u64
+            } else {
+                (1u64 << bits_here) - 1
+            };
+            s.words_mut()[w] = word;
         }
         s
     }
@@ -82,6 +104,22 @@ impl DestSet {
         self.num_nodes
     }
 
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => std::slice::from_ref(w),
+            Repr::Spill(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline(w) => std::slice::from_mut(w),
+            Repr::Spill(v) => v,
+        }
+    }
+
     /// Adds `node` to the set. Returns `true` if it was newly inserted.
     ///
     /// # Panics
@@ -94,8 +132,9 @@ impl DestSet {
             self.num_nodes
         );
         let (w, b) = (node.index() / 64, node.index() % 64);
-        let was = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
+        let word = &mut self.words_mut()[w];
+        let was = *word & (1 << b) != 0;
+        *word |= 1 << b;
         !was
     }
 
@@ -105,33 +144,42 @@ impl DestSet {
             return false;
         }
         let (w, b) = (node.index() / 64, node.index() % 64);
-        let was = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
+        let word = &mut self.words_mut()[w];
+        let was = *word & (1 << b) != 0;
+        *word &= !(1 << b);
         was
     }
 
     /// Returns `true` if `node` is in the set.
+    #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
         if node.raw() >= self.num_nodes {
             return false;
         }
         let (w, b) = (node.index() / 64, node.index() % 64);
-        self.words[w] & (1 << b) != 0
+        self.words()[w] & (1 << b) != 0
     }
 
     /// Number of nodes in the set.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        match &self.repr {
+            Repr::Inline(w) => w.count_ones() as usize,
+            Repr::Spill(v) => v.iter().map(|w| w.count_ones() as usize).sum(),
+        }
     }
 
     /// Returns `true` if the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        match &self.repr {
+            Repr::Inline(w) => *w == 0,
+            Repr::Spill(v) => v.iter().all(|&w| w == 0),
+        }
     }
 
     /// Removes all nodes.
     pub fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
+        self.words_mut().iter_mut().for_each(|w| *w = 0);
     }
 
     /// In-place union with `other`.
@@ -141,7 +189,7 @@ impl DestSet {
     /// Panics if the two sets were created for different system sizes.
     pub fn union_with(&mut self, other: &DestSet) {
         assert_eq!(self.num_nodes, other.num_nodes, "mismatched system sizes");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -149,9 +197,9 @@ impl DestSet {
     /// Returns `true` if every member of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &DestSet) -> bool {
         assert_eq!(self.num_nodes, other.num_nodes, "mismatched system sizes");
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .all(|(a, b)| a & !b == 0)
     }
 
@@ -161,7 +209,11 @@ impl DestSet {
     }
 
     /// Returns the sole member if the set has exactly one.
+    #[inline]
     pub fn as_single(&self) -> Option<NodeId> {
+        if let Repr::Inline(w) = &self.repr {
+            return (w.count_ones() == 1).then(|| NodeId::new(w.trailing_zeros() as u16));
+        }
         let mut it = self.iter();
         let first = it.next()?;
         if it.next().is_none() {
@@ -189,11 +241,12 @@ impl Iterator for Iter<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
+        let words = self.set.words();
         while (self.next as usize) < self.set.num_nodes as usize {
             let idx = self.next as usize;
             let (w, b) = (idx / 64, idx % 64);
             // Skip whole empty words.
-            let word = self.set.words[w] >> b;
+            let word = words[w] >> b;
             if word == 0 {
                 self.next = ((w as u32) + 1) * 64;
                 continue;
@@ -248,12 +301,39 @@ mod tests {
     }
 
     #[test]
+    fn inline_and_spill_agree() {
+        // The same operations on an inline-sized and a spill-sized set
+        // must observe identical membership.
+        for num_nodes in [64u16, 65] {
+            let mut s = DestSet::empty(num_nodes);
+            match (&s.repr, num_nodes) {
+                (Repr::Inline(_), 64) | (Repr::Spill(_), 65) => {}
+                _ => panic!("unexpected representation for {num_nodes} nodes"),
+            }
+            for i in (0..num_nodes).step_by(3) {
+                s.insert(NodeId::new(i));
+            }
+            let members: Vec<u16> = s.iter().map(|n| n.raw()).collect();
+            let want: Vec<u16> = (0..num_nodes).step_by(3).collect();
+            assert_eq!(members, want);
+            assert_eq!(s.len(), want.len());
+        }
+    }
+
+    #[test]
     fn all_and_all_except() {
         let s = DestSet::all(65);
         assert_eq!(s.len(), 65);
         let s = DestSet::all_except(65, NodeId::new(64));
         assert_eq!(s.len(), 64);
         assert!(!s.contains(NodeId::new(64)));
+        // Inline boundary: all(64) fills the whole word.
+        let s = DestSet::all(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(NodeId::new(63)));
+        let s = DestSet::all(5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.contains(NodeId::new(5)));
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod traffic;
 pub use dest_set::DestSet;
 pub use link::Priority;
 pub use node_id::NodeId;
-pub use topology::Topology;
+pub use topology::{RouteTable, Topology};
 pub use torus::{NocEvent, Torus, TorusConfig};
 pub use traffic::{LinkBandwidth, TrafficClass, TrafficStats};
 

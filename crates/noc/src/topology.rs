@@ -186,6 +186,71 @@ impl Topology {
     }
 }
 
+/// A precomputed next-hop table: `num_nodes × num_nodes` output
+/// directions under dimension-order routing.
+///
+/// [`Topology::next_hop`] recomputes coordinates, wrap distances, and the
+/// tie-break on every call; the interconnect asks that question once per
+/// destination per hop, which makes it one of the hottest functions in a
+/// multicast-heavy run. This table collapses the whole computation to a
+/// single byte load. Built once per [`Torus`](crate::Torus).
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_noc::{NodeId, RouteTable, Topology};
+///
+/// let topo = Topology::new(16);
+/// let routes = RouteTable::new(topo);
+/// assert_eq!(
+///     routes.next_hop(NodeId::new(0), NodeId::new(2)),
+///     topo.next_hop(NodeId::new(0), NodeId::new(2)),
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    num_nodes: usize,
+    /// Entry `from * num_nodes + to`: the direction's index in
+    /// [`Direction::ALL`], or `SELF` when `from == to`.
+    dirs: Vec<u8>,
+}
+
+/// Table marker for `from == to` (no hop to take).
+const SELF: u8 = 4;
+
+impl RouteTable {
+    /// Precomputes every pairwise next hop for `topo`.
+    pub fn new(topo: Topology) -> Self {
+        let n = topo.num_nodes() as usize;
+        let mut dirs = vec![SELF; n * n];
+        for from in 0..n {
+            for to in 0..n {
+                if let Some(dir) = topo.next_hop(NodeId::new(from as u16), NodeId::new(to as u16)) {
+                    dirs[from * n + to] = dir.index() as u8;
+                }
+            }
+        }
+        RouteTable { num_nodes: n, dirs }
+    }
+
+    /// The output direction a packet at `from` takes toward `to`, or
+    /// `None` if `from == to`. Identical to [`Topology::next_hop`], one
+    /// byte load instead of a route computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range for the table's system size.
+    #[inline]
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<Direction> {
+        let d = self.dirs[from.index() * self.num_nodes + to.index()];
+        if d == SELF {
+            None
+        } else {
+            Some(Direction::ALL[d as usize])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +347,25 @@ mod tests {
             }
             assert_eq!(cur, to);
             assert_eq!(steps, t.hop_distance(from, to));
+        }
+    }
+
+    /// The route table agrees with the on-the-fly computation for every
+    /// pair, across shapes with and without odd wrap ties.
+    #[test]
+    fn route_table_matches_next_hop() {
+        for n in [1u16, 4, 6, 15, 16, 64] {
+            let t = Topology::new(n);
+            let table = RouteTable::new(t);
+            for from in 0..n {
+                for to in 0..n {
+                    assert_eq!(
+                        table.next_hop(NodeId::new(from), NodeId::new(to)),
+                        t.next_hop(NodeId::new(from), NodeId::new(to)),
+                        "mismatch for {n}-node torus {from}->{to}"
+                    );
+                }
+            }
         }
     }
 

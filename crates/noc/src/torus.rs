@@ -5,7 +5,8 @@ use patchsim_kernel::Cycle;
 use crate::link::PriorityQueue;
 use crate::topology::Direction;
 use crate::{
-    DestSet, LinkBandwidth, NocPayload, NodeId, Priority, Topology, TrafficClass, TrafficStats,
+    DestSet, LinkBandwidth, NocPayload, NodeId, Priority, RouteTable, Topology, TrafficClass,
+    TrafficStats,
 };
 
 /// Configuration of the torus interconnect.
@@ -139,7 +140,16 @@ pub struct NocEvent<M>(Event<M>);
 #[derive(Debug)]
 enum Event<M> {
     /// A packet arrives at `node`'s router (possibly its final stop).
-    Arrive { node: NodeId, packet: Packet<M> },
+    ///
+    /// Boxed so a `NocEvent` is pointer-sized: events sit in the kernel
+    /// queue's wheel buckets, and moving ~16 bytes per push/pop instead
+    /// of a 100+-byte packet keeps the hot loop in cache. The boxes come
+    /// from (and return to) the torus's packet pool, so steady-state
+    /// operation performs no allocation.
+    Arrive {
+        node: NodeId,
+        packet: Box<Packet<M>>,
+    },
     /// A link finished serializing its current packet.
     LinkFree { link: usize },
 }
@@ -152,37 +162,105 @@ enum Event<M> {
 #[derive(Debug)]
 pub struct Torus<M> {
     topo: Topology,
+    /// Precomputed pairwise next hops; `route_onward` takes one byte load
+    /// per destination per hop instead of recomputing torus geometry.
+    routes: RouteTable,
+    /// The router at the far end of each link, indexed like `links`.
+    link_neighbor: Vec<NodeId>,
+    /// Last computed serialization delay per size class (control / data):
+    /// `(size_bytes, cycles)`. Real traffic uses two wire sizes, so this
+    /// caches the float division out of the per-traversal path while
+    /// computing unknown sizes exactly as before.
+    ser_memo: [(u64, u64); 2],
     config: TorusConfig,
     /// `num_nodes × 4` links; link `n*4 + d` leaves node `n` in direction
     /// `Direction::ALL[d]`.
     links: Vec<LinkState<M>>,
+    /// Free list of packet boxes: multicast branches and fresh sends
+    /// reuse the allocations of delivered packets.
+    pool: Vec<Box<Packet<M>>>,
     stats: TrafficStats,
 }
 
 #[derive(Debug)]
 struct LinkState<M> {
     busy: bool,
-    queue: PriorityQueue<Packet<M>>,
+    queue: PriorityQueue<Box<Packet<M>>>,
     busy_cycles: u64,
 }
+
+/// Upper bound on pooled packet boxes; beyond this, freed boxes simply
+/// deallocate. Far above any sustained in-flight packet count.
+const PACKET_POOL_CAP: usize = 4096;
 
 impl<M: Clone + NocPayload> Torus<M> {
     /// Builds the interconnect for `config`.
     pub fn new(config: TorusConfig) -> Self {
         let topo = Topology::new(config.num_nodes);
+        // Unbounded links never queue (packets start transmitting
+        // immediately); finite links get a little headroom so early
+        // contention does not reallocate.
+        let queue_capacity = if config.bandwidth.is_unbounded() {
+            0
+        } else {
+            16
+        };
         let links = (0..topo.num_nodes() as usize * 4)
             .map(|_| LinkState {
                 busy: false,
-                queue: PriorityQueue::new(),
+                queue: PriorityQueue::with_capacity(queue_capacity),
                 busy_cycles: 0,
             })
             .collect();
+        let link_neighbor = (0..topo.num_nodes() as usize * 4)
+            .map(|link| topo.neighbor(NodeId::new((link / 4) as u16), Direction::ALL[link % 4]))
+            .collect();
         Torus {
             topo,
+            routes: RouteTable::new(topo),
+            link_neighbor,
+            ser_memo: [(u64::MAX, 0); 2],
             config,
             links,
+            pool: Vec::with_capacity(64),
             stats: TrafficStats::new(),
         }
+    }
+
+    /// Boxes `packet`, reusing a pooled allocation when one is free.
+    #[inline]
+    fn alloc_packet(&mut self, packet: Packet<M>) -> Box<Packet<M>> {
+        match self.pool.pop() {
+            Some(mut boxed) => {
+                *boxed = packet;
+                boxed
+            }
+            None => Box::new(packet),
+        }
+    }
+
+    /// Returns a delivered packet's box to the pool.
+    #[inline]
+    fn free_packet(&mut self, boxed: Box<Packet<M>>) {
+        if self.pool.len() < PACKET_POOL_CAP {
+            self.pool.push(boxed);
+        }
+    }
+
+    /// Serialization delay for a packet of `size` bytes, memoized per
+    /// size class. Identical to
+    /// [`LinkBandwidth::serialization_cycles`], minus the float division
+    /// on repeat sizes.
+    #[inline]
+    fn serialization_cycles(&mut self, size: u64) -> u64 {
+        let slot = usize::from(size >= 64);
+        let (cached_size, cached_cycles) = self.ser_memo[slot];
+        if cached_size == size {
+            return cached_cycles;
+        }
+        let cycles = self.config.bandwidth.serialization_cycles(size);
+        self.ser_memo[slot] = (size, cycles);
+        cycles
     }
 
     /// The torus shape.
@@ -232,13 +310,13 @@ impl<M: Clone + NocPayload> Torus<M> {
             self.topo.num_nodes(),
             "destination set sized for a different system"
         );
-        let packet = Packet {
+        let packet = self.alloc_packet(Packet {
             size: msg.size_bytes(),
             class: msg.traffic_class(),
             msg,
             dests,
             priority,
-        };
+        });
         // Local destinations never touch the network fabric; they arrive at
         // this node's own router after the local latency. Remote
         // destinations start routing immediately. We express both by
@@ -265,7 +343,11 @@ impl<M: Clone + NocPayload> Torus<M> {
             Event::Arrive { node, mut packet } => {
                 if packet.dests.remove(node) {
                     if packet.dests.is_empty() {
-                        deliver(node, packet.msg);
+                        // Final stop: hand the message out (a flat copy —
+                        // protocol messages own no heap data) and recycle
+                        // the box.
+                        deliver(node, packet.msg.clone());
+                        self.free_packet(packet);
                         return;
                     }
                     deliver(node, packet.msg.clone());
@@ -280,33 +362,65 @@ impl<M: Clone + NocPayload> Torus<M> {
     }
 
     /// Groups a packet's remaining destinations by output direction and
-    /// enqueues one branch per direction (fan-out multicast).
+    /// enqueues one branch per direction (fan-out multicast). The packet
+    /// itself — message payload included — moves into the last branch, so
+    /// the common unicast case clones nothing.
     fn route_onward(
         &mut self,
         now: Cycle,
         node: NodeId,
-        packet: Packet<M>,
+        mut packet: Box<Packet<M>>,
         sched: &mut impl FnMut(Cycle, NocEvent<M>),
     ) {
         debug_assert!(!packet.dests.contains(node));
+        // Unicast fast path: one destination means one branch — a single
+        // table lookup, no grouping pass.
+        if let Some(dest) = packet.dests.as_single() {
+            let dir = self
+                .routes
+                .next_hop(node, dest)
+                .expect("dest equal to current node was already removed");
+            self.enqueue(now, node, dir.index(), packet, sched);
+            return;
+        }
         let mut groups: [Option<DestSet>; 4] = [None, None, None, None];
         for dest in packet.dests.iter() {
             let dir = self
-                .topo
+                .routes
                 .next_hop(node, dest)
                 .expect("dest equal to current node was already removed");
             groups[dir.index()]
                 .get_or_insert_with(|| DestSet::empty(self.topo.num_nodes()))
                 .insert(dest);
         }
-        for (d, group) in groups.into_iter().enumerate() {
-            let Some(group) = group else { continue };
+        let last = groups
+            .iter()
+            .rposition(|g| g.is_some())
+            .expect("routed packet has at least one destination");
+        for (d, group) in groups.iter_mut().enumerate().take(last) {
+            let Some(group) = group.take() else { continue };
             let branch = packet.branch(group);
-            let link = node.index() * 4 + d;
-            self.links[link].queue.push(now, branch.priority, branch);
-            if !self.links[link].busy {
-                self.try_start(now, link, sched);
-            }
+            let branch = self.alloc_packet(branch);
+            self.enqueue(now, node, d, branch, sched);
+        }
+        packet.dests = groups[last].take().expect("rposition found a group");
+        self.enqueue(now, node, last, packet, sched);
+    }
+
+    /// Queues `branch` on `node`'s link in direction index `d` and kicks
+    /// the link if it is idle.
+    fn enqueue(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        d: usize,
+        branch: Box<Packet<M>>,
+        sched: &mut impl FnMut(Cycle, NocEvent<M>),
+    ) {
+        let link = node.index() * 4 + d;
+        self.links[link].queue.push(now, branch.priority, branch);
+        if !self.links[link].busy {
+            self.try_start(now, link, sched);
         }
     }
 
@@ -319,17 +433,15 @@ impl<M: Clone + NocPayload> Torus<M> {
         let stats = &mut self.stats;
         let Some(packet) = self.links[link]
             .queue
-            .pop(now, stale, |dropped: Packet<M>| {
+            .pop(now, stale, |dropped: Box<Packet<M>>| {
                 stats.record_drop(dropped.size)
             })
         else {
             return;
         };
         self.stats.record(packet.class, packet.size);
-        let serialize = self.config.bandwidth.serialization_cycles(packet.size);
-        let node = NodeId::new((link / 4) as u16);
-        let dir = Direction::ALL[link % 4];
-        let neighbor = self.topo.neighbor(node, dir);
+        let serialize = self.serialization_cycles(packet.size);
+        let neighbor = self.link_neighbor[link];
         sched(
             now + serialize + self.config.hop_latency,
             NocEvent(Event::Arrive {

@@ -145,6 +145,7 @@ impl TrafficStats {
     }
 
     /// Charges one link traversal of `bytes` bytes against `class`.
+    #[inline]
     pub fn record(&mut self, class: TrafficClass, bytes: u64) {
         self.bytes[class.as_index()] += bytes;
         self.traversals[class.as_index()] += 1;

@@ -1,7 +1,6 @@
 //! Helpers shared by the protocol implementations.
 
-use std::collections::HashMap;
-
+use patchsim_kernel::collections::{fx_map_with_capacity, FxHashMap};
 use patchsim_kernel::stats::Ewma;
 use patchsim_mem::{AccessKind, BlockAddr};
 use patchsim_noc::NodeId;
@@ -54,7 +53,7 @@ impl Default for LatencyEstimator {
 /// genuinely shared again.
 #[derive(Debug, Default)]
 pub struct MigratoryDetector {
-    state: HashMap<BlockAddr, MigState>,
+    state: FxHashMap<BlockAddr, MigState>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +66,13 @@ impl MigratoryDetector {
     /// Creates an empty detector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty detector pre-sized for `capacity` tracked blocks.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MigratoryDetector {
+            state: fx_map_with_capacity(capacity),
+        }
     }
 
     /// Records a request the home is about to process and returns whether

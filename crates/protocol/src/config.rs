@@ -128,6 +128,12 @@ pub struct ProtocolConfig {
     /// TokenB: transient reissues before escalating to a persistent
     /// request.
     pub reissues_before_persistent: u32,
+    /// Expected distinct blocks the workload touches, used to pre-size
+    /// the controllers' block-keyed tables so the event loop never grows
+    /// a hash map mid-run. A hint, not a bound: tables still grow past it
+    /// correctly. `None` (the default) lets the simulation core derive it
+    /// from the workload's footprint; setting it explicitly wins.
+    pub working_set_hint: Option<u64>,
 }
 
 impl ProtocolConfig {
@@ -154,7 +160,37 @@ impl ProtocolConfig {
             deact_window: true,
             ack_elision: true,
             reissues_before_persistent: 2,
+            working_set_hint: None,
         }
+    }
+
+    /// Sets the expected working-set size in blocks (pre-sizes the
+    /// controllers' block-keyed tables). Overrides the simulation core's
+    /// workload-derived estimate.
+    pub fn with_working_set_hint(mut self, blocks: u64) -> Self {
+        self.working_set_hint = Some(blocks);
+        self
+    }
+
+    /// The working-set hint, defaulting to the paper's 16k-block
+    /// microbenchmark table when neither the user nor the simulation
+    /// core supplied one.
+    fn working_set(&self) -> u64 {
+        self.working_set_hint.unwrap_or(16 * 1024)
+    }
+
+    /// Pre-size for a home-side table: each node homes an interleaved
+    /// `1/num_nodes` slice of the working set. Clamped so degenerate
+    /// hints can neither underprovision nor balloon memory.
+    pub fn home_table_capacity(&self) -> usize {
+        (self.working_set() / self.num_nodes as u64).clamp(64, 1 << 16) as usize
+    }
+
+    /// Pre-size for a cache-side transaction table: bounded by the blocks
+    /// a node can have in flight or recently tracked, far below the full
+    /// working set.
+    pub fn cache_table_capacity(&self) -> usize {
+        64
     }
 
     /// Sets the destination-set predictor (PATCH).
@@ -238,6 +274,25 @@ mod tests {
         assert_eq!(cfg.direct_priority, Priority::Normal);
         assert!(!cfg.deact_window);
         assert!(!cfg.ack_elision);
+    }
+
+    #[test]
+    fn table_capacities_scale_and_clamp() {
+        let cfg = ProtocolConfig::new(ProtocolKind::Patch, 16).with_working_set_hint(16 * 1024);
+        assert_eq!(cfg.home_table_capacity(), 1024);
+        // Tiny hints clamp up, giant hints clamp down.
+        assert_eq!(
+            ProtocolConfig::new(ProtocolKind::Patch, 64)
+                .with_working_set_hint(1)
+                .home_table_capacity(),
+            64
+        );
+        assert_eq!(
+            ProtocolConfig::new(ProtocolKind::Patch, 1)
+                .with_working_set_hint(u64::MAX)
+                .home_table_capacity(),
+            1 << 16
+        );
     }
 
     #[test]

@@ -136,6 +136,17 @@ impl Outbox {
         self.completions.push(completion);
     }
 
+    /// Empties the outbox, keeping its allocations, for drivers that
+    /// reuse one outbox across events. (The `patchsim` core's event loop
+    /// drains its reusable outbox field-by-field instead, which empties
+    /// it equally; `clear` is the one-call equivalent for tests and
+    /// external harnesses.)
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+        self.completions.clear();
+    }
+
     /// Whether nothing was produced.
     pub fn is_empty(&self) -> bool {
         self.sends.is_empty() && self.timers.is_empty() && self.completions.is_empty()
@@ -255,6 +266,10 @@ mod tests {
         assert_eq!(out.timers.len(), 1);
         assert_eq!(out.completions.len(), 1);
         assert!(!out.is_empty());
+        let capacity = out.sends.capacity();
+        out.clear();
+        assert!(out.is_empty());
+        assert_eq!(out.sends.capacity(), capacity, "clear keeps allocations");
     }
 
     #[test]

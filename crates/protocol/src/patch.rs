@@ -34,7 +34,7 @@
 //!   for the block immediately bounces them to the home. Tenured owner
 //!   tokens therefore only rest at caches the directory knows about.
 
-use std::collections::HashMap;
+use patchsim_kernel::collections::{fx_map_with_capacity, FxHashMap};
 
 use patchsim_kernel::Cycle;
 use patchsim_mem::{AccessKind, BlockAddr, CacheArray, OwnerStatus, SharerSet, TokenSet};
@@ -104,13 +104,13 @@ pub struct PatchController {
     /// Open transactions, one per block. A transaction can outlive its
     /// access: a miss satisfied early by direct requests stays open until
     /// the home's activation lets it deactivate, while the core moves on.
-    tbes: HashMap<BlockAddr, PatchTbe>,
+    tbes: FxHashMap<BlockAddr, PatchTbe>,
     /// A core op waiting for this block's open transaction to close.
     deferred: Option<MemOp>,
-    home: HashMap<BlockAddr, PatchHomeEntry>,
+    home: FxHashMap<BlockAddr, PatchHomeEntry>,
     /// Blocks whose post-deactivation direct-request ignore window is
     /// still open (maps to the window's end).
-    deact_windows: HashMap<BlockAddr, Cycle>,
+    deact_windows: FxHashMap<BlockAddr, Cycle>,
     predictor: Box<dyn Predictor + Send>,
     migratory: MigratoryDetector,
     latency: LatencyEstimator,
@@ -132,17 +132,18 @@ impl PatchController {
     /// destination-set predictor.
     pub fn new(config: ProtocolConfig, node: NodeId) -> Self {
         let cache = CacheArray::new(config.cache_geometry);
+        let (home_cap, cache_cap) = (config.home_table_capacity(), config.cache_table_capacity());
         let predictor = config.predictor.build(config.num_nodes);
         PatchController {
             config,
             id: node,
             cache,
-            tbes: HashMap::new(),
+            tbes: fx_map_with_capacity(cache_cap),
             deferred: None,
-            home: HashMap::new(),
-            deact_windows: HashMap::new(),
+            home: fx_map_with_capacity(home_cap),
+            deact_windows: fx_map_with_capacity(cache_cap),
             predictor,
-            migratory: MigratoryDetector::new(),
+            migratory: MigratoryDetector::with_capacity(home_cap),
             latency: LatencyEstimator::default(),
             counters: ProtocolCounters::default(),
             next_serial: 0,

@@ -23,7 +23,9 @@
 //! token tenure needs only the directory's per-block point of ordering
 //! and local timeouts (paper Table 4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use patchsim_kernel::collections::{fx_map_with_capacity, FxHashMap};
 
 use patchsim_kernel::Cycle;
 use patchsim_mem::{AccessKind, BlockAddr, CacheArray, OwnerStatus, TokenSet};
@@ -83,11 +85,11 @@ pub struct TokenBController {
     id: NodeId,
     cache: CacheArray<TbLine>,
     demand: Option<TbTbe>,
-    home: HashMap<BlockAddr, TbHome>,
-    arb: HashMap<BlockAddr, ArbEntry>,
+    home: FxHashMap<BlockAddr, TbHome>,
+    arb: FxHashMap<BlockAddr, ArbEntry>,
     /// This node's persistent-request table: blocks whose tokens must be
     /// forwarded to a starver, keyed with the activation's serial.
-    table: HashMap<BlockAddr, (NodeId, AccessKind, u64)>,
+    table: FxHashMap<BlockAddr, (NodeId, AccessKind, u64)>,
     latency: LatencyEstimator,
     counters: ProtocolCounters,
     next_serial: u64,
@@ -107,14 +109,15 @@ impl TokenBController {
     /// Creates the controller for `node`.
     pub fn new(config: ProtocolConfig, node: NodeId) -> Self {
         let cache = CacheArray::new(config.cache_geometry);
+        let (home_cap, cache_cap) = (config.home_table_capacity(), config.cache_table_capacity());
         TokenBController {
             config,
             id: node,
             cache,
             demand: None,
-            home: HashMap::new(),
-            arb: HashMap::new(),
-            table: HashMap::new(),
+            home: fx_map_with_capacity(home_cap),
+            arb: fx_map_with_capacity(cache_cap),
+            table: fx_map_with_capacity(cache_cap),
             latency: LatencyEstimator::default(),
             counters: ProtocolCounters::default(),
             next_serial: 0,

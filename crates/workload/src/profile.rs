@@ -90,6 +90,21 @@ impl WorkloadSpec {
             WorkloadSpec::Microbenchmark { .. } => "microbench",
         }
     }
+
+    /// Approximate number of distinct blocks an `num_nodes`-core run of
+    /// this workload touches. Used to pre-size the controllers' per-block
+    /// tables; an estimate (region sizes, ignoring partial coverage), not
+    /// a bound.
+    pub fn working_set_blocks(&self, num_nodes: u16) -> u64 {
+        match self {
+            WorkloadSpec::Microbenchmark { table_blocks, .. } => *table_blocks,
+            WorkloadSpec::Synthetic(p) => {
+                let clusters = (num_nodes as u64).div_ceil(p.cluster_size.max(1) as u64);
+                let per_core = p.pc_blocks_per_core + p.private_blocks;
+                clusters * (p.shared_blocks + p.cluster_size as u64 * per_core)
+            }
+        }
+    }
 }
 
 /// Named presets standing in for the paper's five applications.
