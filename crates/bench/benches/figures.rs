@@ -19,7 +19,7 @@ fn tiny() -> Scale {
         cores: 8,
         ops: 120,
         warmup: 20,
-        seeds: 1,
+        ..Scale::quick()
     }
 }
 

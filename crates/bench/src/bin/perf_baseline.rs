@@ -8,7 +8,12 @@
 //! throughput (plus a determinism hash of every run's results) to a JSON
 //! file, giving CI and the perf trajectory a stable number to track.
 //!
-//! Usage: `perf_baseline [--threads N] [--seeds N] [--quick] [--out PATH]`
+//! Usage: `perf_baseline [--threads N] [--seeds N] [--quick]
+//! [--fabric F] [--out PATH]`
+//!
+//! `--fabric` swaps the interconnect topology (default `torus`); CI's
+//! perf-smoke job records a crossbar row alongside the torus row into
+//! `BENCH_4.json` so the fabric subsystem's throughput is tracked too.
 //!
 //! The result hash folds each run's `RunResult` (runtime, traffic,
 //! counters, miss histogram) with the deterministic Fx hasher; it must be
@@ -22,7 +27,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use patchsim::{PredictorChoice, ProtocolKind, RunResult, SimConfig, TrafficClass, WorkloadSpec};
+use patchsim::{
+    FabricKind, PredictorChoice, ProtocolKind, RunResult, SimConfig, TrafficClass, WorkloadSpec,
+};
 use patchsim_kernel::collections::FxHasher;
 use patchsim_kernel::replicate_seed;
 
@@ -51,10 +58,12 @@ const fn pinned_ops(quick: bool) -> u64 {
 
 /// The pinned benchmark configuration: 16 nodes, PATCH with the
 /// broadcast-if-shared predictor (exercises multicast fan-out, the
-/// predictor, and best-effort traffic), paper-default torus.
-fn pinned_config(quick: bool) -> SimConfig {
+/// predictor, and best-effort traffic), on the selected fabric
+/// (paper-default torus unless `--fabric` says otherwise).
+fn pinned_config(quick: bool, fabric: FabricKind) -> SimConfig {
     let ops = pinned_ops(quick);
     SimConfig::new(ProtocolKind::Patch, 16)
+        .with_fabric(fabric)
         .with_predictor(PredictorChoice::BroadcastIfShared)
         .with_workload(WorkloadSpec::Microbenchmark {
             table_blocks: 4_096,
@@ -144,6 +153,7 @@ struct Args {
     threads: usize,
     seeds: u64,
     quick: bool,
+    fabric: FabricKind,
     out: PathBuf,
 }
 
@@ -155,6 +165,8 @@ fn usage_text() -> String {
          --threads N    worker threads (default 1)\n  \
          --seeds N      replications of the pinned seed (default 3)\n  \
          --quick        shrink ops for a fast smoke run\n  \
+         --fabric F     interconnect fabric: torus, mesh, ring, xbar, hier[:C]\n                 \
+         (default torus; the recorded baseline is torus-only)\n  \
          --out PATH     output JSON path (default {DEFAULT_OUT})\n  \
          -h, --help     print this help"
     )
@@ -170,6 +182,7 @@ fn parse_args() -> Args {
         threads: 1,
         seeds: 3,
         quick: false,
+        fabric: FabricKind::Torus,
         out: PathBuf::from(DEFAULT_OUT),
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -191,6 +204,16 @@ fn parse_args() -> Args {
             "--threads" => args.threads = positive("--threads", it.next()) as usize,
             "--seeds" => args.seeds = positive("--seeds", it.next()),
             "--quick" => args.quick = true,
+            "--fabric" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--fabric requires a value"));
+                args.fabric = FabricKind::parse(v).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "invalid --fabric '{v}' (expected torus, mesh, ring, xbar, or hier[:C])"
+                    ))
+                });
+            }
             "--out" => {
                 let v = it
                     .next()
@@ -205,7 +228,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let base = pinned_config(args.quick);
+    let base = pinned_config(args.quick, args.fabric);
     let configs: Vec<SimConfig> = (0..args.seeds)
         .map(|i| base.clone().with_seed(replicate_seed(BASE_SEED, i)))
         .collect();
@@ -227,9 +250,10 @@ fn main() {
     let events_per_sec = total_events as f64 / (wall_ms / 1e3);
 
     // The recorded pre-change baseline was measured with the default
-    // full-size, single-threaded, 3-seed invocation; only emit a speedup
-    // when this run is actually comparable to it.
-    let comparable = !args.quick && args.threads == 1 && args.seeds == 3;
+    // full-size, single-threaded, 3-seed invocation on the torus; only
+    // emit a speedup when this run is actually comparable to it.
+    let comparable =
+        !args.quick && args.threads == 1 && args.seeds == 3 && args.fabric == FabricKind::Torus;
     let baseline_fields = if comparable {
         format!(
             ",\n  \"pre_change_events_per_sec\": {:.1},\n  \"speedup_vs_pre_change\": {:.2}",
@@ -241,10 +265,12 @@ fn main() {
     };
     let json = format!(
         "{{\n  \"bench\": \"perf_baseline\",\n  \"config\": {{\n    \"nodes\": 16,\n    \
-         \"protocol\": \"PATCH-BcastIfShared\",\n    \"ops_per_core\": {},\n    \
+         \"protocol\": \"PATCH-BcastIfShared\",\n    \"fabric\": \"{}\",\n    \
+         \"ops_per_core\": {},\n    \
          \"base_seed\": {},\n    \"seeds\": {},\n    \"quick\": {}\n  }},\n  \
          \"threads\": {},\n  \"total_events\": {},\n  \"wall_ms\": {:.3},\n  \
          \"events_per_sec\": {:.1},\n  \"result_hash\": \"{:#018x}\"{}\n}}\n",
+        args.fabric.label(),
         pinned_ops(args.quick),
         BASE_SEED,
         args.seeds,

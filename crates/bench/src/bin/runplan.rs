@@ -2,11 +2,22 @@
 //! plan by name with the standard measurement columns.
 //!
 //! `cargo run --release -p patchsim-bench --bin runplan -- <plan> [--quick]
-//! [--seeds N] [--threads N] [--format {text,csv,json}] [--out PATH]`
+//! [--seeds N] [--threads N] [--fabric F] [--format {text,csv,json}]
+//! [--out PATH]`
 //!
-//! `runplan list` prints the registered plan names.
+//! `runplan list` prints the registered plan names. A missing or unknown
+//! plan name prints the full registry (one name per line) and exits with
+//! status 2.
 
 use patchsim_bench::{plan_by_name, with_standard_columns, BenchArgs, PLAN_NAMES};
+
+/// Prints every registered plan name, one per line, to `stderr`.
+fn list_plans_to_stderr() {
+    eprintln!("registered plans:");
+    for plan in PLAN_NAMES {
+        eprintln!("  {plan}");
+    }
+}
 
 fn main() {
     let (args, positional) = BenchArgs::parse_with_positional(
@@ -15,10 +26,8 @@ fn main() {
         "plan",
     );
     let Some(name) = positional else {
-        eprintln!(
-            "error: missing plan name; registered plans: {}",
-            PLAN_NAMES.join(", ")
-        );
+        eprintln!("error: missing plan name");
+        list_plans_to_stderr();
         std::process::exit(2);
     };
     if name == "list" {
@@ -28,10 +37,8 @@ fn main() {
         return;
     }
     let Some(plan) = plan_by_name(&name, args.scale) else {
-        eprintln!(
-            "error: unknown plan '{name}'; registered plans: {}",
-            PLAN_NAMES.join(", ")
-        );
+        eprintln!("error: unknown plan '{name}'");
+        list_plans_to_stderr();
         std::process::exit(2);
     };
     let table = with_standard_columns(args.runner().run(&plan));

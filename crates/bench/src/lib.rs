@@ -15,6 +15,7 @@
 //! | Figure 8 (4–512 core scalability) | `fig8_scalability` | [`scalability_plan`] |
 //! | Figure 9 (inexact-encoding runtime) | `fig9_inexact_runtime` | [`inexact_runtime_plan`] |
 //! | Figure 10 (inexact-encoding traffic) | `fig10_inexact_traffic` | [`inexact_traffic_plan`] |
+//! | Cross-fabric scalability (extension) | `runplan fabric` | [`cross_fabric_plan`] |
 //! | DESIGN.md ablations | `ablation_*` | [`ablation_tenure_timeout_plan`], ... |
 //! | Any of the above by name | `runplan <plan>` | [`plan_by_name`] |
 //!
@@ -22,6 +23,8 @@
 //! `--quick` (shrink cores/ops for a fast smoke run), `--seeds N`
 //! (perturbed replications for confidence intervals), `--threads N`
 //! (worker pool size; results are bit-identical at any thread count),
+//! `--fabric {torus,mesh,ring,xbar,hier[:C]}` (interconnect topology for
+//! any plan; plans with their own fabric axis override it),
 //! `--format {text,csv,json}`, and `--out PATH`. Unknown flags and
 //! malformed values print usage and exit non-zero.
 //!
@@ -35,8 +38,8 @@ use std::path::PathBuf;
 
 use patchsim::exp::{AxisValue, Cell, ExperimentPlan, Format, Runner, Sweep, Table};
 use patchsim::{
-    presets, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig, TenureConfig,
-    TrafficClass, WorkloadSpec,
+    presets, FabricKind, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig,
+    TenureConfig, TrafficClass, WorkloadSpec,
 };
 
 /// Experiment scale knobs shared by all figure targets.
@@ -50,6 +53,9 @@ pub struct Scale {
     pub warmup: u64,
     /// Perturbed replications per data point.
     pub seeds: u64,
+    /// Interconnect fabric every plan's base configuration uses
+    /// (`--fabric`; plans with their own fabric axis override it).
+    pub fabric: FabricKind,
 }
 
 impl Scale {
@@ -60,6 +66,7 @@ impl Scale {
             ops: 800,
             warmup: 1500,
             seeds: 1,
+            fabric: FabricKind::Torus,
         }
     }
 
@@ -70,7 +77,14 @@ impl Scale {
             ops: 300,
             warmup: 1200,
             seeds: 1,
+            fabric: FabricKind::Torus,
         }
+    }
+
+    /// The base configuration every plan starts from: `kind` at this
+    /// scale's core count on this scale's fabric.
+    fn base(self, kind: ProtocolKind, cores: u16) -> SimConfig {
+        SimConfig::new(kind, cores).with_fabric(self.fabric)
     }
 }
 
@@ -97,6 +111,8 @@ const OPTIONS_HELP: &str = "Options:
   --quick        shrink cores/ops for a fast smoke run
   --seeds N      perturbed replications per cell (default 1)
   --threads N    worker threads (default: all hardware threads)
+  --fabric F     interconnect fabric: torus, mesh, ring, xbar, hier[:C]
+                 (default torus; plans with a fabric axis override it)
   --format FMT   output format: text, csv, json (default text)
   --out PATH     write the table to PATH instead of stdout
   -h, --help     print this help";
@@ -146,6 +162,7 @@ impl BenchArgs {
         let mut quick = false;
         let mut seeds: Option<u64> = None;
         let mut threads: Option<usize> = None;
+        let mut fabric: Option<FabricKind> = None;
         let mut format = Format::Text;
         let mut out: Option<PathBuf> = None;
         let mut positional: Option<String> = None;
@@ -153,6 +170,12 @@ impl BenchArgs {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => quick = true,
+                "--fabric" => {
+                    let v = it.next().ok_or("--fabric requires a value")?;
+                    fabric = Some(FabricKind::parse(v).ok_or_else(|| {
+                        format!("invalid --fabric '{v}' (expected torus, mesh, ring, xbar, or hier[:C])")
+                    })?);
+                }
                 "--seeds" => {
                     let v = it.next().ok_or("--seeds requires a value")?;
                     let n: u64 = v
@@ -197,6 +220,9 @@ impl BenchArgs {
         let mut scale = if quick { Scale::quick() } else { Scale::full() };
         if let Some(n) = seeds {
             scale.seeds = n;
+        }
+        if let Some(f) = fabric {
+            scale.fabric = f;
         }
         Ok((
             BenchArgs {
@@ -337,6 +363,16 @@ pub fn cores_value(cores: u16) -> AxisValue {
     })
 }
 
+/// An axis over interconnect fabrics (all five shipped topologies),
+/// labeled by fabric name. The fabric transform overrides whatever the
+/// base configuration (and `--fabric`) selected.
+pub fn fabric_axis() -> Vec<AxisValue> {
+    FabricKind::ALL
+        .into_iter()
+        .map(|kind| AxisValue::new(kind.label(), move |c: SimConfig| c.with_fabric(kind)))
+        .collect()
+}
+
 /// An axis value selecting a sharer-encoding coarseness of `k` cores per
 /// bit (`k == 1` is the full map), labeled by `k`.
 pub fn coarseness_value(k: u16) -> AxisValue {
@@ -358,7 +394,8 @@ pub fn coarseness_value(k: u16) -> AxisValue {
 /// The Figure 4/5 grid: the five paper workloads × the six protocol
 /// configurations at the scale's core count.
 pub fn figure4_plan(scale: Scale) -> ExperimentPlan {
-    let base = SimConfig::new(ProtocolKind::Directory, scale.cores)
+    let base = scale
+        .base(ProtocolKind::Directory, scale.cores)
         .with_ops_per_core(scale.ops)
         .with_warmup(scale.warmup);
     Sweep::new(format!("Figure 4/5 grid ({} cores)", scale.cores), base)
@@ -379,7 +416,8 @@ pub fn bandwidth_plan(scale: Scale, workload: WorkloadSpec) -> ExperimentPlan {
         workload.name(),
         scale.cores
     );
-    let base = SimConfig::new(ProtocolKind::Directory, scale.cores)
+    let base = scale
+        .base(ProtocolKind::Directory, scale.cores)
         .with_workload(workload)
         .with_ops_per_core(scale.ops)
         .with_warmup(scale.warmup);
@@ -412,7 +450,8 @@ pub fn scalability_core_counts(scale: Scale) -> &'static [u16] {
 /// The Figure 8 grid: core counts × {DIRECTORY, PATCH-All-NA, PATCH-All}
 /// on the microbenchmark with 2-byte/cycle links.
 pub fn scalability_plan(scale: Scale) -> ExperimentPlan {
-    let base = SimConfig::new(ProtocolKind::Directory, 4)
+    let base = scale
+        .base(ProtocolKind::Directory, 4)
         .with_workload(WorkloadSpec::microbenchmark())
         .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0));
     Sweep::new("Microbenchmark scalability (2 B/cycle links)", base)
@@ -460,8 +499,9 @@ fn coarseness_fits(cell: &Cell) -> bool {
 /// The Figure 9 grid: core counts × protocol × {unbounded, 2 B/cycle}
 /// links × sharer-encoding coarseness (clamped to the core count).
 pub fn inexact_runtime_plan(scale: Scale) -> ExperimentPlan {
-    let base =
-        SimConfig::new(ProtocolKind::Directory, 4).with_workload(WorkloadSpec::microbenchmark());
+    let base = scale
+        .base(ProtocolKind::Directory, 4)
+        .with_workload(WorkloadSpec::microbenchmark());
     Sweep::new("Runtime vs sharer-encoding coarseness", base)
         .axis(
             "cores",
@@ -495,7 +535,8 @@ pub fn inexact_runtime_plan(scale: Scale) -> ExperimentPlan {
 /// The Figure 10 grid: like [`inexact_runtime_plan`] but at the paper's
 /// constrained 2-byte/cycle links only (the traffic figure).
 pub fn inexact_traffic_plan(scale: Scale) -> ExperimentPlan {
-    let base = SimConfig::new(ProtocolKind::Directory, 4)
+    let base = scale
+        .base(ProtocolKind::Directory, 4)
         .with_workload(WorkloadSpec::microbenchmark())
         .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0));
     Sweep::new(
@@ -520,6 +561,43 @@ pub fn inexact_traffic_plan(scale: Scale) -> ExperimentPlan {
     .filter(coarseness_fits)
     .seeds(scale.seeds)
     .build()
+}
+
+/// The cross-fabric scalability core counts. Full scale stops at 128 —
+/// it multiplies Figure 8's grid by five fabrics — and `--quick` keeps
+/// two small systems.
+pub fn cross_fabric_core_counts(scale: Scale) -> &'static [u16] {
+    if scale.cores <= 16 {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    }
+}
+
+/// The cross-fabric scalability grid (Figure 8 style): core counts ×
+/// all five fabrics × {DIRECTORY, PATCH-All-NA, PATCH-All} on the
+/// microbenchmark with 2-byte/cycle links. This is the fabric
+/// sensitivity study the paper could not run: how hop count (ring vs.
+/// torus vs. mesh), bisection bandwidth (hierarchical gateways), and
+/// multicast cost (crossbar's single-hop fan-out) shift the
+/// directory/PATCH/token trade-off.
+pub fn cross_fabric_plan(scale: Scale) -> ExperimentPlan {
+    let base = scale
+        .base(ProtocolKind::Directory, 4)
+        .with_workload(WorkloadSpec::microbenchmark())
+        .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0));
+    Sweep::new("Cross-fabric scalability (2 B/cycle links)", base)
+        .axis(
+            "cores",
+            cross_fabric_core_counts(scale)
+                .iter()
+                .map(|&n| cores_value(n))
+                .collect(),
+        )
+        .axis("fabric", fabric_axis())
+        .axis("config", adaptivity_protocol_axis())
+        .seeds(scale.seeds)
+        .build()
 }
 
 /// Warmup/measurement schedule for the microbenchmark experiments
@@ -548,7 +626,8 @@ pub fn ablation_tenure_timeout_plan(scale: Scale) -> ExperimentPlan {
         write_frac: 0.5,
         think_mean: 5,
     };
-    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
+    let base = scale
+        .base(ProtocolKind::Patch, scale.cores)
         .with_predictor(PredictorChoice::All)
         .with_workload(workload)
         .with_ops_per_core(scale.ops)
@@ -587,7 +666,8 @@ pub fn ablation_deact_window_plan(scale: Scale) -> ExperimentPlan {
         write_frac: 0.5,
         think_mean: 3,
     };
-    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
+    let base = scale
+        .base(ProtocolKind::Patch, scale.cores)
         .with_predictor(PredictorChoice::All)
         .with_workload(workload)
         .with_ops_per_core(scale.ops)
@@ -612,7 +692,8 @@ pub fn ablation_deact_window_plan(scale: Scale) -> ExperimentPlan {
 
 /// Ablation: the best-effort staleness bound under constrained bandwidth.
 pub fn ablation_stale_drop_plan(scale: Scale) -> ExperimentPlan {
-    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
+    let base = scale
+        .base(ProtocolKind::Patch, scale.cores)
         .with_predictor(PredictorChoice::All)
         .with_bandwidth(LinkBandwidth::BytesPerCycle(1.0))
         .with_ops_per_core(scale.ops)
@@ -643,11 +724,10 @@ pub fn ablation_ack_elision_plan(scale: Scale) -> ExperimentPlan {
     let coarse = SharerEncoding::Coarse {
         cores_per_bit: (scale.cores / 4).max(2),
     };
-    let base = SimConfig::new(ProtocolKind::Patch, scale.cores)
-        .with_protocol(
-            patchsim::ProtocolConfig::new(ProtocolKind::Patch, scale.cores)
-                .with_sharer_encoding(coarse),
-        )
+    let base = scale.base(ProtocolKind::Patch, scale.cores);
+    let protocol = base.protocol.clone().with_sharer_encoding(coarse);
+    let base = base
+        .with_protocol(protocol)
         .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
         .with_ops_per_core(scale.ops)
         .with_warmup(scale.warmup);
@@ -674,7 +754,8 @@ pub fn ablation_ack_elision_plan(scale: Scale) -> ExperimentPlan {
 pub fn ablation_limited_pointer_plan(scale: Scale) -> ExperimentPlan {
     let cores = scale.cores;
     let (warmup, ops) = microbench_schedule(cores);
-    let base = SimConfig::new(ProtocolKind::Directory, cores)
+    let base = scale
+        .base(ProtocolKind::Directory, cores)
         .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0))
         .with_workload(WorkloadSpec::microbenchmark())
         .with_ops_per_core(ops)
@@ -713,7 +794,7 @@ pub fn ablation_limited_pointer_plan(scale: Scale) -> ExperimentPlan {
 // ---------------------------------------------------------------------------
 
 /// Every named plan `runplan` can execute.
-pub const PLAN_NAMES: [&str; 12] = [
+pub const PLAN_NAMES: [&str; 13] = [
     "fig4",
     "fig5",
     "fig6",
@@ -721,6 +802,7 @@ pub const PLAN_NAMES: [&str; 12] = [
     "fig8",
     "fig9",
     "fig10",
+    "fabric",
     "tenure_timeout",
     "deact_window",
     "stale_drop",
@@ -737,6 +819,7 @@ pub fn plan_by_name(name: &str, scale: Scale) -> Option<ExperimentPlan> {
         "fig8" => Some(scalability_plan(scale)),
         "fig9" => Some(inexact_runtime_plan(scale)),
         "fig10" => Some(inexact_traffic_plan(scale)),
+        "fabric" => Some(cross_fabric_plan(scale)),
         "tenure_timeout" => Some(ablation_tenure_timeout_plan(scale)),
         "deact_window" => Some(ablation_deact_window_plan(scale)),
         "stale_drop" => Some(ablation_stale_drop_plan(scale)),
@@ -838,6 +921,49 @@ mod tests {
         assert_eq!(plan.axis_names(), &["cores", "config", "links", "K"]);
         assert!(plan.cells().iter().any(|c| c.labels[2] == "inf"));
         assert!(plan.cells().iter().any(|c| c.labels[2] == "2B/c"));
+    }
+
+    #[test]
+    fn cross_fabric_plan_sweeps_every_fabric() {
+        let plan = cross_fabric_plan(Scale::quick());
+        assert_eq!(plan.axis_names(), &["cores", "fabric", "config"]);
+        assert_eq!(plan.len(), 2 * FabricKind::ALL.len() * 3);
+        for kind in FabricKind::ALL {
+            let label = kind.label();
+            let cell = plan
+                .cells()
+                .iter()
+                .find(|c| c.labels[1] == label)
+                .unwrap_or_else(|| panic!("no cell for fabric {label}"));
+            assert_eq!(cell.config.protocol.fabric, kind);
+        }
+    }
+
+    #[test]
+    fn fabric_flag_threads_into_plan_bases() {
+        let args = |list: &[&str]| {
+            BenchArgs::try_parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        let (parsed, _) = args(&["--quick", "--fabric", "mesh"]).unwrap();
+        assert_eq!(parsed.scale.fabric, FabricKind::Mesh2D);
+        let plan = figure4_plan(parsed.scale);
+        assert!(plan
+            .cells()
+            .iter()
+            .all(|c| c.config.protocol.fabric == FabricKind::Mesh2D));
+        // Core-resizing axes preserve the fabric choice.
+        let plan = scalability_plan(parsed.scale);
+        assert!(plan
+            .cells()
+            .iter()
+            .all(|c| c.config.protocol.fabric == FabricKind::Mesh2D));
+        assert!(args(&["--fabric", "warp"]).is_err());
+        assert!(args(&["--fabric"]).is_err());
+        let (hier, _) = args(&["--fabric", "hier:4"]).unwrap();
+        assert_eq!(
+            hier.scale.fabric,
+            FabricKind::Hierarchical { cluster: Some(4) }
+        );
     }
 
     #[test]

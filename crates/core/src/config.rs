@@ -1,6 +1,6 @@
 //! Whole-simulation configuration.
 
-use patchsim_noc::{LinkBandwidth, TorusConfig};
+use patchsim_noc::{FabricConfig, FabricKind, LinkBandwidth};
 use patchsim_predictor::PredictorChoice;
 use patchsim_protocol::{ProtocolConfig, ProtocolKind};
 use patchsim_workload::WorkloadSpec;
@@ -22,6 +22,8 @@ pub enum CheckLevel {
 /// Defaults reproduce the paper's baseline platform: a 2D torus with
 /// 16-byte/cycle links and best-effort drop after 100 queued cycles,
 /// per-node 1MB private caches, 16-cycle directory, 80-cycle DRAM.
+/// [`SimConfig::with_fabric`] swaps the interconnect topology (mesh,
+/// ring, crossbar, hierarchical clusters) while keeping everything else.
 ///
 /// # Examples
 ///
@@ -66,8 +68,8 @@ impl SimConfig {
     pub fn new(kind: ProtocolKind, num_nodes: u16) -> Self {
         SimConfig {
             protocol: ProtocolConfig::new(kind, num_nodes),
-            bandwidth: TorusConfig::DEFAULT_BANDWIDTH,
-            stale_drop_cycles: TorusConfig::DEFAULT_STALE_DROP,
+            bandwidth: FabricConfig::DEFAULT_BANDWIDTH,
+            stale_drop_cycles: FabricConfig::DEFAULT_STALE_DROP,
             workload: WorkloadSpec::microbenchmark(),
             ops_per_core: 1_000,
             warmup_ops_per_core: 0,
@@ -96,6 +98,12 @@ impl SimConfig {
     /// Sets the interconnect link bandwidth.
     pub fn with_bandwidth(mut self, bandwidth: LinkBandwidth) -> Self {
         self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the interconnect fabric topology.
+    pub fn with_fabric(mut self, fabric: FabricKind) -> Self {
+        self.protocol.fabric = fabric;
         self
     }
 
@@ -136,9 +144,12 @@ impl SimConfig {
         self
     }
 
-    /// The interconnect configuration this simulation will use.
-    pub fn torus_config(&self) -> TorusConfig {
-        TorusConfig::new(self.protocol.num_nodes)
+    /// The interconnect configuration this simulation will use: the
+    /// configured fabric topology at the system size, with the
+    /// configured bandwidth and staleness bound and auto-calibrated hop
+    /// latency.
+    pub fn fabric_config(&self) -> FabricConfig {
+        FabricConfig::new(self.protocol.fabric, self.protocol.num_nodes)
             .with_bandwidth(self.bandwidth)
             .with_stale_drop_cycles(self.stale_drop_cycles)
     }
@@ -172,6 +183,24 @@ mod tests {
         assert_eq!(cfg.warmup_ops_per_core, 2);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.check, CheckLevel::Assert);
-        assert_eq!(cfg.torus_config().num_nodes(), 16);
+        assert_eq!(cfg.fabric_config().num_nodes(), 16);
+    }
+
+    #[test]
+    fn fabric_threads_through_to_the_interconnect_config() {
+        let cfg = SimConfig::new(ProtocolKind::Patch, 16)
+            .with_fabric(FabricKind::FullyConnected)
+            .with_bandwidth(LinkBandwidth::BytesPerCycle(2.0));
+        let fabric = cfg.fabric_config();
+        assert_eq!(fabric.kind(), FabricKind::FullyConnected);
+        assert_eq!(fabric.num_nodes(), 16);
+        assert_eq!(fabric.bandwidth(), LinkBandwidth::BytesPerCycle(2.0));
+        // The default remains the paper's torus.
+        assert_eq!(
+            SimConfig::new(ProtocolKind::Patch, 16)
+                .fabric_config()
+                .kind(),
+            FabricKind::Torus
+        );
     }
 }

@@ -115,7 +115,10 @@ pub use system::{run, run_many, RunResult, System};
 pub use patchsim_kernel::stats::ConfidenceInterval;
 pub use patchsim_kernel::{replicate_seed, Cycle, SimRng};
 pub use patchsim_mem::{AccessKind, BlockAddr, CacheGeometry, SharerEncoding};
-pub use patchsim_noc::{LinkBandwidth, NodeId, Priority, TrafficClass, TrafficStats};
+pub use patchsim_noc::{
+    FabricConfig, FabricKind, LinkBandwidth, LinkParams, NodeId, Priority, TrafficClass,
+    TrafficStats,
+};
 pub use patchsim_predictor::PredictorChoice;
 pub use patchsim_protocol::{ProtocolConfig, ProtocolCounters, ProtocolKind, TenureConfig};
 pub use patchsim_workload::{presets, SharingProfile, WorkloadSpec};

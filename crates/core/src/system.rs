@@ -2,7 +2,7 @@
 
 use patchsim_kernel::stats::Histogram;
 use patchsim_kernel::{Cycle, EventQueue, SimRng};
-use patchsim_noc::{NocEvent, NodeId, Torus};
+use patchsim_noc::{Fabric, NocEvent, NodeId};
 use patchsim_protocol::{
     build_controller, Completion, Controller, CoreResponse, MemOp, Msg, Outbox, ProtocolCounters,
     TimerKey,
@@ -93,7 +93,7 @@ impl RunResult {
 pub struct System {
     config: SimConfig,
     queue: EventQueue<Event>,
-    noc: Torus<Msg>,
+    noc: Fabric<Msg>,
     nodes: Vec<Box<dyn Controller + Send>>,
     cores: Vec<CoreState>,
     checker: CoherenceChecker,
@@ -122,7 +122,7 @@ impl System {
         if config.protocol.working_set_hint.is_none() {
             config.protocol.working_set_hint = Some(config.workload.working_set_blocks(n));
         }
-        let noc = Torus::new(config.torus_config());
+        let noc = Fabric::new(config.fabric_config());
         let root_rng = SimRng::from_seed(config.seed).fork(WORKLOAD_STREAM);
         let nodes = (0..n)
             .map(|i| build_controller(&config.protocol, NodeId::new(i)))

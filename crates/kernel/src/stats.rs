@@ -450,6 +450,62 @@ mod tests {
     #[test]
     fn histogram_percentile_empty_is_zero() {
         assert_eq!(Histogram::new().percentile(0.99), 0);
+        // The whole percentile range is defined on an empty histogram.
+        assert_eq!(Histogram::new().percentile(0.0), 0);
+        assert_eq!(Histogram::new().percentile(1.0), 0);
+        assert_eq!(Histogram::new().max(), 0);
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_single_bucket_percentiles_are_flat() {
+        // All samples in one power-of-two bucket: every percentile must
+        // return that bucket's lower bound, and p100 the exact max.
+        let mut h = Histogram::new();
+        for v in [70u64, 64, 100, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets().count(), 1);
+        for p in [0.0, 0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(h.percentile(p), 64, "p{p} in a single-bucket histogram");
+        }
+        assert_eq!(h.percentile(1.0), 127);
+        // A single sample degenerates the same way.
+        let mut one = Histogram::new();
+        one.record(5);
+        assert_eq!(one.percentile(0.5), 4);
+        assert_eq!(one.percentile(1.0), 5);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        for v in [3u64, 9, 4096] {
+            a.record(v);
+        }
+        let before: Vec<_> = a.buckets().collect();
+
+        // Non-empty ← empty: nothing changes.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 3 + 9 + 4096);
+        assert_eq!(a.max(), 4096);
+        assert_eq!(a.buckets().collect::<Vec<_>>(), before);
+
+        // Empty ← non-empty: adopts the other side wholesale.
+        let mut b = Histogram::new();
+        b.merge(&a);
+        assert_eq!(b.count(), a.count());
+        assert_eq!(b.sum(), a.sum());
+        assert_eq!(b.max(), a.max());
+        assert_eq!(b.buckets().collect::<Vec<_>>(), before);
+        assert_eq!(b.percentile(0.5), a.percentile(0.5));
+
+        // Empty ← empty stays empty.
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.percentile(0.5), 0);
     }
 
     #[test]

@@ -1,12 +1,18 @@
-//! 2D-torus interconnect model for the `patchsim` cache-coherence simulator.
+//! Pluggable interconnect fabrics for the `patchsim` cache-coherence
+//! simulator.
 //!
 //! The paper evaluates PATCH on "a 2D-torus with adaptive routing, efficient
 //! multicast routing, and a total link latency of 15 cycles", where the
 //! interconnect "deprioritizes direct requests and drops them if they have
 //! been queued for more than 100 cycles". This crate models exactly the
-//! properties those claims rest on:
+//! properties those claims rest on — and generalizes the topology: one
+//! generic [`Fabric`] engine drives any [`FabricKind`] (torus, mesh, ring,
+//! crossbar, hierarchical clusters) through routing tables derived from
+//! the topology's adjacency by the deterministic BFS builder in
+//! [`fabric`]. The modelled properties:
 //!
-//! * **Dimension-order routing** on a torus with wraparound (the
+//! * **Shortest-path table routing** with a fixed deterministic tie-break
+//!   (on the torus this reproduces dimension-order routing exactly; the
 //!   substitution for GEMS' adaptive routing is documented in `DESIGN.md`).
 //! * **Fan-out multicast**: a multi-destination message occupies each link
 //!   on its routing tree once, no matter how many destinations lie beyond
@@ -14,7 +20,9 @@
 //!   acknowledgement *implosion* stays expensive — the asymmetry behind the
 //!   paper's Figures 9 and 10.
 //! * **Per-link serialization**: finite links transmit
-//!   `ceil(bytes / bandwidth)` cycles per packet; contending packets queue.
+//!   `ceil(bytes / bandwidth)` cycles per packet; contending packets
+//!   queue. Link latency and bandwidth are per-link [`LinkParams`] (the
+//!   hierarchical fabric gives inter-cluster links distinct parameters).
 //! * **Strict priorities with best-effort drop**: [`Priority::BestEffort`]
 //!   packets only transmit when no higher-priority packet is waiting, and
 //!   are silently discarded once they have waited longer than the
@@ -24,8 +32,10 @@
 //!   link-traversal bytes, the unit of every traffic figure in the paper.
 //!
 //! The interconnect is driven by the simulation's central event queue: calls
-//! to [`Torus::send`] and [`Torus::handle`] emit follow-up [`NocEvent`]s via
-//! a scheduling callback, and completed deliveries via a delivery callback.
+//! to [`Fabric::send`] and [`Fabric::handle`] emit follow-up [`NocEvent`]s
+//! via a scheduling callback, and completed deliveries via a delivery
+//! callback. [`Torus`] is a type alias for the engine; the legacy
+//! [`TorusConfig`] converts into a [`FabricConfig`].
 //!
 //! # Examples
 //!
@@ -64,6 +74,7 @@
 #![warn(missing_docs)]
 
 mod dest_set;
+pub mod fabric;
 mod link;
 mod node_id;
 mod topology;
@@ -71,10 +82,14 @@ mod torus;
 mod traffic;
 
 pub use dest_set::DestSet;
+pub use fabric::{
+    Adjacency, Fabric, FabricConfig, FabricKind, FabricSpec, LinkClass, LinkParams, MulticastTree,
+    NocEvent,
+};
 pub use link::Priority;
 pub use node_id::NodeId;
 pub use topology::{RouteTable, Topology};
-pub use torus::{NocEvent, Torus, TorusConfig};
+pub use torus::{Torus, TorusConfig};
 pub use traffic::{LinkBandwidth, TrafficClass, TrafficStats};
 
 /// Payload carried by the interconnect.

@@ -1,19 +1,26 @@
-//! The torus interconnect: event-driven link and router model.
+//! The paper's 2D-torus interconnect, as one instance of the generic
+//! [`Fabric`] engine.
+//!
+//! Until the fabric subsystem landed, the torus *was* the interconnect:
+//! it owned the next-hop table, link layout, and multicast fan-out. It is
+//! now [`FabricKind::Torus`](crate::FabricKind::Torus) built through the
+//! same generic BFS routing builder as every other topology — with
+//! byte-identical behavior, pinned by the golden equivalence tests in
+//! `tests/fabric_routing.rs`.
 
-use patchsim_kernel::Cycle;
-
-use crate::link::PriorityQueue;
-use crate::topology::Direction;
-use crate::{
-    DestSet, LinkBandwidth, NocPayload, NodeId, Priority, RouteTable, Topology, TrafficClass,
-    TrafficStats,
-};
+use crate::fabric::{Fabric, FabricConfig, FabricKind};
+use crate::topology::Topology;
+use crate::LinkBandwidth;
 
 /// Configuration of the torus interconnect.
 ///
 /// Defaults match the paper's baseline: 16 bytes/cycle links, a per-hop
 /// latency calibrated so that an average traversal costs about 15 cycles,
 /// and a 100-cycle staleness bound for best-effort messages.
+///
+/// This is the legacy torus-only configuration; it converts into a
+/// [`FabricConfig`] (`FabricConfig::from(torus_config)`), which is what
+/// [`Fabric::new`] accepts.
 ///
 /// # Examples
 ///
@@ -36,9 +43,9 @@ pub struct TorusConfig {
 
 impl TorusConfig {
     /// Default link bandwidth: the paper's bandwidth-rich 16 bytes/cycle.
-    pub const DEFAULT_BANDWIDTH: LinkBandwidth = LinkBandwidth::BytesPerCycle(16.0);
+    pub const DEFAULT_BANDWIDTH: LinkBandwidth = FabricConfig::DEFAULT_BANDWIDTH;
     /// Default best-effort staleness bound (paper: 100 cycles).
-    pub const DEFAULT_STALE_DROP: u64 = 100;
+    pub const DEFAULT_STALE_DROP: u64 = FabricConfig::DEFAULT_STALE_DROP;
 
     /// Creates a configuration for `num_nodes` nodes with paper-default
     /// timing. The per-hop latency is chosen so that the average traversal
@@ -102,379 +109,36 @@ impl TorusConfig {
         self.hop_latency
     }
 
+    /// Self-send latency in cycles.
+    pub fn local_latency(&self) -> u64 {
+        self.local_latency
+    }
+
     /// Best-effort staleness bound in cycles.
     pub fn stale_drop_cycles(&self) -> u64 {
         self.stale_drop_cycles
     }
 }
 
-/// A packet in flight: the payload plus routing and accounting state.
-#[derive(Debug)]
-struct Packet<M> {
-    msg: M,
-    dests: DestSet,
-    priority: Priority,
-    size: u64,
-    class: TrafficClass,
-}
-
-impl<M: Clone> Packet<M> {
-    /// Splits off a copy of this packet covering `dests`.
-    fn branch(&self, dests: DestSet) -> Packet<M> {
-        Packet {
-            msg: self.msg.clone(),
-            dests,
-            priority: self.priority,
-            size: self.size,
-            class: self.class,
-        }
+impl From<TorusConfig> for FabricConfig {
+    fn from(t: TorusConfig) -> FabricConfig {
+        FabricConfig::new(FabricKind::Torus, t.num_nodes)
+            .with_hop_latency(t.hop_latency)
+            .with_bandwidth(t.bandwidth)
+            .with_local_latency(t.local_latency)
+            .with_stale_drop_cycles(t.stale_drop_cycles)
     }
 }
 
-/// An internal interconnect event. Opaque to callers: obtain them from the
-/// scheduling callback of [`Torus::send`] / [`Torus::handle`] and feed them
-/// back to [`Torus::handle`] at their scheduled time.
-#[derive(Debug)]
-pub struct NocEvent<M>(Event<M>);
-
-#[derive(Debug)]
-enum Event<M> {
-    /// A packet arrives at `node`'s router (possibly its final stop).
-    ///
-    /// Boxed so a `NocEvent` is pointer-sized: events sit in the kernel
-    /// queue's wheel buckets, and moving ~16 bytes per push/pop instead
-    /// of a 100+-byte packet keeps the hot loop in cache. The boxes come
-    /// from (and return to) the torus's packet pool, so steady-state
-    /// operation performs no allocation.
-    Arrive {
-        node: NodeId,
-        packet: Box<Packet<M>>,
-    },
-    /// A link finished serializing its current packet.
-    LinkFree { link: usize },
-}
-
-/// The 2D-torus interconnect.
-///
-/// See the [crate-level documentation](crate) for the modelling contract and
-/// a usage example. `M` is the protocol message type; it must be `Clone`
-/// because multicast fan-out duplicates packets at tree branches.
-#[derive(Debug)]
-pub struct Torus<M> {
-    topo: Topology,
-    /// Precomputed pairwise next hops; `route_onward` takes one byte load
-    /// per destination per hop instead of recomputing torus geometry.
-    routes: RouteTable,
-    /// The router at the far end of each link, indexed like `links`.
-    link_neighbor: Vec<NodeId>,
-    /// Last computed serialization delay per size class (control / data):
-    /// `(size_bytes, cycles)`. Real traffic uses two wire sizes, so this
-    /// caches the float division out of the per-traversal path while
-    /// computing unknown sizes exactly as before.
-    ser_memo: [(u64, u64); 2],
-    config: TorusConfig,
-    /// `num_nodes × 4` links; link `n*4 + d` leaves node `n` in direction
-    /// `Direction::ALL[d]`.
-    links: Vec<LinkState<M>>,
-    /// Free list of packet boxes: multicast branches and fresh sends
-    /// reuse the allocations of delivered packets.
-    pool: Vec<Box<Packet<M>>>,
-    stats: TrafficStats,
-}
-
-#[derive(Debug)]
-struct LinkState<M> {
-    busy: bool,
-    queue: PriorityQueue<Box<Packet<M>>>,
-    busy_cycles: u64,
-}
-
-/// Upper bound on pooled packet boxes; beyond this, freed boxes simply
-/// deallocate. Far above any sustained in-flight packet count.
-const PACKET_POOL_CAP: usize = 4096;
-
-impl<M: Clone + NocPayload> Torus<M> {
-    /// Builds the interconnect for `config`.
-    pub fn new(config: TorusConfig) -> Self {
-        let topo = Topology::new(config.num_nodes);
-        // Unbounded links never queue (packets start transmitting
-        // immediately); finite links get a little headroom so early
-        // contention does not reallocate.
-        let queue_capacity = if config.bandwidth.is_unbounded() {
-            0
-        } else {
-            16
-        };
-        let links = (0..topo.num_nodes() as usize * 4)
-            .map(|_| LinkState {
-                busy: false,
-                queue: PriorityQueue::with_capacity(queue_capacity),
-                busy_cycles: 0,
-            })
-            .collect();
-        let link_neighbor = (0..topo.num_nodes() as usize * 4)
-            .map(|link| topo.neighbor(NodeId::new((link / 4) as u16), Direction::ALL[link % 4]))
-            .collect();
-        Torus {
-            topo,
-            routes: RouteTable::new(topo),
-            link_neighbor,
-            ser_memo: [(u64::MAX, 0); 2],
-            config,
-            links,
-            pool: Vec::with_capacity(64),
-            stats: TrafficStats::new(),
-        }
-    }
-
-    /// Boxes `packet`, reusing a pooled allocation when one is free.
-    #[inline]
-    fn alloc_packet(&mut self, packet: Packet<M>) -> Box<Packet<M>> {
-        match self.pool.pop() {
-            Some(mut boxed) => {
-                *boxed = packet;
-                boxed
-            }
-            None => Box::new(packet),
-        }
-    }
-
-    /// Returns a delivered packet's box to the pool.
-    #[inline]
-    fn free_packet(&mut self, boxed: Box<Packet<M>>) {
-        if self.pool.len() < PACKET_POOL_CAP {
-            self.pool.push(boxed);
-        }
-    }
-
-    /// Serialization delay for a packet of `size` bytes, memoized per
-    /// size class. Identical to
-    /// [`LinkBandwidth::serialization_cycles`], minus the float division
-    /// on repeat sizes.
-    #[inline]
-    fn serialization_cycles(&mut self, size: u64) -> u64 {
-        let slot = usize::from(size >= 64);
-        let (cached_size, cached_cycles) = self.ser_memo[slot];
-        if cached_size == size {
-            return cached_cycles;
-        }
-        let cycles = self.config.bandwidth.serialization_cycles(size);
-        self.ser_memo[slot] = (size, cycles);
-        cycles
-    }
-
-    /// The torus shape.
-    pub fn topology(&self) -> Topology {
-        self.topo
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> &TorusConfig {
-        &self.config
-    }
-
-    /// Accumulated traffic statistics.
-    pub fn stats(&self) -> &TrafficStats {
-        &self.stats
-    }
-
-    /// Resets traffic statistics (e.g. after warmup).
-    pub fn reset_stats(&mut self) {
-        self.stats = TrafficStats::new();
-    }
-
-    /// Injects a message from `src` toward every node in `dests`.
-    ///
-    /// Multi-destination messages are routed as a single fan-out multicast:
-    /// each link of the routing tree carries the message once. Follow-up
-    /// events are emitted through `sched`; feed them back via
-    /// [`Torus::handle`] at their timestamps. A destination equal to `src`
-    /// is delivered locally after the configured local latency without
-    /// touching any link.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dests` is empty or sized for a different system.
-    pub fn send(
-        &mut self,
-        now: Cycle,
-        src: NodeId,
-        dests: DestSet,
-        priority: Priority,
-        msg: M,
-        sched: &mut impl FnMut(Cycle, NocEvent<M>),
-    ) {
-        assert!(!dests.is_empty(), "message from {src} with no destinations");
-        assert_eq!(
-            dests.num_nodes(),
-            self.topo.num_nodes(),
-            "destination set sized for a different system"
-        );
-        let packet = self.alloc_packet(Packet {
-            size: msg.size_bytes(),
-            class: msg.traffic_class(),
-            msg,
-            dests,
-            priority,
-        });
-        // Local destinations never touch the network fabric; they arrive at
-        // this node's own router after the local latency. Remote
-        // destinations start routing immediately. We express both by
-        // scheduling the arrival at the source router: `Arrive` handles
-        // local delivery and forwards the rest.
-        sched(
-            now + self.config.local_latency,
-            NocEvent(Event::Arrive { node: src, packet }),
-        );
-    }
-
-    /// Processes one previously scheduled interconnect event.
-    ///
-    /// `sched` receives follow-up events; `deliver` receives `(node,
-    /// message)` pairs for every completed delivery.
-    pub fn handle(
-        &mut self,
-        now: Cycle,
-        event: NocEvent<M>,
-        sched: &mut impl FnMut(Cycle, NocEvent<M>),
-        deliver: &mut impl FnMut(NodeId, M),
-    ) {
-        match event.0 {
-            Event::Arrive { node, mut packet } => {
-                if packet.dests.remove(node) {
-                    if packet.dests.is_empty() {
-                        // Final stop: hand the message out (a flat copy —
-                        // protocol messages own no heap data) and recycle
-                        // the box.
-                        deliver(node, packet.msg.clone());
-                        self.free_packet(packet);
-                        return;
-                    }
-                    deliver(node, packet.msg.clone());
-                }
-                self.route_onward(now, node, packet, sched);
-            }
-            Event::LinkFree { link } => {
-                self.links[link].busy = false;
-                self.try_start(now, link, sched);
-            }
-        }
-    }
-
-    /// Groups a packet's remaining destinations by output direction and
-    /// enqueues one branch per direction (fan-out multicast). The packet
-    /// itself — message payload included — moves into the last branch, so
-    /// the common unicast case clones nothing.
-    fn route_onward(
-        &mut self,
-        now: Cycle,
-        node: NodeId,
-        mut packet: Box<Packet<M>>,
-        sched: &mut impl FnMut(Cycle, NocEvent<M>),
-    ) {
-        debug_assert!(!packet.dests.contains(node));
-        // Unicast fast path: one destination means one branch — a single
-        // table lookup, no grouping pass.
-        if let Some(dest) = packet.dests.as_single() {
-            let dir = self
-                .routes
-                .next_hop(node, dest)
-                .expect("dest equal to current node was already removed");
-            self.enqueue(now, node, dir.index(), packet, sched);
-            return;
-        }
-        let mut groups: [Option<DestSet>; 4] = [None, None, None, None];
-        for dest in packet.dests.iter() {
-            let dir = self
-                .routes
-                .next_hop(node, dest)
-                .expect("dest equal to current node was already removed");
-            groups[dir.index()]
-                .get_or_insert_with(|| DestSet::empty(self.topo.num_nodes()))
-                .insert(dest);
-        }
-        let last = groups
-            .iter()
-            .rposition(|g| g.is_some())
-            .expect("routed packet has at least one destination");
-        for (d, group) in groups.iter_mut().enumerate().take(last) {
-            let Some(group) = group.take() else { continue };
-            let branch = packet.branch(group);
-            let branch = self.alloc_packet(branch);
-            self.enqueue(now, node, d, branch, sched);
-        }
-        packet.dests = groups[last].take().expect("rposition found a group");
-        self.enqueue(now, node, last, packet, sched);
-    }
-
-    /// Queues `branch` on `node`'s link in direction index `d` and kicks
-    /// the link if it is idle.
-    fn enqueue(
-        &mut self,
-        now: Cycle,
-        node: NodeId,
-        d: usize,
-        branch: Box<Packet<M>>,
-        sched: &mut impl FnMut(Cycle, NocEvent<M>),
-    ) {
-        let link = node.index() * 4 + d;
-        self.links[link].queue.push(now, branch.priority, branch);
-        if !self.links[link].busy {
-            self.try_start(now, link, sched);
-        }
-    }
-
-    /// If `link` is idle and has a serviceable packet, begins transmitting
-    /// it: charges traffic, occupies the link for the serialization delay,
-    /// and schedules the arrival at the neighboring router.
-    fn try_start(&mut self, now: Cycle, link: usize, sched: &mut impl FnMut(Cycle, NocEvent<M>)) {
-        debug_assert!(!self.links[link].busy);
-        let stale = self.config.stale_drop_cycles;
-        let stats = &mut self.stats;
-        let Some(packet) = self.links[link]
-            .queue
-            .pop(now, stale, |dropped: Box<Packet<M>>| {
-                stats.record_drop(dropped.size)
-            })
-        else {
-            return;
-        };
-        self.stats.record(packet.class, packet.size);
-        let serialize = self.serialization_cycles(packet.size);
-        let neighbor = self.link_neighbor[link];
-        sched(
-            now + serialize + self.config.hop_latency,
-            NocEvent(Event::Arrive {
-                node: neighbor,
-                packet,
-            }),
-        );
-        // With unbounded bandwidth the link never saturates; skip the
-        // busy/free bookkeeping entirely so queues stay empty.
-        if !self.config.bandwidth.is_unbounded() {
-            self.links[link].busy = true;
-            self.links[link].busy_cycles += serialize;
-            sched(now + serialize.max(1), NocEvent(Event::LinkFree { link }));
-        } else if !self.links[link].queue.is_empty() {
-            self.try_start(now, link, sched);
-        }
-    }
-
-    /// Total cycles all links spent transmitting; a utilization diagnostic.
-    pub fn total_busy_cycles(&self) -> u64 {
-        self.links.iter().map(|l| l.busy_cycles).sum()
-    }
-
-    /// Number of packets currently queued across all links.
-    pub fn queued_packets(&self) -> usize {
-        self.links.iter().map(|l| l.queue.len()).sum()
-    }
-}
+/// The 2D-torus interconnect: the generic [`Fabric`] engine built on the
+/// torus topology. `Torus::new(TorusConfig::new(n))` works unchanged.
+pub type Torus<M> = Fabric<M>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use patchsim_kernel::EventQueue;
+    use crate::{DestSet, NocEvent, NocPayload, NodeId, Priority, TrafficClass};
+    use patchsim_kernel::{Cycle, EventQueue};
 
     #[derive(Clone, Debug, PartialEq)]
     struct TestMsg {
@@ -608,7 +272,7 @@ mod tests {
         // one incoming link, so the tree has exactly 15 links... but
         // unicasts would cost sum of hop distances = 1+1+2+... > 15.
         let unicast_cost: u64 = (1..16)
-            .map(|i| net.topology().hop_distance(NodeId::new(0), NodeId::new(i)) as u64)
+            .map(|i| net.spec().hop_distance(NodeId::new(0), NodeId::new(i)) as u64)
             .sum();
         assert!(traversals < unicast_cost);
         assert_eq!(traversals, 15, "one incoming link per covered node");
@@ -768,5 +432,25 @@ mod tests {
             (total - 15.0).abs() <= 5.0,
             "average traversal {total:.1} should be near 15 cycles"
         );
+    }
+
+    /// The legacy `TorusConfig` and the generic auto-calibrated
+    /// `FabricConfig` resolve to identical link parameters.
+    #[test]
+    fn torus_config_converts_losslessly() {
+        for n in [1u16, 4, 16, 64, 120] {
+            let legacy = TorusConfig::new(n);
+            let via_legacy = Torus::<TestMsg>::new(legacy);
+            let generic = Torus::<TestMsg>::new(FabricConfig::new(crate::FabricKind::Torus, n));
+            assert_eq!(
+                via_legacy.spec().class_params()[0].latency,
+                legacy.hop_latency()
+            );
+            assert_eq!(
+                via_legacy.spec().class_params(),
+                generic.spec().class_params(),
+                "auto-calibration must match the legacy formula for {n} nodes"
+            );
+        }
     }
 }

@@ -1,0 +1,216 @@
+//! Fabric-subsystem contract tests.
+//!
+//! 1. **Golden equivalence**: the generic BFS routing-table builder,
+//!    instantiated on the torus adjacency, must reproduce the legacy
+//!    dimension-order next-hop table *exactly* — every `(src, dst)` pair,
+//!    several shapes (square, rectangular, odd widths with wrap ties, and
+//!    the paper's 512-node sweep size). This pins the fabric refactor
+//!    against the PR-3 perf-hash goldens: identical next hops mean
+//!    identical event sequences.
+//! 2. **Multicast-tree properties**: on every shipped fabric, the fan-out
+//!    expansion of a random `DestSet` delivers to exactly the destination
+//!    set (no duplicates, none missing) over edges that are real fabric
+//!    links — for inline (≤ 64 node) and spill (> 64 node) set
+//!    representations, seeded with `SimRng`.
+
+use patchsim_kernel::{Cycle, EventQueue, SimRng};
+use patchsim_noc::{
+    DestSet, Fabric, FabricConfig, FabricKind, FabricSpec, NocEvent, NocPayload, NodeId, Priority,
+    RouteTable, Topology, TrafficClass,
+};
+
+/// Torus shapes exercised by the golden test: tiny, square, rectangular,
+/// odd sizes with exact half-way wrap ties, and the paper's largest
+/// scalability point.
+const GOLDEN_SHAPES: [u16; 8] = [1, 2, 4, 6, 15, 16, 64, 512];
+
+#[test]
+fn bfs_builder_reproduces_dimension_order_routing_on_the_torus() {
+    for n in GOLDEN_SHAPES {
+        let topo = Topology::new(n);
+        let legacy = RouteTable::new(topo);
+        let spec = FabricSpec::build(&FabricConfig::new(FabricKind::Torus, n));
+        for from in 0..n {
+            for to in 0..n {
+                let (from, to) = (NodeId::new(from), NodeId::new(to));
+                // The torus adjacency lists links in `Direction::ALL`
+                // order, so the generic out-link slot *is* the legacy
+                // direction index.
+                assert_eq!(
+                    spec.next_slot(from, to),
+                    legacy.next_hop(from, to).map(|d| d.index()),
+                    "{n}-node torus {from}->{to}: BFS builder diverged from dimension-order"
+                );
+                assert_eq!(
+                    spec.next_slot(from, to),
+                    topo.next_hop(from, to).map(|d| d.index()),
+                    "{n}-node torus {from}->{to}: BFS builder diverged from on-the-fly routing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fabric_hop_distances_match_torus_geometry() {
+    for n in [4u16, 6, 16, 64] {
+        let topo = Topology::new(n);
+        let spec = FabricSpec::build(&FabricConfig::new(FabricKind::Torus, n));
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                assert_eq!(spec.hop_distance(a, b), topo.hop_distance(a, b));
+            }
+        }
+        assert!((spec.average_hop_distance() - topo.average_hop_distance()).abs() < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multicast-tree property tests.
+// ---------------------------------------------------------------------------
+
+/// Draws a non-empty destination set over `n` nodes: each node joins with
+/// probability ~1/3, plus one guaranteed member.
+fn random_dests(rng: &mut SimRng, n: u16) -> DestSet {
+    let mut dests = DestSet::empty(n);
+    for node in 0..n {
+        if rng.below(3) == 0 {
+            dests.insert(NodeId::new(node));
+        }
+    }
+    dests.insert(NodeId::new(rng.below(n as u64) as u16));
+    dests
+}
+
+/// System sizes covering both `DestSet` representations: 48 stays on the
+/// inline `u64` word, 80 spills to the word vector. Both factor into
+/// grids and clusters, so every fabric kind builds.
+const PROPERTY_SIZES: [u16; 2] = [48, 80];
+
+#[test]
+fn multicast_tree_properties_hold_on_every_fabric() {
+    let mut rng = SimRng::from_seed(0xFAB);
+    for kind in FabricKind::ALL {
+        for n in PROPERTY_SIZES {
+            let spec = FabricSpec::build(&FabricConfig::new(kind, n));
+            for _ in 0..24 {
+                let src = NodeId::new(rng.below(n as u64) as u16);
+                let dests = random_dests(&mut rng, n);
+                let tree = spec.multicast_tree(src, &dests);
+
+                // Union of deliveries equals the destination set, with no
+                // duplicate deliveries.
+                let mut delivered: Vec<u16> = tree.deliveries.iter().map(|d| d.raw()).collect();
+                delivered.sort_unstable();
+                let want: Vec<u16> = dests.iter().map(|d| d.raw()).collect();
+                assert_eq!(
+                    delivered, want,
+                    "{kind}/{n}: deliveries diverge from the destination set"
+                );
+
+                // Every tree edge is a real fabric link.
+                for &(a, b) in &tree.edges {
+                    assert!(
+                        spec.is_link(a, b),
+                        "{kind}/{n}: tree edge {a}->{b} is not a fabric link"
+                    );
+                }
+
+                // Fan-out efficiency sanity: the tree never uses more
+                // traversals than per-destination unicasts would.
+                let unicast_cost: u32 = dests.iter().map(|d| spec.hop_distance(src, d)).sum();
+                assert!(
+                    tree.edges.len() as u32 <= unicast_cost.max(1),
+                    "{kind}/{n}: tree larger than unicast fan-out"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level delivery checks: the event-driven engine agrees with the
+// static tree expansion on every fabric.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Ping;
+
+impl NocPayload for Ping {
+    fn size_bytes(&self) -> u64 {
+        8
+    }
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Forward
+    }
+}
+
+/// Runs one multicast through the event-driven engine, returning
+/// `(cycle, node)` deliveries in pop order.
+fn drive(net: &mut Fabric<Ping>, src: NodeId, dests: DestSet) -> Vec<(u64, u16)> {
+    let mut q: EventQueue<NocEvent<Ping>> = EventQueue::new();
+    net.send(
+        Cycle::ZERO,
+        src,
+        dests,
+        Priority::Normal,
+        Ping,
+        &mut |c, e| q.push(c, e),
+    );
+    let mut deliveries = Vec::new();
+    while let Some((now, ev)) = q.pop() {
+        let mut buf = Vec::new();
+        net.handle(now, ev, &mut |c, e| buf.push((c, e)), &mut |node, _| {
+            deliveries.push((now.as_u64(), node.raw()))
+        });
+        for (c, e) in buf {
+            q.push(c, e);
+        }
+    }
+    deliveries
+}
+
+#[test]
+fn engine_delivers_each_destination_exactly_once_on_every_fabric() {
+    let mut rng = SimRng::from_seed(0x5EED);
+    for kind in FabricKind::ALL {
+        for n in PROPERTY_SIZES {
+            let mut net: Fabric<Ping> = Fabric::new(FabricConfig::new(kind, n));
+            for _ in 0..8 {
+                let src = NodeId::new(rng.below(n as u64) as u16);
+                let dests = random_dests(&mut rng, n);
+                let out = drive(&mut net, src, dests.clone());
+                let mut nodes: Vec<u16> = out.iter().map(|&(_, node)| node).collect();
+                nodes.sort_unstable();
+                let want: Vec<u16> = dests.iter().map(|d| d.raw()).collect();
+                assert_eq!(nodes, want, "{kind}/{n}: engine deliveries diverge");
+                // Traffic accounting matches the static tree expansion:
+                // one traversal per tree edge.
+                let tree = net.spec().multicast_tree(src, &dests);
+                let traversals = net.stats().traversals(TrafficClass::Forward);
+                net.reset_stats();
+                assert_eq!(
+                    traversals as usize,
+                    tree.edges.len(),
+                    "{kind}/{n}: engine traversals diverge from the multicast tree"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_multicast_is_deterministic() {
+    for kind in FabricKind::ALL {
+        let n = 48;
+        let dests = DestSet::all_except(n, NodeId::new(7));
+        let mut a: Fabric<Ping> = Fabric::new(FabricConfig::new(kind, n));
+        let mut b: Fabric<Ping> = Fabric::new(FabricConfig::new(kind, n));
+        assert_eq!(
+            drive(&mut a, NodeId::new(7), dests.clone()),
+            drive(&mut b, NodeId::new(7), dests),
+            "{kind}: identical multicasts must replay identically"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Protocol configuration.
 
 use patchsim_mem::{CacheGeometry, SharerEncoding};
-use patchsim_noc::Priority;
+use patchsim_noc::{FabricKind, Priority};
 use patchsim_predictor::PredictorChoice;
 
 /// Which coherence protocol to run.
@@ -96,6 +96,11 @@ pub struct ProtocolConfig {
     pub kind: ProtocolKind,
     /// System size.
     pub num_nodes: u16,
+    /// Interconnect topology the system is assembled on. Protocols are
+    /// fabric-agnostic (they address nodes, not links), but the choice
+    /// lives here beside `num_nodes` so every layer that resizes or
+    /// clones the system configuration carries it along.
+    pub fabric: FabricKind,
     /// Tokens per block (`T`); the paper uses one per processor.
     pub total_tokens: u32,
     /// Private cache shape.
@@ -147,6 +152,7 @@ impl ProtocolConfig {
         ProtocolConfig {
             kind,
             num_nodes,
+            fabric: FabricKind::Torus,
             total_tokens: num_nodes as u32,
             cache_geometry: CacheGeometry::from_capacity(1 << 20, 64, 4),
             sharer_encoding: SharerEncoding::FullMap,
@@ -196,6 +202,12 @@ impl ProtocolConfig {
     /// Sets the destination-set predictor (PATCH).
     pub fn with_predictor(mut self, predictor: PredictorChoice) -> Self {
         self.predictor = predictor;
+        self
+    }
+
+    /// Sets the interconnect fabric the system is assembled on.
+    pub fn with_fabric(mut self, fabric: FabricKind) -> Self {
+        self.fabric = fabric;
         self
     }
 
@@ -253,6 +265,16 @@ mod tests {
         assert!(cfg.migratory_opt);
         assert!(cfg.ack_elision);
         assert_eq!(cfg.sharer_encoding, SharerEncoding::FullMap);
+        assert_eq!(cfg.fabric, FabricKind::Torus);
+    }
+
+    #[test]
+    fn fabric_choice_survives_builders() {
+        let cfg = ProtocolConfig::new(ProtocolKind::Patch, 16)
+            .with_fabric(FabricKind::Ring)
+            .with_predictor(PredictorChoice::All)
+            .non_adaptive();
+        assert_eq!(cfg.fabric, FabricKind::Ring);
     }
 
     #[test]
