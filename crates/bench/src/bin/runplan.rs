@@ -2,32 +2,39 @@
 //! plan by name with the standard measurement columns.
 //!
 //! `cargo run --release -p patchsim-bench --bin runplan -- <plan> [--quick]
-//! [--seeds N] [--threads N] [--fabric F] [--format {text,csv,json}]
-//! [--out PATH]`
+//! [--seeds N] [--threads N] [--fabric F] [--faults SPEC]
+//! [--format {text,csv,json}] [--out PATH]`
 //!
-//! `runplan list` prints the registered plan names. A missing or unknown
-//! plan name prints the full registry (one name per line) and exits with
-//! status 2.
+//! `runplan --help` lists every registered plan with a one-line
+//! description; `runplan list` prints the bare plan names (one per line,
+//! for scripting). A missing or unknown plan name prints the described
+//! registry and exits with status 2.
 
-use patchsim_bench::{plan_by_name, with_standard_columns, BenchArgs, PLAN_NAMES};
+use patchsim_bench::{plan_by_name, with_standard_columns, BenchArgs, PLAN_INFO, PLAN_NAMES};
 
-/// Prints every registered plan name, one per line, to `stderr`.
-fn list_plans_to_stderr() {
-    eprintln!("registered plans:");
-    for plan in PLAN_NAMES {
-        eprintln!("  {plan}");
-    }
+/// The registered plans with their one-line descriptions, one per line,
+/// aligned for terminal display.
+fn plan_listing() -> String {
+    let width = PLAN_INFO
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    PLAN_INFO
+        .iter()
+        .map(|(name, desc)| format!("  {name:<width$}  {desc}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn main() {
-    let (args, positional) = BenchArgs::parse_with_positional(
-        "runplan",
-        "Run any registered experiment plan by name (see `runplan list`)",
-        "plan",
+    let about = format!(
+        "Run any registered experiment plan by name.\n\nPlans:\n{}",
+        plan_listing()
     );
+    let (args, positional) = BenchArgs::parse_with_positional("runplan", &about, "plan");
     let Some(name) = positional else {
-        eprintln!("error: missing plan name");
-        list_plans_to_stderr();
+        eprintln!("error: missing plan name\n\nPlans:\n{}", plan_listing());
         std::process::exit(2);
     };
     if name == "list" {
@@ -37,8 +44,7 @@ fn main() {
         return;
     }
     let Some(plan) = plan_by_name(&name, args.scale) else {
-        eprintln!("error: unknown plan '{name}'");
-        list_plans_to_stderr();
+        eprintln!("error: unknown plan '{name}'\n\nPlans:\n{}", plan_listing());
         std::process::exit(2);
     };
     let table = with_standard_columns(args.runner().run(&plan));

@@ -16,6 +16,7 @@
 //! | Figure 9 (inexact-encoding runtime) | `fig9_inexact_runtime` | [`inexact_runtime_plan`] |
 //! | Figure 10 (inexact-encoding traffic) | `fig10_inexact_traffic` | [`inexact_traffic_plan`] |
 //! | Cross-fabric scalability (extension) | `runplan fabric` | [`cross_fabric_plan`] |
+//! | Fault-injection robustness (extension) | `runplan faults` | [`faults_plan`] |
 //! | DESIGN.md ablations | `ablation_*` | [`ablation_tenure_timeout_plan`], ... |
 //! | Any of the above by name | `runplan <plan>` | [`plan_by_name`] |
 //!
@@ -25,6 +26,9 @@
 //! (worker pool size; results are bit-identical at any thread count),
 //! `--fabric {torus,mesh,ring,xbar,hier[:C]}` (interconnect topology for
 //! any plan; plans with their own fabric axis override it),
+//! `--faults SPEC` (deterministic interconnect fault mix — a preset like
+//! `chaos` or `+`-joined clauses like `delay:0.02:200+dup:0.01`; the
+//! `faults` plan's own axis overrides it),
 //! `--format {text,csv,json}`, and `--out PATH`. Unknown flags and
 //! malformed values print usage and exit non-zero.
 //!
@@ -38,8 +42,8 @@ use std::path::PathBuf;
 
 use patchsim::exp::{AxisValue, Cell, ExperimentPlan, Format, Runner, Sweep, Table};
 use patchsim::{
-    presets, FabricKind, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding, SimConfig,
-    TenureConfig, TrafficClass, WorkloadSpec,
+    presets, FabricKind, FaultSpec, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding,
+    SimConfig, TenureConfig, TrafficClass, WorkloadSpec,
 };
 
 /// Experiment scale knobs shared by all figure targets.
@@ -56,6 +60,9 @@ pub struct Scale {
     /// Interconnect fabric every plan's base configuration uses
     /// (`--fabric`; plans with their own fabric axis override it).
     pub fabric: FabricKind,
+    /// Interconnect fault mix every plan's base configuration uses
+    /// (`--faults`; the `faults` plan's own axis overrides it).
+    pub faults: FaultSpec,
 }
 
 impl Scale {
@@ -67,6 +74,7 @@ impl Scale {
             warmup: 1500,
             seeds: 1,
             fabric: FabricKind::Torus,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -78,13 +86,16 @@ impl Scale {
             warmup: 1200,
             seeds: 1,
             fabric: FabricKind::Torus,
+            faults: FaultSpec::none(),
         }
     }
 
     /// The base configuration every plan starts from: `kind` at this
-    /// scale's core count on this scale's fabric.
+    /// scale's core count on this scale's fabric and fault mix.
     fn base(self, kind: ProtocolKind, cores: u16) -> SimConfig {
-        SimConfig::new(kind, cores).with_fabric(self.fabric)
+        SimConfig::new(kind, cores)
+            .with_fabric(self.fabric)
+            .with_faults(self.faults)
     }
 }
 
@@ -113,6 +124,10 @@ const OPTIONS_HELP: &str = "Options:
   --threads N    worker threads (default: all hardware threads)
   --fabric F     interconnect fabric: torus, mesh, ring, xbar, hier[:C]
                  (default torus; plans with a fabric axis override it)
+  --faults SPEC  interconnect fault mix: none, a preset (jitter, reorder,
+                 dup, slowlinks, slownodes, storm, chaos), or '+'-joined
+                 clauses like delay:0.02:200+dup:0.01 (default none;
+                 the faults plan's own axis overrides it)
   --format FMT   output format: text, csv, json (default text)
   --out PATH     write the table to PATH instead of stdout
   -h, --help     print this help";
@@ -163,6 +178,7 @@ impl BenchArgs {
         let mut seeds: Option<u64> = None;
         let mut threads: Option<usize> = None;
         let mut fabric: Option<FabricKind> = None;
+        let mut faults: Option<FaultSpec> = None;
         let mut format = Format::Text;
         let mut out: Option<PathBuf> = None;
         let mut positional: Option<String> = None;
@@ -174,6 +190,12 @@ impl BenchArgs {
                     let v = it.next().ok_or("--fabric requires a value")?;
                     fabric = Some(FabricKind::parse(v).ok_or_else(|| {
                         format!("invalid --fabric '{v}' (expected torus, mesh, ring, xbar, or hier[:C])")
+                    })?);
+                }
+                "--faults" => {
+                    let v = it.next().ok_or("--faults requires a value")?;
+                    faults = Some(FaultSpec::parse(v).ok_or_else(|| {
+                        format!("invalid --faults '{v}' (expected none, a preset like chaos, or '+'-joined clauses like delay:0.02:200+dup:0.01)")
                     })?);
                 }
                 "--seeds" => {
@@ -223,6 +245,9 @@ impl BenchArgs {
         }
         if let Some(f) = fabric {
             scale.fabric = f;
+        }
+        if let Some(f) = faults {
+            scale.faults = f;
         }
         Ok((
             BenchArgs {
@@ -371,6 +396,33 @@ pub fn fabric_axis() -> Vec<AxisValue> {
         .into_iter()
         .map(|kind| AxisValue::new(kind.label(), move |c: SimConfig| c.with_fabric(kind)))
         .collect()
+}
+
+/// An axis over the shipped fault-mix presets (including `none`), labeled
+/// by preset name. The fault transform overrides whatever the base
+/// configuration (and `--faults`) selected.
+pub fn faults_axis() -> Vec<AxisValue> {
+    FaultSpec::PRESETS
+        .into_iter()
+        .map(|name| {
+            let spec = FaultSpec::parse(name).expect("shipped preset parses");
+            AxisValue::new(name, move |c: SimConfig| c.with_faults(spec))
+        })
+        .collect()
+}
+
+/// The protocol axis of the fault-injection plan: one representative per
+/// protocol family (directory, PATCH, broadcast token counting), so the
+/// sweep shows which families a fault mix degrades.
+pub fn fault_protocol_axis() -> Vec<AxisValue> {
+    vec![
+        AxisValue::new("Directory", |c| c.with_kind(ProtocolKind::Directory)),
+        AxisValue::new("PATCH-All", |c| {
+            c.with_kind(ProtocolKind::Patch)
+                .with_predictor(PredictorChoice::All)
+        }),
+        AxisValue::new("TokenB", |c| c.with_kind(ProtocolKind::TokenB)),
+    ]
 }
 
 /// An axis value selecting a sharer-encoding coarseness of `k` cores per
@@ -600,6 +652,47 @@ pub fn cross_fabric_plan(scale: Scale) -> ExperimentPlan {
         .build()
 }
 
+/// The liveness horizon armed on every fault-injection cell: any single
+/// miss outstanding longer than this fails the run (see
+/// `SimConfig::liveness_horizon`). Generous against the worst shipped
+/// fault mix (`chaos` storms multiply serialization 8× for stretches),
+/// yet far below `max_cycles`, so starvation surfaces as a watchdog
+/// panic naming the starved core instead of a silent timeout.
+pub const FAULT_LIVENESS_HORIZON: u64 = 200_000;
+
+/// The fault-injection robustness grid: every shipped fault preset ×
+/// one protocol per family × {torus, hier} fabrics, with invariant
+/// checking on and the starvation watchdog armed. This is the paper's
+/// unasked question: token counting's safety argument (Table 1) is
+/// delivery-order independent, but its *performance* under an unreliable
+/// interconnect — duplicated token-free requests, reordered persistent
+/// ops, degraded links — is not, and this sweep measures the gap.
+pub fn faults_plan(scale: Scale) -> ExperimentPlan {
+    let base = scale
+        .base(ProtocolKind::Directory, scale.cores)
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup)
+        .with_checks()
+        .with_liveness_horizon(FAULT_LIVENESS_HORIZON);
+    Sweep::new(
+        format!("Fault-injection robustness ({} cores)", scale.cores),
+        base,
+    )
+    .axis("config", fault_protocol_axis())
+    .axis("faults", faults_axis())
+    .axis(
+        "fabric",
+        vec![
+            AxisValue::new("torus", |c| c.with_fabric(FabricKind::Torus)),
+            AxisValue::new("hier", |c| {
+                c.with_fabric(FabricKind::Hierarchical { cluster: None })
+            }),
+        ],
+    )
+    .seeds(scale.seeds)
+    .build()
+}
+
 /// Warmup/measurement schedule for the microbenchmark experiments
 /// (Figures 8–10): the paper measures warmed, steady-state caches, so
 /// the per-core operation budget is derived from the table size — the
@@ -793,22 +886,59 @@ pub fn ablation_limited_pointer_plan(scale: Scale) -> ExperimentPlan {
 // Plan registry and shared column sets.
 // ---------------------------------------------------------------------------
 
-/// Every named plan `runplan` can execute.
-pub const PLAN_NAMES: [&str; 13] = [
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fabric",
-    "tenure_timeout",
-    "deact_window",
-    "stale_drop",
-    "ack_elision",
-    "limited_pointer",
+/// Every named plan `runplan` can execute, with a one-line description
+/// (shown by `runplan --help` and the bare `runplan` plan listing).
+pub const PLAN_INFO: [(&str, &str); 14] = [
+    (
+        "fig4",
+        "Figure 4 runtime grid: 5 workloads x 6 protocol configs",
+    ),
+    (
+        "fig5",
+        "Figure 5 traffic grid: fig4's sweep with per-class columns",
+    ),
+    ("fig6", "Figure 6 bandwidth-adaptivity sweep on ocean"),
+    ("fig7", "Figure 7 bandwidth-adaptivity sweep on jbb"),
+    (
+        "fig8",
+        "Figure 8 scalability: 4-512 cores on 2 B/cycle links",
+    ),
+    ("fig9", "Figure 9 runtime vs sharer-encoding coarseness"),
+    ("fig10", "Figure 10 traffic vs sharer-encoding coarseness"),
+    (
+        "fabric",
+        "Cross-fabric scalability: cores x 5 topologies x 3 configs",
+    ),
+    (
+        "faults",
+        "Fault-injection robustness: fault mix x protocol x fabric, oracles armed",
+    ),
+    (
+        "tenure_timeout",
+        "Ablation: fixed vs adaptive tenure timeouts",
+    ),
+    (
+        "deact_window",
+        "Ablation: post-deactivation ignore window on/off",
+    ),
+    ("stale_drop", "Ablation: best-effort staleness bound sweep"),
+    ("ack_elision", "Ablation: zero-token ack elision on/off"),
+    (
+        "limited_pointer",
+        "Extension: limited-pointer directories (Dir-i-B)",
+    ),
 ];
+
+/// Every named plan `runplan` can execute.
+pub const PLAN_NAMES: [&str; PLAN_INFO.len()] = {
+    let mut names = [""; PLAN_INFO.len()];
+    let mut i = 0;
+    while i < PLAN_INFO.len() {
+        names[i] = PLAN_INFO[i].0;
+        i += 1;
+    }
+    names
+};
 
 /// Builds a registered plan by name (see [`PLAN_NAMES`]).
 pub fn plan_by_name(name: &str, scale: Scale) -> Option<ExperimentPlan> {
@@ -820,6 +950,7 @@ pub fn plan_by_name(name: &str, scale: Scale) -> Option<ExperimentPlan> {
         "fig9" => Some(inexact_runtime_plan(scale)),
         "fig10" => Some(inexact_traffic_plan(scale)),
         "fabric" => Some(cross_fabric_plan(scale)),
+        "faults" => Some(faults_plan(scale)),
         "tenure_timeout" => Some(ablation_tenure_timeout_plan(scale)),
         "deact_window" => Some(ablation_deact_window_plan(scale)),
         "stale_drop" => Some(ablation_stale_drop_plan(scale)),
@@ -974,6 +1105,47 @@ mod tests {
             assert!(!plan.is_empty(), "{name} built an empty plan");
         }
         assert!(plan_by_name("nope", scale).is_none());
+        // The description table and the name registry stay in sync.
+        assert_eq!(PLAN_INFO.map(|(name, _)| name), PLAN_NAMES);
+        assert!(PLAN_INFO.iter().all(|(_, desc)| !desc.is_empty()));
+    }
+
+    #[test]
+    fn faults_plan_arms_oracles_on_every_cell() {
+        let plan = faults_plan(Scale::quick());
+        assert_eq!(plan.axis_names(), &["config", "faults", "fabric"]);
+        assert_eq!(plan.len(), 3 * FaultSpec::PRESETS.len() * 2);
+        for cell in plan.cells() {
+            assert_eq!(cell.config.check, patchsim::CheckLevel::Assert);
+            assert_eq!(cell.config.liveness_horizon, Some(FAULT_LIVENESS_HORIZON));
+            // The faults axis label round-trips through the parser.
+            assert_eq!(
+                cell.config.faults,
+                FaultSpec::parse(&cell.labels[1]).unwrap()
+            );
+        }
+        assert!(plan.cells().iter().any(|c| c.config.faults.is_none()));
+        assert!(plan.cells().iter().any(|c| !c.config.faults.is_none()));
+    }
+
+    #[test]
+    fn faults_flag_threads_into_plan_bases() {
+        let args = |list: &[&str]| {
+            BenchArgs::try_parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        let (parsed, _) = args(&["--quick", "--faults", "delay:0.02:200+dup:0.01"]).unwrap();
+        assert_eq!(parsed.scale.faults.label(), "delay:0.02:200+dup:0.01");
+        let plan = figure4_plan(parsed.scale);
+        assert!(plan
+            .cells()
+            .iter()
+            .all(|c| c.config.faults == parsed.scale.faults));
+        // Defaults stay fault-free; malformed specs are rejected.
+        let (default, _) = args(&["--quick"]).unwrap();
+        assert!(default.scale.faults.is_none());
+        assert!(args(&["--faults"]).is_err());
+        assert!(args(&["--faults", "lava"]).is_err());
+        assert!(args(&["--faults", "delay:2.0:10"]).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Whole-simulation configuration.
 
-use patchsim_noc::{FabricConfig, FabricKind, LinkBandwidth};
+use patchsim_kernel::stream_seed;
+use patchsim_noc::{FabricConfig, FabricKind, FaultSpec, LinkBandwidth};
 use patchsim_predictor::PredictorChoice;
 use patchsim_protocol::{ProtocolConfig, ProtocolKind};
 use patchsim_workload::WorkloadSpec;
@@ -60,6 +61,15 @@ pub struct SimConfig {
     /// Hard wall-clock bound: the run panics if simulated time exceeds
     /// this, which converts a protocol livelock into a test failure.
     pub max_cycles: u64,
+    /// Interconnect fault mix (default: none). The fault schedule is
+    /// seeded from [`SimConfig::seed`], so it is replayable and varies
+    /// across perturbation replications like every other random stream.
+    pub faults: FaultSpec,
+    /// Liveness oracle: the run panics if any single miss stays
+    /// outstanding longer than this many cycles. `None` (the default)
+    /// disables the watchdog; fault-injection runs set it to convert
+    /// silent starvation into a test failure.
+    pub liveness_horizon: Option<u64>,
 }
 
 impl SimConfig {
@@ -76,6 +86,8 @@ impl SimConfig {
             seed: 1,
             check: CheckLevel::Off,
             max_cycles: u64::MAX / 4,
+            faults: FaultSpec::none(),
+            liveness_horizon: None,
         }
     }
 
@@ -144,14 +156,34 @@ impl SimConfig {
         self
     }
 
+    /// Sets the interconnect fault mix (see `patchsim_noc::faults`).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Arms the starvation watchdog: the run fails if any miss stays
+    /// outstanding longer than `cycles`.
+    pub fn with_liveness_horizon(mut self, cycles: u64) -> Self {
+        self.liveness_horizon = Some(cycles);
+        self
+    }
+
+    /// The stream label of the fault schedule's RNG stream ("faul").
+    pub const FAULT_STREAM: u64 = 0x66_61_75_6c;
+
     /// The interconnect configuration this simulation will use: the
     /// configured fabric topology at the system size, with the
-    /// configured bandwidth and staleness bound and auto-calibrated hop
-    /// latency.
+    /// configured bandwidth, staleness bound, fault mix, and
+    /// auto-calibrated hop latency. The fault schedule is seeded from a
+    /// dedicated stream of the run seed, so faults never perturb the
+    /// workload's random draws.
     pub fn fabric_config(&self) -> FabricConfig {
         FabricConfig::new(self.protocol.fabric, self.protocol.num_nodes)
             .with_bandwidth(self.bandwidth)
             .with_stale_drop_cycles(self.stale_drop_cycles)
+            .with_faults(self.faults)
+            .with_fault_seed(stream_seed(self.seed, Self::FAULT_STREAM))
     }
 }
 
@@ -184,6 +216,28 @@ mod tests {
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.check, CheckLevel::Assert);
         assert_eq!(cfg.fabric_config().num_nodes(), 16);
+    }
+
+    #[test]
+    fn faults_thread_through_and_vary_by_seed() {
+        let spec = FaultSpec::parse("jitter").unwrap();
+        let cfg = SimConfig::new(ProtocolKind::Patch, 16)
+            .with_faults(spec)
+            .with_seed(5);
+        let fabric = cfg.fabric_config();
+        assert_eq!(fabric.faults(), spec);
+        // The schedule seed is a dedicated stream of the run seed.
+        let other = cfg.clone().with_seed(6).fabric_config();
+        assert_ne!(fabric.fault_seed(), other.fault_seed());
+        assert!(SimConfig::new(ProtocolKind::Patch, 16)
+            .fabric_config()
+            .faults()
+            .is_none());
+        assert!(cfg.liveness_horizon.is_none());
+        assert_eq!(
+            cfg.with_liveness_horizon(5_000).liveness_horizon,
+            Some(5_000)
+        );
     }
 
     #[test]

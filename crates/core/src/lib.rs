@@ -113,11 +113,11 @@ pub use system::{run, run_many, RunResult, System};
 // Re-export the vocabulary types users need to configure and interpret
 // experiments, so downstream code can depend on `patchsim` alone.
 pub use patchsim_kernel::stats::ConfidenceInterval;
-pub use patchsim_kernel::{replicate_seed, Cycle, SimRng};
+pub use patchsim_kernel::{replicate_seed, stream_seed, Cycle, SimRng};
 pub use patchsim_mem::{AccessKind, BlockAddr, CacheGeometry, SharerEncoding};
 pub use patchsim_noc::{
-    FabricConfig, FabricKind, LinkBandwidth, LinkParams, NodeId, Priority, TrafficClass,
-    TrafficStats,
+    DegradeFault, DelayFault, DuplicateFault, FabricConfig, FabricKind, FaultSpec, LinkBandwidth,
+    LinkParams, NodeId, Priority, ReorderFault, StormFault, TrafficClass, TrafficStats,
 };
 pub use patchsim_predictor::PredictorChoice;
 pub use patchsim_protocol::{ProtocolConfig, ProtocolCounters, ProtocolKind, TenureConfig};

@@ -19,8 +19,16 @@ const WORKLOAD_STREAM: u64 = 0x77_6f_72_6b; // "work"
 #[derive(Debug)]
 enum Event {
     Noc(NocEvent<Msg>),
-    Timer { node: NodeId, key: TimerKey },
-    CoreIssue { node: NodeId },
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+    },
+    CoreIssue {
+        node: NodeId,
+    },
+    /// Periodic starvation scan; only ever scheduled when
+    /// `SimConfig::liveness_horizon` is set.
+    Watchdog,
 }
 
 #[derive(Debug)]
@@ -30,6 +38,8 @@ struct CoreState {
     pending: Option<MemOp>,
     /// The op currently outstanding as a miss.
     outstanding: Option<MemOp>,
+    /// When the outstanding miss was issued (watchdog bookkeeping).
+    outstanding_since: Cycle,
     ops_done: u64,
     finished: bool,
 }
@@ -134,6 +144,7 @@ impl System {
                     .generator(NodeId::new(i), n, root_rng.clone()),
                 pending: None,
                 outstanding: None,
+                outstanding_since: Cycle::ZERO,
                 ops_done: 0,
                 finished: false,
             })
@@ -174,6 +185,12 @@ impl System {
         };
         for i in 0..n {
             system.schedule_next(NodeId::new(i), Cycle::ZERO);
+        }
+        // The starvation watchdog only exists when a horizon is armed, so
+        // fault-free runs process exactly the same event sequence as
+        // before the oracle existed.
+        if let Some(horizon) = system.config.liveness_horizon {
+            system.queue.push(Cycle::new(horizon), Event::Watchdog);
         }
         system
     }
@@ -261,6 +278,17 @@ impl System {
             .expect("completion without an outstanding miss");
         debug_assert_eq!(op.addr, completion.addr, "completion for the wrong block");
         debug_assert_eq!(op.kind, completion.kind);
+        // Liveness oracle: every miss must resolve within the horizon.
+        if let Some(horizon) = self.config.liveness_horizon {
+            let waited = now.saturating_since(completion.issued_at);
+            assert!(
+                waited <= horizon,
+                "liveness violation: {} miss on core {} took {waited} cycles \
+                 (> horizon {horizon})",
+                self.nodes[node.index()].protocol_name(),
+                node.index(),
+            );
+        }
         if self.in_measurement(node) {
             self.miss_latency.record(now - completion.issued_at);
             self.measured_misses += 1;
@@ -313,7 +341,9 @@ impl System {
                         self.schedule_next(node, done_at);
                     }
                     CoreResponse::MissPending => {
-                        self.cores[node.index()].outstanding = Some(op);
+                        let core = &mut self.cores[node.index()];
+                        core.outstanding = Some(op);
+                        core.outstanding_since = now;
                     }
                 }
             }
@@ -340,6 +370,29 @@ impl System {
                     self.deliver(n, m, now);
                 }
                 self.delivered = delivered;
+            }
+            Event::Watchdog => {
+                // Starvation scan: a miss that has been outstanding for
+                // more than the horizon when the scan fires is a liveness
+                // failure — this catches deadlocked misses that would
+                // otherwise only trip the (much larger) max_cycles bound.
+                let horizon = self
+                    .config
+                    .liveness_horizon
+                    .expect("watchdog event without an armed horizon");
+                for (i, core) in self.cores.iter().enumerate() {
+                    if core.outstanding.is_some() {
+                        let waited = now.saturating_since(core.outstanding_since);
+                        assert!(
+                            waited <= horizon,
+                            "liveness violation: core {i} miss outstanding for \
+                             {waited} cycles (> horizon {horizon})"
+                        );
+                    }
+                }
+                if self.cores.iter().any(|c| !c.finished) {
+                    self.queue.push(now + horizon, Event::Watchdog);
+                }
             }
         }
     }
@@ -547,6 +600,36 @@ mod tests {
             },
             Cycle::ZERO,
         );
+    }
+
+    #[test]
+    fn faulty_runs_reproduce_and_pass_oracles() {
+        use patchsim_noc::FaultSpec;
+        let cfg = small(ProtocolKind::Patch)
+            .with_predictor(PredictorChoice::All)
+            .with_faults(FaultSpec::parse("chaos").unwrap())
+            .with_liveness_horizon(500_000);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.ops_completed, 400);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles, "fault schedule replays");
+        assert_eq!(a.traffic, b.traffic);
+        // The same mix under a different seed yields a different schedule.
+        let c = run(&cfg.clone().with_seed(77));
+        assert_ne!(
+            (a.runtime_cycles, a.traffic.total_bytes()),
+            (c.runtime_cycles, c.traffic.total_bytes())
+        );
+    }
+
+    #[test]
+    fn explicit_faults_none_changes_nothing() {
+        use patchsim_noc::FaultSpec;
+        let base = run(&small(ProtocolKind::Directory));
+        let spelled = run(&small(ProtocolKind::Directory).with_faults(FaultSpec::none()));
+        assert_eq!(base.runtime_cycles, spelled.runtime_cycles);
+        assert_eq!(base.traffic, spelled.traffic);
+        assert_eq!(base.events_processed, spelled.events_processed);
     }
 
     #[test]

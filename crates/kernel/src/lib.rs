@@ -34,4 +34,4 @@ pub mod stats;
 
 pub use cycle::Cycle;
 pub use event::{DrainCurrentCycle, EventQueue};
-pub use rng::{replicate_seed, SimRng};
+pub use rng::{replicate_seed, stream_seed, SimRng};

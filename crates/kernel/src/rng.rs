@@ -59,8 +59,33 @@ pub fn replicate_seed(base: u64, replication: u64) -> u64 {
     if replication == 0 {
         base
     } else {
-        splitmix64(base ^ splitmix64(replication.wrapping_mul(0xA076_1D64_78BD_642F)))
+        stream_seed(base, replication)
     }
+}
+
+/// Derives the seed of an independent component stream from a base seed
+/// and a stream label — the derivation behind [`SimRng::fork`], exposed
+/// so layers that pass plain `u64` seeds (e.g. a fabric configuration)
+/// can derive substreams without constructing a generator.
+///
+/// The result is a pure function of `(base, stream)`: deriving streams in
+/// a different order, or adding a new stream label, never perturbs the
+/// seeds of existing streams. Distinct labels yield uncorrelated seeds
+/// even for adjacent bases.
+///
+/// # Examples
+///
+/// ```
+/// use patchsim_kernel::{stream_seed, SimRng};
+///
+/// const FAULTS: u64 = 0x66_61_75_6c; // "faul"
+/// let a = stream_seed(42, FAULTS);
+/// // Identical to forking a generator with the same label.
+/// assert_eq!(SimRng::from_seed(a).seed(), SimRng::from_seed(42).fork(FAULTS).seed());
+/// assert_ne!(a, stream_seed(43, FAULTS));
+/// ```
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
+    splitmix64(base ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)))
 }
 
 impl SimRng {
@@ -83,9 +108,7 @@ impl SimRng {
     /// state from `self`, so the order in which components fork their
     /// streams does not matter.
     pub fn fork(&self, stream: u64) -> SimRng {
-        let child_seed =
-            splitmix64(self.seed ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)));
-        SimRng::from_seed(child_seed)
+        SimRng::from_seed(stream_seed(self.seed, stream))
     }
 
     /// Returns the seed this generator was created from.

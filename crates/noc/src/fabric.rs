@@ -41,6 +41,7 @@ use std::fmt;
 
 use patchsim_kernel::Cycle;
 
+use crate::faults::{FaultSpec, FaultState};
 use crate::link::PriorityQueue;
 use crate::topology::Topology;
 use crate::{DestSet, LinkBandwidth, NocPayload, NodeId, Priority, TrafficClass, TrafficStats};
@@ -204,6 +205,8 @@ pub struct FabricConfig {
     global_link: Option<LinkParams>,
     local_latency: u64,
     stale_drop_cycles: u64,
+    faults: FaultSpec,
+    fault_seed: u64,
 }
 
 impl FabricConfig {
@@ -235,6 +238,8 @@ impl FabricConfig {
             global_link: None,
             local_latency: 1,
             stale_drop_cycles: Self::DEFAULT_STALE_DROP,
+            faults: FaultSpec::none(),
+            fault_seed: 0,
         }
     }
 
@@ -271,6 +276,23 @@ impl FabricConfig {
         self
     }
 
+    /// Sets the fault mix injected while transmitting (see
+    /// [`crate::faults`]). The default, [`FaultSpec::none`], installs no
+    /// fault machinery at all.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Seeds the fault schedule. Derive this from the run seed (e.g. via
+    /// [`patchsim_kernel::stream_seed`]) so every fault schedule is
+    /// replayable from `(spec, seed)`. Ignored when no faults are
+    /// configured.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
     /// The topology this configuration builds.
     pub fn kind(&self) -> FabricKind {
         self.kind
@@ -299,6 +321,16 @@ impl FabricConfig {
     /// Best-effort staleness bound in cycles.
     pub fn stale_drop_cycles(&self) -> u64 {
         self.stale_drop_cycles
+    }
+
+    /// The configured fault mix.
+    pub fn faults(&self) -> FaultSpec {
+        self.faults
+    }
+
+    /// The fault-schedule seed.
+    pub fn fault_seed(&self) -> u64 {
+        self.fault_seed
     }
 }
 
@@ -834,6 +866,9 @@ struct Packet<M> {
     priority: Priority,
     size: u64,
     class: TrafficClass,
+    /// Cached `NocPayload::dup_safe` of the message: whether the fault
+    /// layer may genuinely deliver this packet twice.
+    dup_safe: bool,
 }
 
 impl<M: Clone> Packet<M> {
@@ -845,6 +880,7 @@ impl<M: Clone> Packet<M> {
             priority: self.priority,
             size: self.size,
             class: self.class,
+            dup_safe: self.dup_safe,
         }
     }
 }
@@ -907,6 +943,9 @@ pub struct Fabric<M> {
     /// Free list of packet boxes: multicast branches and fresh sends
     /// reuse the allocations of delivered packets.
     pool: Vec<Box<Packet<M>>>,
+    /// Fault-injection machinery; `None` (no faults configured) keeps the
+    /// transmit path byte-identical to a fault-free build.
+    faults: Option<FaultState>,
     stats: TrafficStats,
 }
 
@@ -932,6 +971,19 @@ impl<M: Clone + NocPayload> Fabric<M> {
                 }
             })
             .collect();
+        let faults = (!config.faults.is_none()).then(|| {
+            // Map each link id back to its source node for the per-node
+            // degradation clause (link_base is monotone; the node owning
+            // link i is the last base at or below i).
+            let base = spec.link_base.clone();
+            FaultState::new(
+                config.faults,
+                config.fault_seed,
+                spec.num_nodes() as usize,
+                spec.num_links(),
+                move |link| base.partition_point(|&b| b as usize <= link) - 1,
+            )
+        });
         Fabric {
             groups: vec![None; spec.max_degree()],
             spec,
@@ -939,6 +991,7 @@ impl<M: Clone + NocPayload> Fabric<M> {
             config,
             links,
             pool: Vec::with_capacity(64),
+            faults,
             stats: TrafficStats::new(),
         }
     }
@@ -1031,6 +1084,7 @@ impl<M: Clone + NocPayload> Fabric<M> {
         let packet = self.alloc_packet(Packet {
             size: msg.size_bytes(),
             class: msg.traffic_class(),
+            dup_safe: msg.dup_safe(),
             msg,
             dests,
             priority,
@@ -1160,10 +1214,52 @@ impl<M: Clone + NocPayload> Fabric<M> {
         };
         self.stats.record(packet.class, packet.size);
         let class = self.spec.link_class(link);
-        let serialize = self.serialization_cycles(class, packet.size);
+        let mut serialize = self.serialization_cycles(class, packet.size);
+        let mut latency = self.spec.link_latency(link);
+        // Fault injection (None on the fault-free path: timing below is
+        // then bit-identical to a build without the fault layer). Degraded
+        // links stretch both latency and serialization; storms stretch
+        // serialization fabric-wide; spikes and reordering jitter delay
+        // the arrival without occupying the link.
+        let mut extra_delay = 0;
+        let mut duplicate = false;
+        if let Some(faults) = self.faults.as_mut() {
+            let factor = faults.link_factor(link);
+            serialize *= factor * faults.storm_factor(now.as_u64());
+            latency *= factor;
+            let t = faults.draw();
+            extra_delay = t.extra_delay;
+            duplicate = t.duplicate;
+        }
+        let mut dup_packet = None;
+        if duplicate {
+            // The duplicated bytes cross the link a second time either way.
+            self.stats.record(packet.class, packet.size);
+            if packet.dup_safe {
+                // Genuine double delivery, only for packets whose protocol
+                // tolerates duplicates (NocPayload::dup_safe).
+                dup_packet = Some(packet.branch(packet.dests.clone()));
+            } else {
+                // Link-level retransmission: the link is occupied for a
+                // second serialization and the single copy arrives late —
+                // at-most-once delivery of token carriers is preserved.
+                serialize *= 2;
+            }
+        }
         let neighbor = self.spec.link_dest(link);
+        let arrival = now + serialize + latency + extra_delay;
+        if let Some(dup) = dup_packet {
+            let dup = self.alloc_packet(dup);
+            sched(
+                arrival + 1,
+                NocEvent(Event::Arrive {
+                    node: neighbor,
+                    packet: dup,
+                }),
+            );
+        }
         sched(
-            now + serialize + self.spec.link_latency(link),
+            arrival,
             NocEvent(Event::Arrive {
                 node: neighbor,
                 packet,
@@ -1373,6 +1469,138 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A probe payload whose `dup_safe` flag is chosen per message.
+    #[derive(Clone, Debug)]
+    struct Probe {
+        dup_safe: bool,
+    }
+
+    impl NocPayload for Probe {
+        fn size_bytes(&self) -> u64 {
+            8
+        }
+        fn traffic_class(&self) -> TrafficClass {
+            TrafficClass::IndirectRequest
+        }
+        fn dup_safe(&self) -> bool {
+            self.dup_safe
+        }
+    }
+
+    /// Sends one probe from node 0 to each of `dests` and drains the
+    /// event list in timestamp order, returning every delivery as
+    /// `(cycle, node)`.
+    fn deliveries_to(mut net: Fabric<Probe>, dup_safe: bool, dests: &[u16]) -> Vec<(u64, NodeId)> {
+        let n = net.spec().num_nodes();
+        let mut pending: Vec<(Cycle, NocEvent<Probe>)> = Vec::new();
+        for &d in dests {
+            net.send(
+                Cycle::ZERO,
+                NodeId::new(0),
+                DestSet::single(n, NodeId::new(d)),
+                Priority::Normal,
+                Probe { dup_safe },
+                &mut |at, ev| pending.push((at, ev)),
+            );
+        }
+        let mut out = Vec::new();
+        while !pending.is_empty() {
+            let i = pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (at, _))| (*at, *i))
+                .map(|(i, _)| i)
+                .unwrap();
+            let (at, ev) = pending.remove(i);
+            let mut delivered = Vec::new();
+            net.handle(
+                at,
+                ev,
+                &mut |t, e| pending.push((t, e)),
+                &mut |node, _msg| delivered.push((at.as_u64(), node)),
+            );
+            out.extend(delivered);
+        }
+        out
+    }
+
+    /// One probe from node 0 to node 1.
+    fn deliveries(net: Fabric<Probe>, dup_safe: bool) -> Vec<(u64, NodeId)> {
+        deliveries_to(net, dup_safe, &[1])
+    }
+
+    #[test]
+    fn fault_free_config_installs_no_fault_state() {
+        let cfg = FabricConfig::new(FabricKind::FullyConnected, 2)
+            .with_faults(FaultSpec::none())
+            .with_fault_seed(123);
+        let net: Fabric<Probe> = Fabric::new(cfg);
+        assert!(net.faults.is_none());
+        // Timing identical to a config that never mentioned faults.
+        let base = deliveries(
+            Fabric::new(FabricConfig::new(FabricKind::FullyConnected, 2)),
+            false,
+        );
+        assert_eq!(deliveries(Fabric::new(cfg), false), base);
+    }
+
+    #[test]
+    fn degraded_links_stretch_arrival() {
+        let base = FabricConfig::new(FabricKind::FullyConnected, 2);
+        let healthy = deliveries(Fabric::new(base), false);
+        let degraded = deliveries(
+            Fabric::new(base.with_faults(FaultSpec::parse("slowlinks:1.0:2").unwrap())),
+            false,
+        );
+        assert_eq!(healthy.len(), 1);
+        assert_eq!(degraded.len(), 1);
+        assert!(
+            degraded[0].0 > healthy[0].0,
+            "2x-degraded link must deliver later ({} vs {})",
+            degraded[0].0,
+            healthy[0].0
+        );
+    }
+
+    #[test]
+    fn dup_safe_packets_deliver_twice_others_once_but_late() {
+        let cfg = FabricConfig::new(FabricKind::FullyConnected, 2)
+            .with_faults(FaultSpec::parse("dup:1.0").unwrap());
+        let dup = deliveries(Fabric::new(cfg), true);
+        assert_eq!(dup.len(), 2, "dup-safe probe must arrive twice");
+        assert!(dup.iter().all(|&(_, n)| n == NodeId::new(1)));
+
+        let retrans = deliveries(Fabric::new(cfg), false);
+        assert_eq!(retrans.len(), 1, "token carriers stay at-most-once");
+        let healthy = deliveries(
+            Fabric::new(FabricConfig::new(FabricKind::FullyConnected, 2)),
+            false,
+        );
+        assert!(
+            retrans[0].0 > healthy[0].0,
+            "retransmission must delay the single delivery"
+        );
+    }
+
+    #[test]
+    fn fault_schedules_replay_from_spec_and_seed() {
+        // One probe to every other ring node: 120 traversals, so two
+        // seeds agreeing on every jitter draw is astronomically unlikely.
+        let dests: Vec<u16> = (1..16).collect();
+        let cfg = FabricConfig::new(FabricKind::Ring, 16)
+            .with_faults(FaultSpec::parse("chaos").unwrap())
+            .with_fault_seed(42);
+        assert_eq!(
+            deliveries_to(Fabric::new(cfg), false, &dests),
+            deliveries_to(Fabric::new(cfg), false, &dests)
+        );
+        let other = cfg.with_fault_seed(43);
+        assert_ne!(
+            deliveries_to(Fabric::new(cfg), false, &dests),
+            deliveries_to(Fabric::new(other), false, &dests)
+        );
     }
 
     #[test]

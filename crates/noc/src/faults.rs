@@ -1,0 +1,553 @@
+//! Deterministic fault injection for the interconnect fabric.
+//!
+//! A [`FaultSpec`] describes a mix of interconnect misbehaviors — delay
+//! spikes, bounded reordering, message duplication, degraded links or
+//! nodes, and periodic congestion storms — that the [`Fabric`] engine
+//! applies while transmitting packets. Faults are *timing-level*: they
+//! stretch, jitter, or repeat link traversals, but never corrupt or
+//! silently discard a guaranteed-delivery packet, so every protocol
+//! safety invariant (token conservation, coherence) must still hold
+//! under any fault mix. What faults *can* break is performance and
+//! liveness margins, which is exactly what the `faults` experiment plan
+//! measures.
+//!
+//! # Determinism
+//!
+//! All fault decisions are drawn from a dedicated [`SimRng`] stream
+//! seeded from the run seed (see `FabricConfig::with_fault_seed`), in a
+//! fixed order per transmission. A fault schedule is therefore a pure
+//! function of `(FaultSpec, seed)`: re-running the same configuration
+//! replays the exact same spikes, swaps, and duplicates, and sweeping
+//! with `--threads N` stays bit-identical to a serial sweep. A spec of
+//! [`FaultSpec::none`] installs no fault state at all — zero extra RNG
+//! draws, zero timing change — so fault-free runs are byte-identical to
+//! builds that predate the fault layer.
+//!
+//! [`Fabric`]: crate::fabric::Fabric
+//! [`SimRng`]: patchsim_kernel::SimRng
+//!
+//! # Examples
+//!
+//! Specs are built from a compact clause grammar (`+`-joined), or from
+//! named presets:
+//!
+//! ```
+//! use patchsim_noc::FaultSpec;
+//!
+//! // 2% of traversals spiked by up to 200 cycles, plus duplication.
+//! let spec = FaultSpec::parse("delay:0.02:200+dup:0.01").unwrap();
+//! assert!(spec.delay.is_some() && spec.duplicate.is_some());
+//! // Labels are canonical and round-trip through the parser.
+//! assert_eq!(FaultSpec::parse(&spec.label()), Some(spec));
+//!
+//! // `none` disables everything; presets name common mixes.
+//! assert!(FaultSpec::parse("none").unwrap().is_none());
+//! assert!(FaultSpec::parse("chaos").unwrap().reorder.is_some());
+//! ```
+
+use patchsim_kernel::SimRng;
+
+/// Per-traversal random delay spikes (`delay:PROB:MAX`).
+///
+/// Each link traversal independently suffers an extra delay of
+/// `1..=max_spike` cycles with probability `prob`. Models transient
+/// contention or retry storms on otherwise healthy links.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayFault {
+    /// Probability that a traversal is spiked, in `[0, 1]`.
+    pub prob: f64,
+    /// Largest extra delay in cycles (uniform in `1..=max_spike`).
+    pub max_spike: u64,
+}
+
+/// Bounded reordering windows (`reorder:WINDOW`).
+///
+/// Each traversal's arrival is jittered by a uniform `0..window` extra
+/// cycles, letting packets that share a link overtake each other within
+/// a bounded horizon. This is the sweepable form of the adversarial
+/// reordering that exposed the TokenB persistent-request serial bug.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReorderFault {
+    /// Reordering horizon in cycles (jitter is uniform in `0..window`).
+    pub window: u64,
+}
+
+/// Message duplication (`dup:PROB`).
+///
+/// Each traversal is duplicated with probability `prob`. Packets that
+/// declare themselves duplicate-tolerant (`NocPayload::dup_safe`, e.g.
+/// PATCH's token-free direct-request hints) are genuinely delivered
+/// twice; all other packets model a link-level retransmission instead —
+/// the link is occupied for a second serialization and the single
+/// delivery arrives late — because the protocols assume (as real
+/// end-to-end NICs guarantee) at-most-once delivery of token carriers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DuplicateFault {
+    /// Probability that a traversal is duplicated, in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// Degraded links or nodes (`slowlinks:FRAC:K`, `slownodes:FRAC:K`).
+///
+/// A deterministic `fraction` of links (or of nodes, degrading every
+/// link they source) runs `factor`× slower: latency is multiplied by
+/// `factor` and effective bandwidth divided by it (serialization time
+/// scales with the same factor). The degraded set is drawn once at
+/// fabric construction from the fault stream, so it is stable for the
+/// whole run and replayable from the seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradeFault {
+    /// Fraction of links/nodes degraded, in `[0, 1]`.
+    pub fraction: f64,
+    /// Slowdown multiplier (≥ 1) applied to latency and serialization.
+    pub factor: u64,
+}
+
+/// Periodic congestion storms (`storm:PERIOD:LEN:K`).
+///
+/// Every `period` cycles, all links spend `len` cycles with their
+/// serialization time multiplied by `factor` — a global bandwidth
+/// brown-out. The storm phase is drawn once from the fault stream so
+/// different seeds see storms at different offsets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StormFault {
+    /// Storm recurrence period in cycles.
+    pub period: u64,
+    /// Storm duration in cycles (`len <= period`).
+    pub len: u64,
+    /// Serialization multiplier (≥ 1) while the storm is active.
+    pub factor: u64,
+}
+
+/// A deterministic mix of interconnect faults.
+///
+/// Every field is independently optional; [`FaultSpec::none`] (also the
+/// `Default`) disables injection entirely. Build specs with
+/// [`FaultSpec::parse`] from the clause grammar documented in
+/// `docs/faults.md`, or construct fields directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Random per-traversal delay spikes.
+    pub delay: Option<DelayFault>,
+    /// Bounded arrival-order jitter.
+    pub reorder: Option<ReorderFault>,
+    /// Message duplication / link-level retransmission.
+    pub duplicate: Option<DuplicateFault>,
+    /// A fixed fraction of links degraded for the whole run.
+    pub slow_links: Option<DegradeFault>,
+    /// A fixed fraction of nodes degraded for the whole run.
+    pub slow_nodes: Option<DegradeFault>,
+    /// Periodic global congestion storms.
+    pub storm: Option<StormFault>,
+}
+
+impl FaultSpec {
+    /// The empty spec: no fault state installed, no RNG draws, timing
+    /// byte-identical to a fault-free build.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// `true` if no fault clause is enabled.
+    pub fn is_none(&self) -> bool {
+        self.delay.is_none()
+            && self.reorder.is_none()
+            && self.duplicate.is_none()
+            && self.slow_links.is_none()
+            && self.slow_nodes.is_none()
+            && self.storm.is_none()
+    }
+
+    /// Parses a spec string: `none`, a preset name, or `+`-joined
+    /// clauses (`delay:P:S`, `reorder:W`, `dup:P`, `slowlinks:F:K`,
+    /// `slownodes:F:K`, `storm:PERIOD:LEN:K`). Returns `None` on
+    /// unknown clauses or out-of-range parameters.
+    ///
+    /// Presets: `jitter`, `reorder`, `dup`, `slowlinks`, `slownodes`,
+    /// `storm`, and `chaos` (a combination stress mix).
+    pub fn parse(s: &str) -> Option<FaultSpec> {
+        match s {
+            "none" => return Some(FaultSpec::none()),
+            "jitter" => return FaultSpec::parse("delay:0.02:200"),
+            "reorder" => return FaultSpec::parse("reorder:64"),
+            "dup" => return FaultSpec::parse("dup:0.01"),
+            "slowlinks" => return FaultSpec::parse("slowlinks:0.125:4"),
+            "slownodes" => return FaultSpec::parse("slownodes:0.125:4"),
+            "storm" => return FaultSpec::parse("storm:20000:2000:8"),
+            "chaos" => {
+                return FaultSpec::parse("delay:0.02:200+reorder:64+dup:0.01+storm:20000:2000:8")
+            }
+            _ => {}
+        }
+        let mut spec = FaultSpec::none();
+        for clause in s.split('+') {
+            let mut parts = clause.split(':');
+            let head = parts.next()?;
+            let mut arg = || parts.next();
+            match head {
+                "delay" => {
+                    let prob: f64 = arg()?.parse().ok()?;
+                    let max_spike: u64 = arg()?.parse().ok()?;
+                    if !(0.0..=1.0).contains(&prob) || max_spike == 0 {
+                        return None;
+                    }
+                    spec.delay = Some(DelayFault { prob, max_spike });
+                }
+                "reorder" => {
+                    let window: u64 = arg()?.parse().ok()?;
+                    if window == 0 {
+                        return None;
+                    }
+                    spec.reorder = Some(ReorderFault { window });
+                }
+                "dup" => {
+                    let prob: f64 = arg()?.parse().ok()?;
+                    if !(0.0..=1.0).contains(&prob) {
+                        return None;
+                    }
+                    spec.duplicate = Some(DuplicateFault { prob });
+                }
+                "slowlinks" | "slownodes" => {
+                    let fraction: f64 = arg()?.parse().ok()?;
+                    let factor: u64 = arg()?.parse().ok()?;
+                    if !(0.0..=1.0).contains(&fraction) || factor == 0 {
+                        return None;
+                    }
+                    let d = DegradeFault { fraction, factor };
+                    if head == "slowlinks" {
+                        spec.slow_links = Some(d);
+                    } else {
+                        spec.slow_nodes = Some(d);
+                    }
+                }
+                "storm" => {
+                    let period: u64 = arg()?.parse().ok()?;
+                    let len: u64 = arg()?.parse().ok()?;
+                    let factor: u64 = arg()?.parse().ok()?;
+                    if period == 0 || len == 0 || len > period || factor == 0 {
+                        return None;
+                    }
+                    spec.storm = Some(StormFault {
+                        period,
+                        len,
+                        factor,
+                    });
+                }
+                _ => return None,
+            }
+            if parts.next().is_some() {
+                return None; // trailing junk in the clause
+            }
+        }
+        Some(spec)
+    }
+
+    /// The canonical clause-form label of this spec (`"none"` for the
+    /// empty spec). Round-trips through [`FaultSpec::parse`].
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            return "none".to_string();
+        }
+        let mut clauses = Vec::new();
+        if let Some(d) = self.delay {
+            clauses.push(format!("delay:{}:{}", d.prob, d.max_spike));
+        }
+        if let Some(r) = self.reorder {
+            clauses.push(format!("reorder:{}", r.window));
+        }
+        if let Some(d) = self.duplicate {
+            clauses.push(format!("dup:{}", d.prob));
+        }
+        if let Some(d) = self.slow_links {
+            clauses.push(format!("slowlinks:{}:{}", d.fraction, d.factor));
+        }
+        if let Some(d) = self.slow_nodes {
+            clauses.push(format!("slownodes:{}:{}", d.fraction, d.factor));
+        }
+        if let Some(s) = self.storm {
+            clauses.push(format!("storm:{}:{}:{}", s.period, s.len, s.factor));
+        }
+        clauses.join("+")
+    }
+
+    /// The preset names accepted by [`FaultSpec::parse`], in display
+    /// order — the sweep axis used by the `faults` experiment plan.
+    pub const PRESETS: [&'static str; 8] = [
+        "none",
+        "jitter",
+        "reorder",
+        "dup",
+        "slowlinks",
+        "slownodes",
+        "storm",
+        "chaos",
+    ];
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// What a [`FaultState`] decided about one link traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct TraversalFaults {
+    /// Extra cycles added to the arrival time (delay spike + reorder
+    /// jitter), on top of the degraded latency.
+    pub extra_delay: u64,
+    /// Whether this traversal is duplicated (interpretation depends on
+    /// the packet's `dup_safe` flag).
+    pub duplicate: bool,
+}
+
+/// Per-run fault machinery: the dedicated RNG stream plus the static
+/// degraded-link table and storm phase drawn at construction.
+///
+/// Only constructed when the spec is non-empty, so fault-free runs pay
+/// nothing — no state, no draws, no timing change.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    spec: FaultSpec,
+    rng: SimRng,
+    /// Static per-link slowdown factor (≥ 1) from `slowlinks`/`slownodes`.
+    link_factor: Vec<u64>,
+    /// Offset of the first storm within the period.
+    storm_phase: u64,
+}
+
+impl FaultState {
+    /// Draws the run-static fault state (degraded links, storm phase)
+    /// for a fabric with `num_links` links whose link `i` is sourced by
+    /// node `link_src(i)`.
+    ///
+    /// Draw order is fixed — nodes in id order, links in id order, then
+    /// the storm phase — so the schedule is a pure function of
+    /// `(spec, seed)` regardless of topology internals.
+    pub fn new(
+        spec: FaultSpec,
+        seed: u64,
+        num_nodes: usize,
+        num_links: usize,
+        link_src: impl Fn(usize) -> usize,
+    ) -> FaultState {
+        let mut rng = SimRng::from_seed(seed);
+        let mut node_slow = vec![1u64; num_nodes];
+        if let Some(d) = spec.slow_nodes {
+            for f in node_slow.iter_mut() {
+                if rng.chance(d.fraction) {
+                    *f = d.factor;
+                }
+            }
+        }
+        let mut link_factor = vec![1u64; num_links];
+        if let Some(d) = spec.slow_links {
+            for f in link_factor.iter_mut() {
+                if rng.chance(d.fraction) {
+                    *f = d.factor;
+                }
+            }
+        }
+        for (i, f) in link_factor.iter_mut().enumerate() {
+            *f = (*f).max(node_slow[link_src(i)]);
+        }
+        let storm_phase = match spec.storm {
+            Some(s) => rng.below(s.period),
+            None => 0,
+        };
+        FaultState {
+            spec,
+            rng,
+            link_factor,
+            storm_phase,
+        }
+    }
+
+    /// The static slowdown factor of `link` (1 when healthy).
+    pub fn link_factor(&self, link: usize) -> u64 {
+        self.link_factor[link]
+    }
+
+    /// The serialization multiplier in effect at `now` (storm clause).
+    pub fn storm_factor(&self, now: u64) -> u64 {
+        match self.spec.storm {
+            Some(s) if (now.wrapping_sub(self.storm_phase)) % s.period < s.len => s.factor,
+            _ => 1,
+        }
+    }
+
+    /// Draws the dynamic faults for one traversal. The draw order per
+    /// transmission is fixed (spike, reorder, duplicate), and each
+    /// clause draws only when enabled — determinism is a property of
+    /// the whole `(spec, seed)` pair.
+    pub fn draw(&mut self) -> TraversalFaults {
+        let mut t = TraversalFaults::default();
+        if let Some(d) = self.spec.delay {
+            if self.rng.chance(d.prob) {
+                t.extra_delay += 1 + self.rng.below(d.max_spike);
+            }
+        }
+        if let Some(r) = self.spec.reorder {
+            t.extra_delay += self.rng.below(r.window);
+        }
+        if let Some(d) = self.spec.duplicate {
+            t.duplicate = self.rng.chance(d.prob);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_none_and_empty_spec() {
+        let s = FaultSpec::parse("none").unwrap();
+        assert!(s.is_none());
+        assert_eq!(s, FaultSpec::none());
+        assert_eq!(s.label(), "none");
+    }
+
+    #[test]
+    fn parse_clauses() {
+        let s = FaultSpec::parse("delay:0.5:100+reorder:32+dup:0.25").unwrap();
+        assert_eq!(
+            s.delay,
+            Some(DelayFault {
+                prob: 0.5,
+                max_spike: 100
+            })
+        );
+        assert_eq!(s.reorder, Some(ReorderFault { window: 32 }));
+        assert_eq!(s.duplicate, Some(DuplicateFault { prob: 0.25 }));
+        assert!(s.slow_links.is_none() && s.storm.is_none());
+    }
+
+    #[test]
+    fn parse_degrade_and_storm() {
+        let s = FaultSpec::parse("slowlinks:0.25:4+slownodes:0.1:2+storm:1000:100:8").unwrap();
+        assert_eq!(
+            s.slow_links,
+            Some(DegradeFault {
+                fraction: 0.25,
+                factor: 4
+            })
+        );
+        assert_eq!(
+            s.slow_nodes,
+            Some(DegradeFault {
+                fraction: 0.1,
+                factor: 2
+            })
+        );
+        assert_eq!(
+            s.storm,
+            Some(StormFault {
+                period: 1000,
+                len: 100,
+                factor: 8
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "delay",
+            "delay:0.5",
+            "delay:2.0:100",
+            "delay:0.5:0",
+            "reorder:0",
+            "dup:-0.1",
+            "slowlinks:0.5:0",
+            "storm:0:0:1",
+            "storm:100:200:2", // len > period
+            "delay:0.5:100:9", // trailing junk
+            "frobnicate:1",
+            "delay:0.5:100+bogus",
+        ] {
+            assert!(FaultSpec::parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for spec in [
+            "none",
+            "delay:0.02:200",
+            "reorder:64",
+            "dup:0.01",
+            "slowlinks:0.125:4",
+            "slownodes:0.125:4",
+            "storm:20000:2000:8",
+            "delay:0.02:200+reorder:64+dup:0.01+storm:20000:2000:8",
+        ] {
+            let s = FaultSpec::parse(spec).unwrap();
+            assert_eq!(FaultSpec::parse(&s.label()), Some(s), "for {spec:?}");
+        }
+    }
+
+    #[test]
+    fn presets_all_parse() {
+        for preset in FaultSpec::PRESETS {
+            let s = FaultSpec::parse(preset).unwrap_or_else(|| panic!("preset {preset} invalid"));
+            assert_eq!(s.is_none(), preset == "none");
+        }
+    }
+
+    #[test]
+    fn fault_state_is_replayable() {
+        let spec = FaultSpec::parse("chaos").unwrap();
+        let mut a = FaultState::new(spec, 42, 16, 64, |i| i % 16);
+        let mut b = FaultState::new(spec, 42, 16, 64, |i| i % 16);
+        assert_eq!(a.link_factor, b.link_factor);
+        assert_eq!(a.storm_phase, b.storm_phase);
+        for _ in 0..1000 {
+            assert_eq!(a.draw(), b.draw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = FaultSpec::parse("delay:0.5:1000").unwrap();
+        let mut a = FaultState::new(spec, 1, 4, 8, |_| 0);
+        let mut b = FaultState::new(spec, 2, 4, 8, |_| 0);
+        let same = (0..256).filter(|_| a.draw() == b.draw()).count();
+        assert!(same < 200, "schedules from different seeds should differ");
+    }
+
+    #[test]
+    fn degraded_links_respect_node_and_link_clauses() {
+        let spec = FaultSpec::parse("slownodes:1.0:4").unwrap();
+        let state = FaultState::new(spec, 7, 4, 8, |i| i % 4);
+        // Every node degraded => every link degraded by the node factor.
+        assert!((0..8).all(|i| state.link_factor(i) == 4));
+
+        let spec = FaultSpec::parse("slowlinks:1.0:3").unwrap();
+        let state = FaultState::new(spec, 7, 4, 8, |i| i % 4);
+        assert!((0..8).all(|i| state.link_factor(i) == 3));
+    }
+
+    #[test]
+    fn storm_window_is_periodic() {
+        let spec = FaultSpec::parse("storm:100:10:8").unwrap();
+        let state = FaultState::new(spec, 3, 1, 1, |_| 0);
+        let phase = state.storm_phase;
+        assert!(phase < 100);
+        assert_eq!(state.storm_factor(phase), 8);
+        assert_eq!(state.storm_factor(phase + 9), 8);
+        assert_eq!(state.storm_factor(phase + 10), 1);
+        assert_eq!(state.storm_factor(phase + 100), 8, "recurs every period");
+    }
+
+    #[test]
+    fn no_storm_means_factor_one() {
+        let spec = FaultSpec::parse("dup:0.5").unwrap();
+        let state = FaultState::new(spec, 3, 1, 1, |_| 0);
+        for now in 0..100 {
+            assert_eq!(state.storm_factor(now), 1);
+        }
+    }
+}

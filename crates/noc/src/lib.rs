@@ -30,6 +30,9 @@
 //!   mechanism.
 //! * **Per-class traffic accounting** ([`TrafficStats`]) measured in
 //!   link-traversal bytes, the unit of every traffic figure in the paper.
+//! * **Deterministic fault injection** ([`faults`]): seeded delay spikes,
+//!   bounded reordering, duplication, degraded links/nodes, and congestion
+//!   storms, replayable from `(FaultSpec, seed)` and disabled by default.
 //!
 //! The interconnect is driven by the simulation's central event queue: calls
 //! to [`Fabric::send`] and [`Fabric::handle`] emit follow-up [`NocEvent`]s
@@ -75,6 +78,7 @@
 
 mod dest_set;
 pub mod fabric;
+pub mod faults;
 mod link;
 mod node_id;
 mod topology;
@@ -86,6 +90,7 @@ pub use fabric::{
     Adjacency, Fabric, FabricConfig, FabricKind, FabricSpec, LinkClass, LinkParams, MulticastTree,
     NocEvent,
 };
+pub use faults::{DegradeFault, DelayFault, DuplicateFault, FaultSpec, ReorderFault, StormFault};
 pub use link::Priority;
 pub use node_id::NodeId;
 pub use topology::{RouteTable, Topology};
@@ -103,4 +108,12 @@ pub trait NocPayload {
     fn size_bytes(&self) -> u64;
     /// Accounting category for traffic figures.
     fn traffic_class(&self) -> TrafficClass;
+    /// Whether the receiving protocol tolerates duplicate deliveries of
+    /// this message. The fault layer ([`faults`]) only double-delivers
+    /// packets that opt in (e.g. PATCH's token-free direct-request
+    /// hints); everything else models a link-level retransmission
+    /// instead, preserving at-most-once delivery of token carriers.
+    fn dup_safe(&self) -> bool {
+        false
+    }
 }

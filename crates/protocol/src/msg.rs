@@ -220,6 +220,22 @@ impl NocPayload for Msg {
             }
         }
     }
+
+    /// Direct requests are pure hints: token-free, best-effort, and
+    /// already tolerated in duplicate (a second copy at a node that
+    /// cannot help is simply ignored). Everything else — token carriers,
+    /// activations, persistent-request arbitration — assumes at-most-once
+    /// delivery, so the fault layer models retransmission instead of
+    /// duplicating them.
+    fn dup_safe(&self) -> bool {
+        matches!(
+            self.body,
+            MsgBody::Request {
+                style: RequestStyle::Direct,
+                ..
+            }
+        )
+    }
 }
 
 #[cfg(test)]

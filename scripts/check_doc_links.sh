@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Fails if any relative markdown link in README.md or docs/ points at a
+# file (or heading-anchored file) that does not exist. External links
+# (http/https/mailto) are skipped — CI has no network.
+#
+# Usage: scripts/check_doc_links.sh  (from the repository root)
+set -eu
+
+status=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract inline markdown link targets: [text](target)
+    grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' |
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        '#'*) continue ;; # same-file anchor
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if ! [ -e "$dir/$path" ]; then
+            echo "::error file=$doc::dead relative link: $target"
+            # Propagate failure out of the while-subshell via a marker file.
+            touch .doc_link_failure
+        fi
+    done
+done
+
+if [ -e .doc_link_failure ]; then
+    rm -f .doc_link_failure
+    status=1
+fi
+exit $status

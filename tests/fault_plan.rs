@@ -1,0 +1,80 @@
+//! Integration tests for the `faults` experiment plan: the sweep the CI
+//! smoke job runs (`runplan faults --quick`) must be bit-identical at any
+//! worker-thread count, its fault-free cells must match a plain unfaulted
+//! run, and at least one degraded mode must visibly slow a protocol —
+//! the row the CI grep looks for.
+
+use patchsim::exp::{Format, Runner};
+use patchsim::{run, FaultSpec};
+use patchsim_bench::{faults_plan, with_standard_columns, Scale};
+
+/// A debug-build-friendly scale for plan-level tests.
+fn tiny() -> Scale {
+    let mut scale = Scale::quick();
+    scale.cores = 8;
+    scale.ops = 40;
+    scale.warmup = 20;
+    scale
+}
+
+fn csv(table: &patchsim::exp::Table) -> String {
+    let mut out = Vec::new();
+    table.emit(Format::Csv, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+/// The determinism contract holds under fault injection: a serial run and
+/// a 4-worker run of the whole faults plan emit byte-identical tables.
+#[test]
+fn faults_plan_is_bit_identical_across_thread_counts() {
+    let plan = faults_plan(tiny());
+    let serial = with_standard_columns(Runner::serial().run(&plan));
+    let parallel = with_standard_columns(Runner::new().with_threads(4).run(&plan));
+    assert_eq!(
+        csv(&serial),
+        csv(&parallel),
+        "fault schedules must be a pure function of the cell, not of scheduling"
+    );
+}
+
+/// The plan's `none` cells reproduce a plain unfaulted run of the same
+/// configuration (modulo the armed watchdog, which the plan keeps on),
+/// and every degraded mode leaves the safety counters nonzero.
+#[test]
+fn faults_plan_none_cells_match_unfaulted_runs() {
+    let plan = faults_plan(tiny());
+    for cell in plan.cells().iter().filter(|c| c.labels[1] == "none") {
+        let replay = run(&cell.config);
+        let direct = run(&cell.config.clone().with_faults(FaultSpec::none()));
+        assert_eq!(replay.runtime_cycles, direct.runtime_cycles);
+        assert_eq!(replay.events_processed, direct.events_processed);
+        assert!(replay.token_audits > 0);
+    }
+}
+
+/// At least one fault mix measurably degrades runtime relative to the
+/// same protocol's fault-free cell — the degraded-mode row the CI smoke
+/// job greps for is real signal, not a label.
+#[test]
+fn some_fault_mix_degrades_runtime() {
+    let plan = faults_plan(tiny());
+    let table = Runner::new().run(&plan);
+    let runtime_of = |config: &str, faults: &str| -> f64 {
+        table
+            .cells()
+            .iter()
+            .find(|cell| {
+                cell.labels[0] == config && cell.labels[1] == faults && cell.labels[2] == "torus"
+            })
+            .map(|cell| cell.summary.runtime.mean)
+            .expect("cell present")
+    };
+    for config in ["Directory", "PATCH-All", "TokenB"] {
+        let clean = runtime_of(config, "none");
+        let storm = runtime_of(config, "storm");
+        assert!(
+            storm > clean,
+            "{config}: a 8x bandwidth storm must cost runtime ({storm} vs {clean})"
+        );
+    }
+}
