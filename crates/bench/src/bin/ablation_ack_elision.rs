@@ -18,8 +18,7 @@ fn main() {
         "Ablation: zero-token ack elision (PATCH, coarse encoding, 2 B/cycle links)",
     );
     let table = args
-        .runner()
-        .run(&ablation_ack_elision_plan(args.scale))
+        .run_plan(ablation_ack_elision_plan(args.scale.clone()))
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_column("ack_bytes_per_miss", 1, |cell| {
             cell.summary.class_mean(TrafficClass::Ack)

@@ -17,8 +17,7 @@ fn main() {
         "Ablation: post-deactivation direct-request ignore window (PATCH-All)",
     );
     let table = args
-        .runner()
-        .run(&ablation_deact_window_plan(args.scale))
+        .run_plan(ablation_deact_window_plan(args.scale.clone()))
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_column("tenure_timeouts", 0, |cell| {
             cell.summary

@@ -20,8 +20,7 @@ fn main() {
         "Extension: limited-pointer directories vs coarse vectors (2 B/cycle links)",
     );
     let table = args
-        .runner()
-        .run(&ablation_limited_pointer_plan(args.scale))
+        .run_plan(ablation_limited_pointer_plan(args.scale.clone()))
         .with_normalized_column("norm_runtime", 3, "encoding", "full-map", |cell| {
             cell.summary.runtime.mean
         })

@@ -17,8 +17,7 @@ fn main() {
         "Ablation: best-effort stale-drop threshold (PATCH-All, 1 B/cycle links)",
     );
     let table = args
-        .runner()
-        .run(&ablation_stale_drop_plan(args.scale))
+        .run_plan(ablation_stale_drop_plan(args.scale.clone()))
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_column("drops", 0, |cell| cell.summary.dropped_packets)
         .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)

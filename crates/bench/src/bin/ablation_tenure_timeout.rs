@@ -17,8 +17,7 @@ fn main() {
         "Ablation: tenure timeout policy (PATCH-All, contended microbenchmark)",
     );
     let table = args
-        .runner()
-        .run(&ablation_tenure_timeout_plan(args.scale))
+        .run_plan(ablation_tenure_timeout_plan(args.scale.clone()))
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_column("tenure_timeouts", 0, |cell| {
             cell.summary

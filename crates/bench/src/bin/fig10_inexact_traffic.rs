@@ -17,8 +17,7 @@ fn main() {
         "Figure 10: traffic per miss vs sharer-encoding coarseness (2 B/cycle links)",
     );
     let table = with_traffic_class_columns(
-        args.runner()
-            .run(&inexact_traffic_plan(args.scale))
+        args.run_plan(inexact_traffic_plan(args.scale.clone()))
             .with_title("Figure 10: traffic per miss vs sharer-encoding coarseness"),
     )
     .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)

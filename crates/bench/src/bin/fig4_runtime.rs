@@ -17,8 +17,7 @@ fn main() {
         "Figure 4: normalized runtime, 5 workloads x 6 protocol configurations",
     );
     let table = args
-        .runner()
-        .run(&figure4_plan(args.scale))
+        .run_plan(figure4_plan(args.scale.clone()))
         .with_title("Figure 4: normalized runtime")
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {

@@ -17,8 +17,7 @@ fn main() {
         "Figure 5: traffic per miss by message class, normalized to Directory",
     );
     let table = with_traffic_class_columns(
-        args.runner()
-            .run(&figure4_plan(args.scale))
+        args.run_plan(figure4_plan(args.scale.clone()))
             .with_title("Figure 5: traffic per miss by class"),
     )
     .with_ci_column("bytes_per_miss", 1, |cell| cell.summary.bytes_per_miss)

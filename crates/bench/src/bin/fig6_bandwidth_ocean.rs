@@ -18,8 +18,7 @@ fn main() {
         "Figure 6: runtime vs link bandwidth on ocean (normalized to Directory)",
     );
     let table = args
-        .runner()
-        .run(&bandwidth_plan(args.scale, presets::ocean()))
+        .run_plan(bandwidth_plan(args.scale.clone(), presets::ocean()))
         .with_title("Figure 6: bandwidth adaptivity on ocean")
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {

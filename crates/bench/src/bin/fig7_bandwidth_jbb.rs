@@ -14,8 +14,7 @@ fn main() {
         "Figure 7: runtime vs link bandwidth on jbb (normalized to Directory)",
     );
     let table = args
-        .runner()
-        .run(&bandwidth_plan(args.scale, presets::jbb()))
+        .run_plan(bandwidth_plan(args.scale.clone(), presets::jbb()))
         .with_title("Figure 7: bandwidth adaptivity on jbb")
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {

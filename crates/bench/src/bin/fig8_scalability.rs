@@ -17,8 +17,7 @@ fn main() {
         "Figure 8: microbenchmark scalability, 4-512 cores (normalized to Directory)",
     );
     let table = args
-        .runner()
-        .run(&scalability_plan(args.scale))
+        .run_plan(scalability_plan(args.scale.clone()))
         .with_title("Figure 8: microbenchmark scalability (2 B/cycle links)")
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_normalized_column("norm_runtime", 3, "config", "Directory", |cell| {

@@ -18,8 +18,7 @@ fn main() {
         "Figure 9: runtime vs sharer-encoding coarseness (normalized to full map)",
     );
     let table = args
-        .runner()
-        .run(&inexact_runtime_plan(args.scale))
+        .run_plan(inexact_runtime_plan(args.scale.clone()))
         .with_title("Figure 9: runtime vs sharer-encoding coarseness")
         .with_ci_column("runtime", 0, |cell| cell.summary.runtime)
         .with_normalized_column("norm_runtime", 3, "K", "1", |cell| {

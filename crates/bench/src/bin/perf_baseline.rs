@@ -9,16 +9,21 @@
 //! file, giving CI and the perf trajectory a stable number to track.
 //!
 //! Usage: `perf_baseline [--threads N] [--seeds N] [--quick]
-//! [--fabric F] [--out PATH]`
+//! [--fabric F] [--record-trace PATH] [--replay-trace PATH] [--out PATH]`
 //!
 //! `--fabric` swaps the interconnect topology (default `torus`); CI's
 //! perf-smoke job records a crossbar row alongside the torus row into
 //! `BENCH_4.json` so the fabric subsystem's throughput is tracked too.
+//! `--record-trace` writes the first replication's access stream to a
+//! `.ptrc` trace; `--replay-trace` replays one (replay skips workload
+//! generation, so CI's perf-smoke job records its events/sec next to
+//! generate-mode into `BENCH_5.json` — the gap prices the generators).
 //!
 //! The result hash folds each run's `RunResult` (runtime, traffic,
 //! counters, miss histogram) with the deterministic Fx hasher; it must be
 //! identical for any `--threads` value, which CI checks by diffing the
-//! hash between `--threads 1` and `--threads 4`.
+//! hash between `--threads 1` and `--threads 4` — and identical between
+//! a recorded run and its replay, which CI also checks.
 
 use std::hash::Hasher;
 use std::io::Write;
@@ -28,7 +33,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use patchsim::{
-    FabricKind, PredictorChoice, ProtocolKind, RunResult, SimConfig, TrafficClass, WorkloadSpec,
+    FabricKind, PredictorChoice, ProtocolKind, RunResult, SimConfig, TraceReader, WorkloadSpec,
 };
 use patchsim_kernel::collections::FxHasher;
 use patchsim_kernel::replicate_seed;
@@ -73,40 +78,6 @@ fn pinned_config(quick: bool, fabric: FabricKind) -> SimConfig {
         .with_ops_per_core(ops)
         .with_warmup(ops / 4)
         .with_seed(BASE_SEED)
-}
-
-/// Folds the deterministic fields of one run into `h`. Floats are
-/// excluded: everything here is an exact integer product of the
-/// simulation, so the hash is bit-stable across platforms.
-fn fold_result(h: &mut FxHasher, r: &RunResult) {
-    h.write_u64(r.runtime_cycles);
-    h.write_u64(r.ops_completed);
-    h.write_u64(r.measured_misses);
-    h.write_u64(r.events_processed);
-    for class in TrafficClass::ALL {
-        h.write_u64(r.traffic.bytes(class));
-        h.write_u64(r.traffic.traversals(class));
-    }
-    h.write_u64(r.traffic.dropped_packets());
-    h.write_u64(r.traffic.dropped_bytes());
-    let c = &r.counters;
-    for v in [
-        c.hits,
-        c.misses,
-        c.satisfied_before_activation,
-        c.tenure_timeouts,
-        c.direct_responses,
-        c.direct_ignored,
-        c.reissues,
-        c.persistent_requests,
-        c.writebacks,
-    ] {
-        h.write_u64(v);
-    }
-    for (lower, count) in r.miss_latency.buckets() {
-        h.write_u64(lower);
-        h.write_u64(count);
-    }
 }
 
 /// Runs `configs` on `threads` workers, returning results in input order.
@@ -154,6 +125,8 @@ struct Args {
     seeds: u64,
     quick: bool,
     fabric: FabricKind,
+    record: Option<PathBuf>,
+    replay: Option<PathBuf>,
     out: PathBuf,
 }
 
@@ -167,6 +140,11 @@ fn usage_text() -> String {
          --quick        shrink ops for a fast smoke run\n  \
          --fabric F     interconnect fabric: torus, mesh, ring, xbar, hier[:C]\n                 \
          (default torus; the recorded baseline is torus-only)\n  \
+         --record-trace PATH\n                 \
+         record the first replication's accesses to a .ptrc trace\n  \
+         --replay-trace PATH\n                 \
+         replay a recorded .ptrc trace instead of generating the\n                 \
+         workload (requires --seeds 1; trace must be 16-node)\n  \
          --out PATH     output JSON path (default {DEFAULT_OUT})\n  \
          -h, --help     print this help"
     )
@@ -183,6 +161,8 @@ fn parse_args() -> Args {
         seeds: 3,
         quick: false,
         fabric: FabricKind::Torus,
+        record: None,
+        replay: None,
         out: PathBuf::from(DEFAULT_OUT),
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -214,6 +194,18 @@ fn parse_args() -> Args {
                     ))
                 });
             }
+            "--record-trace" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--record-trace requires a value"));
+                args.record = Some(PathBuf::from(v));
+            }
+            "--replay-trace" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--replay-trace requires a value"));
+                args.replay = Some(PathBuf::from(v));
+            }
             "--out" => {
                 let v = it
                     .next()
@@ -228,14 +220,43 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let base = pinned_config(args.quick, args.fabric);
-    let configs: Vec<SimConfig> = (0..args.seeds)
-        .map(|i| base.clone().with_seed(replicate_seed(BASE_SEED, i)))
+    let mut base = pinned_config(args.quick, args.fabric);
+    let mode = match &args.replay {
+        Some(path) => {
+            if args.seeds != 1 {
+                usage_error("--replay-trace requires --seeds 1 (a trace replays one recorded run)");
+            }
+            let trace = TraceReader::read_path(path).unwrap_or_else(|e| {
+                usage_error(&format!("cannot replay trace '{}': {e}", path.display()))
+            });
+            if trace.num_nodes != 16 {
+                usage_error(&format!(
+                    "trace '{}' was recorded on {} cores but perf_baseline is pinned to 16",
+                    trace.label, trace.num_nodes
+                ));
+            }
+            // Replay under the recording seed so every derived stream
+            // matches the recorded run.
+            base = base
+                .with_seed(trace.seed)
+                .with_workload(WorkloadSpec::trace(trace));
+            "replay"
+        }
+        None => "generate",
+    };
+    let mut configs: Vec<SimConfig> = (0..args.seeds)
+        .map(|i| base.clone().with_seed(replicate_seed(base.seed, i)))
         .collect();
+    if let Some(path) = &args.record {
+        configs[0].record_trace = Some(path.clone());
+    }
 
     // One untimed warmup run so first-touch page faults and lazy
-    // allocations don't pollute the measurement.
-    let _ = patchsim::run(&configs[0]);
+    // allocations don't pollute the measurement. Recording stays off
+    // here so the warmup doesn't clobber the measured run's trace.
+    let mut warm = configs[0].clone();
+    warm.record_trace = None;
+    let _ = patchsim::run(&warm);
 
     let wall = Instant::now();
     let results = execute(&configs, args.threads);
@@ -244,7 +265,7 @@ fn main() {
     let total_events: u64 = results.iter().map(|r| r.events_processed).sum();
     let mut hasher = FxHasher::default();
     for r in &results {
-        fold_result(&mut hasher, r);
+        r.fold_into(&mut hasher);
     }
     let result_hash = hasher.finish();
     let events_per_sec = total_events as f64 / (wall_ms / 1e3);
@@ -264,7 +285,8 @@ fn main() {
         String::new()
     };
     let json = format!(
-        "{{\n  \"bench\": \"perf_baseline\",\n  \"config\": {{\n    \"nodes\": 16,\n    \
+        "{{\n  \"bench\": \"perf_baseline\",\n  \"mode\": \"{mode}\",\n  \
+         \"config\": {{\n    \"nodes\": 16,\n    \
          \"protocol\": \"PATCH-BcastIfShared\",\n    \"fabric\": \"{}\",\n    \
          \"ops_per_core\": {},\n    \
          \"base_seed\": {},\n    \"seeds\": {},\n    \"quick\": {}\n  }},\n  \
@@ -272,7 +294,7 @@ fn main() {
          \"events_per_sec\": {:.1},\n  \"result_hash\": \"{:#018x}\"{}\n}}\n",
         args.fabric.label(),
         pinned_ops(args.quick),
-        BASE_SEED,
+        base.seed,
         args.seeds,
         args.quick,
         args.threads,

@@ -43,10 +43,10 @@ fn main() {
         }
         return;
     }
-    let Some(plan) = plan_by_name(&name, args.scale) else {
+    let Some(plan) = plan_by_name(&name, args.scale.clone()) else {
         eprintln!("error: unknown plan '{name}'\n\nPlans:\n{}", plan_listing());
         std::process::exit(2);
     };
-    let table = with_standard_columns(args.runner().run(&plan));
+    let table = with_standard_columns(args.run_plan(plan));
     args.finish(&table);
 }

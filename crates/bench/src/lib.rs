@@ -17,6 +17,7 @@
 //! | Figure 10 (inexact-encoding traffic) | `fig10_inexact_traffic` | [`inexact_traffic_plan`] |
 //! | Cross-fabric scalability (extension) | `runplan fabric` | [`cross_fabric_plan`] |
 //! | Fault-injection robustness (extension) | `runplan faults` | [`faults_plan`] |
+//! | Service-shaped traffic (extension) | `runplan service` | [`service_plan`] |
 //! | DESIGN.md ablations | `ablation_*` | [`ablation_tenure_timeout_plan`], ... |
 //! | Any of the above by name | `runplan <plan>` | [`plan_by_name`] |
 //!
@@ -29,8 +30,12 @@
 //! `--faults SPEC` (deterministic interconnect fault mix — a preset like
 //! `chaos` or `+`-joined clauses like `delay:0.02:200+dup:0.01`; the
 //! `faults` plan's own axis overrides it),
-//! `--format {text,csv,json}`, and `--out PATH`. Unknown flags and
-//! malformed values print usage and exit non-zero.
+//! `--workload {preset,trace:PATH}` (base-workload override: a preset
+//! name like `oltp` or `svc-zipf`, or a recorded `.ptrc` trace to
+//! replay; plans with a workload axis override it),
+//! `--record-trace PATH` (record the plan's first cell to a `.ptrc`
+//! trace), `--format {text,csv,json}`, and `--out PATH`. Unknown flags
+//! and malformed values print usage and exit non-zero.
 //!
 //! `cargo bench` additionally runs scaled-down versions of every figure
 //! plus microbenchmarks of the simulator's core data structures.
@@ -42,12 +47,12 @@ use std::path::PathBuf;
 
 use patchsim::exp::{AxisValue, Cell, ExperimentPlan, Format, Runner, Sweep, Table};
 use patchsim::{
-    presets, FabricKind, FaultSpec, LinkBandwidth, PredictorChoice, ProtocolKind, SharerEncoding,
-    SimConfig, TenureConfig, TrafficClass, WorkloadSpec,
+    presets, service_presets, FabricKind, FaultSpec, LinkBandwidth, PredictorChoice, ProtocolKind,
+    SharerEncoding, SimConfig, TenureConfig, TraceReader, TrafficClass, WorkloadSpec,
 };
 
 /// Experiment scale knobs shared by all figure targets.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scale {
     /// Cores for the workload figures (the paper uses 64).
     pub cores: u16,
@@ -63,6 +68,11 @@ pub struct Scale {
     /// Interconnect fault mix every plan's base configuration uses
     /// (`--faults`; the `faults` plan's own axis overrides it).
     pub faults: FaultSpec,
+    /// Workload override every plan's base configuration uses
+    /// (`--workload`; plans with their own workload axis override it).
+    /// A replayed trace additionally pins the base seed to the trace's
+    /// recording seed, so the fault schedule replays too.
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl Scale {
@@ -75,6 +85,7 @@ impl Scale {
             seeds: 1,
             fabric: FabricKind::Torus,
             faults: FaultSpec::none(),
+            workload: None,
         }
     }
 
@@ -87,15 +98,26 @@ impl Scale {
             seeds: 1,
             fabric: FabricKind::Torus,
             faults: FaultSpec::none(),
+            workload: None,
         }
     }
 
     /// The base configuration every plan starts from: `kind` at this
-    /// scale's core count on this scale's fabric and fault mix.
-    fn base(self, kind: ProtocolKind, cores: u16) -> SimConfig {
-        SimConfig::new(kind, cores)
+    /// scale's core count on this scale's fabric, fault mix, and
+    /// workload override (when set).
+    fn base(&self, kind: ProtocolKind, cores: u16) -> SimConfig {
+        let mut config = SimConfig::new(kind, cores)
             .with_fabric(self.fabric)
-            .with_faults(self.faults)
+            .with_faults(self.faults);
+        if let Some(workload) = &self.workload {
+            if let WorkloadSpec::Trace(trace) = workload {
+                // Replay under the recording run's seed so every derived
+                // stream (fault schedule included) replays bit-for-bit.
+                config = config.with_seed(trace.seed);
+            }
+            config = config.with_workload(workload.clone());
+        }
+        config
     }
 }
 
@@ -115,6 +137,10 @@ pub struct BenchArgs {
     pub format: Format,
     /// Output path (`--out PATH`); `None` writes to stdout.
     pub out: Option<PathBuf>,
+    /// Trace-recording path (`--record-trace PATH`); when set,
+    /// [`BenchArgs::run_plan`] records the plan's first cell (replication
+    /// 0) to a `.ptrc` trace at this path.
+    pub record: Option<PathBuf>,
 }
 
 /// The option block shared by every binary's usage text.
@@ -128,6 +154,14 @@ const OPTIONS_HELP: &str = "Options:
                  dup, slowlinks, slownodes, storm, chaos), or '+'-joined
                  clauses like delay:0.02:200+dup:0.01 (default none;
                  the faults plan's own axis overrides it)
+  --workload W   workload override: a preset name (microbench, oltp,
+                 apache, jbb, barnes, ocean, svc-uniform, svc-zipf,
+                 svc-hot) or trace:PATH to replay a recorded .ptrc trace
+                 (plans with a workload axis override it; a trace must
+                 match the scale's core count and pins the base seed)
+  --record-trace PATH
+                 record the plan's first cell (replication 0) to a .ptrc
+                 trace at PATH as it finishes
   --format FMT   output format: text, csv, json (default text)
   --out PATH     write the table to PATH instead of stdout
   -h, --help     print this help";
@@ -179,8 +213,10 @@ impl BenchArgs {
         let mut threads: Option<usize> = None;
         let mut fabric: Option<FabricKind> = None;
         let mut faults: Option<FaultSpec> = None;
+        let mut workload: Option<WorkloadSpec> = None;
         let mut format = Format::Text;
         let mut out: Option<PathBuf> = None;
+        let mut record: Option<PathBuf> = None;
         let mut positional: Option<String> = None;
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
@@ -224,6 +260,14 @@ impl BenchArgs {
                         format!("invalid --format '{v}' (expected text, csv, or json)")
                     })?;
                 }
+                "--workload" => {
+                    let v = it.next().ok_or("--workload requires a value")?;
+                    workload = Some(parse_workload(v)?);
+                }
+                "--record-trace" => {
+                    let v = it.next().ok_or("--record-trace requires a value")?;
+                    record = Some(PathBuf::from(v));
+                }
                 "--out" => {
                     let v = it.next().ok_or("--out requires a value")?;
                     out = Some(PathBuf::from(v));
@@ -249,15 +293,40 @@ impl BenchArgs {
         if let Some(f) = faults {
             scale.faults = f;
         }
+        if let Some(WorkloadSpec::Trace(trace)) = &workload {
+            if trace.num_nodes != scale.cores {
+                return Err(format!(
+                    "trace '{}' was recorded on {} cores but this scale runs {} \
+                     (re-record at this scale or adjust --quick)",
+                    trace.label, trace.num_nodes, scale.cores
+                ));
+            }
+        }
+        scale.workload = workload;
         Ok((
             BenchArgs {
                 scale,
                 threads,
                 format,
                 out,
+                record,
             },
             positional,
         ))
+    }
+
+    /// Runs `plan` on this invocation's runner, first arming trace
+    /// recording on the plan's first cell when `--record-trace` was
+    /// given. Only the first cell records (and within it only
+    /// replication 0 — see `Runner`): one path, one trace, no
+    /// last-writer-wins races across the pool.
+    pub fn run_plan(&self, mut plan: ExperimentPlan) -> Table {
+        if let Some(path) = &self.record {
+            if let Some(cell) = plan.cells_mut().first_mut() {
+                cell.config.record_trace = Some(path.clone());
+            }
+        }
+        self.runner().run(&plan)
     }
 
     /// The runner this invocation asked for.
@@ -321,6 +390,21 @@ fn usage_error(bin: &str, about: &str, positional: Option<&str>, msg: &str) -> !
     std::process::exit(2);
 }
 
+/// Parses a `--workload` value: a preset name or `trace:PATH`.
+fn parse_workload(value: &str) -> Result<WorkloadSpec, String> {
+    if let Some(path) = value.strip_prefix("trace:") {
+        let trace = TraceReader::read_path(std::path::Path::new(path))
+            .map_err(|e| format!("cannot replay trace '{path}': {e}"))?;
+        return Ok(WorkloadSpec::trace(trace));
+    }
+    presets::by_name(value).ok_or_else(|| {
+        format!(
+            "invalid --workload '{value}' (expected a preset like oltp or \
+             svc-zipf, or trace:PATH)"
+        )
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Shared axes.
 // ---------------------------------------------------------------------------
@@ -330,7 +414,7 @@ pub fn workload_axis(workloads: Vec<WorkloadSpec>) -> Vec<AxisValue> {
     workloads
         .into_iter()
         .map(|w| {
-            let label = w.name();
+            let label = w.name().to_string();
             AxisValue::new(label, move |c: SimConfig| c.with_workload(w.clone()))
         })
         .collect()
@@ -491,7 +575,7 @@ pub fn bandwidth_plan(scale: Scale, workload: WorkloadSpec) -> ExperimentPlan {
 }
 
 /// The Figure 8 core counts (`--quick` stops at 64).
-pub fn scalability_core_counts(scale: Scale) -> &'static [u16] {
+pub fn scalability_core_counts(scale: &Scale) -> &'static [u16] {
     if scale.cores <= 16 {
         &[4, 8, 16, 32, 64]
     } else {
@@ -509,7 +593,7 @@ pub fn scalability_plan(scale: Scale) -> ExperimentPlan {
     Sweep::new("Microbenchmark scalability (2 B/cycle links)", base)
         .axis(
             "cores",
-            scalability_core_counts(scale)
+            scalability_core_counts(&scale)
                 .iter()
                 .map(|&n| cores_value(n))
                 .collect(),
@@ -520,7 +604,7 @@ pub fn scalability_plan(scale: Scale) -> ExperimentPlan {
 }
 
 /// The Figure 9/10 core counts (`--quick` uses small systems).
-pub fn inexact_core_counts(scale: Scale) -> &'static [u16] {
+pub fn inexact_core_counts(scale: &Scale) -> &'static [u16] {
     if scale.cores <= 16 {
         &[16, 32]
     } else {
@@ -557,7 +641,7 @@ pub fn inexact_runtime_plan(scale: Scale) -> ExperimentPlan {
     Sweep::new("Runtime vs sharer-encoding coarseness", base)
         .axis(
             "cores",
-            inexact_core_counts(scale)
+            inexact_core_counts(&scale)
                 .iter()
                 .map(|&n| cores_value(n))
                 .collect(),
@@ -597,7 +681,7 @@ pub fn inexact_traffic_plan(scale: Scale) -> ExperimentPlan {
     )
     .axis(
         "cores",
-        inexact_core_counts(scale)
+        inexact_core_counts(&scale)
             .iter()
             .map(|&n| cores_value(n))
             .collect(),
@@ -618,7 +702,7 @@ pub fn inexact_traffic_plan(scale: Scale) -> ExperimentPlan {
 /// The cross-fabric scalability core counts. Full scale stops at 128 —
 /// it multiplies Figure 8's grid by five fabrics — and `--quick` keeps
 /// two small systems.
-pub fn cross_fabric_core_counts(scale: Scale) -> &'static [u16] {
+pub fn cross_fabric_core_counts(scale: &Scale) -> &'static [u16] {
     if scale.cores <= 16 {
         &[4, 16]
     } else {
@@ -641,7 +725,7 @@ pub fn cross_fabric_plan(scale: Scale) -> ExperimentPlan {
     Sweep::new("Cross-fabric scalability (2 B/cycle links)", base)
         .axis(
             "cores",
-            cross_fabric_core_counts(scale)
+            cross_fabric_core_counts(&scale)
                 .iter()
                 .map(|&n| cores_value(n))
                 .collect(),
@@ -689,6 +773,52 @@ pub fn faults_plan(scale: Scale) -> ExperimentPlan {
             }),
         ],
     )
+    .seeds(scale.seeds)
+    .build()
+}
+
+/// The burst shape of the `service` plan's bursty-arrival cells: every
+/// 256 generator steps, 64 operations arrive with think times divided
+/// by 8 — a closed-loop approximation of an open-loop arrival burst.
+pub const SERVICE_BURST: (u64, u64, u64) = (256, 64, 8);
+
+/// The service-traffic grid: key-skew shape (uniform, Zipfian, Zipfian
+/// with rotating hot set and tenant phases) × arrival shape (steady vs
+/// bursty) × one protocol per family. Datacenter services hit coherence
+/// protocols with skewed, phase-changing, bursty sharing that the
+/// paper's SPLASH/commercial workloads do not model; this sweep asks
+/// which protocol family degrades first as skew and burstiness rise.
+pub fn service_plan(scale: Scale) -> ExperimentPlan {
+    let base = scale
+        .base(ProtocolKind::Directory, scale.cores)
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    Sweep::new(
+        format!("Service-shaped traffic ({} cores)", scale.cores),
+        base,
+    )
+    .axis(
+        "skew",
+        workload_axis(vec![
+            service_presets::uniform(),
+            service_presets::zipf(),
+            service_presets::zipf_hot(),
+        ]),
+    )
+    .axis(
+        "arrivals",
+        vec![
+            AxisValue::new("steady", |c| c),
+            AxisValue::new("burst", |mut c: SimConfig| {
+                let (period, len, div) = SERVICE_BURST;
+                if let WorkloadSpec::Service(p) = &mut c.workload {
+                    *p = p.clone().with_burst(period, len, div);
+                }
+                c
+            }),
+        ],
+    )
+    .axis("config", fault_protocol_axis())
     .seeds(scale.seeds)
     .build()
 }
@@ -888,7 +1018,7 @@ pub fn ablation_limited_pointer_plan(scale: Scale) -> ExperimentPlan {
 
 /// Every named plan `runplan` can execute, with a one-line description
 /// (shown by `runplan --help` and the bare `runplan` plan listing).
-pub const PLAN_INFO: [(&str, &str); 14] = [
+pub const PLAN_INFO: [(&str, &str); 15] = [
     (
         "fig4",
         "Figure 4 runtime grid: 5 workloads x 6 protocol configs",
@@ -912,6 +1042,10 @@ pub const PLAN_INFO: [(&str, &str); 14] = [
     (
         "faults",
         "Fault-injection robustness: fault mix x protocol x fabric, oracles armed",
+    ),
+    (
+        "service",
+        "Service-shaped traffic: key skew x arrival burstiness x protocol",
     ),
     (
         "tenure_timeout",
@@ -951,6 +1085,7 @@ pub fn plan_by_name(name: &str, scale: Scale) -> Option<ExperimentPlan> {
         "fig10" => Some(inexact_traffic_plan(scale)),
         "fabric" => Some(cross_fabric_plan(scale)),
         "faults" => Some(faults_plan(scale)),
+        "service" => Some(service_plan(scale)),
         "tenure_timeout" => Some(ablation_tenure_timeout_plan(scale)),
         "deact_window" => Some(ablation_deact_window_plan(scale)),
         "stale_drop" => Some(ablation_stale_drop_plan(scale)),
@@ -1077,7 +1212,7 @@ mod tests {
         };
         let (parsed, _) = args(&["--quick", "--fabric", "mesh"]).unwrap();
         assert_eq!(parsed.scale.fabric, FabricKind::Mesh2D);
-        let plan = figure4_plan(parsed.scale);
+        let plan = figure4_plan(parsed.scale.clone());
         assert!(plan
             .cells()
             .iter()
@@ -1101,7 +1236,7 @@ mod tests {
     fn every_registered_plan_builds() {
         let scale = Scale::quick();
         for name in PLAN_NAMES {
-            let plan = plan_by_name(name, scale).expect(name);
+            let plan = plan_by_name(name, scale.clone()).expect(name);
             assert!(!plan.is_empty(), "{name} built an empty plan");
         }
         assert!(plan_by_name("nope", scale).is_none());
@@ -1135,7 +1270,7 @@ mod tests {
         };
         let (parsed, _) = args(&["--quick", "--faults", "delay:0.02:200+dup:0.01"]).unwrap();
         assert_eq!(parsed.scale.faults.label(), "delay:0.02:200+dup:0.01");
-        let plan = figure4_plan(parsed.scale);
+        let plan = figure4_plan(parsed.scale.clone());
         assert!(plan
             .cells()
             .iter()
@@ -1146,6 +1281,33 @@ mod tests {
         assert!(args(&["--faults"]).is_err());
         assert!(args(&["--faults", "lava"]).is_err());
         assert!(args(&["--faults", "delay:2.0:10"]).is_err());
+    }
+
+    #[test]
+    fn workload_flag_threads_into_plan_bases() {
+        let args = |list: &[&str]| {
+            BenchArgs::try_parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        let (parsed, _) = args(&["--quick", "--workload", "svc-zipf"]).unwrap();
+        assert_eq!(parsed.scale.workload.as_ref().unwrap().name(), "svc-zipf");
+        // Plans without a workload axis inherit the override...
+        let plan = faults_plan(parsed.scale.clone());
+        assert!(plan
+            .cells()
+            .iter()
+            .all(|c| c.config.workload.name() == "svc-zipf"));
+        // ...and plans with one override it per cell.
+        let plan = figure4_plan(parsed.scale);
+        assert!(plan
+            .cells()
+            .iter()
+            .all(|c| c.config.workload.name() != "svc-zipf"));
+        assert!(args(&["--workload"]).is_err());
+        assert!(args(&["--workload", "nonsense"]).is_err());
+        assert!(args(&["--workload", "trace:/definitely/missing.ptrc"]).is_err());
+        let (rec, _) = args(&["--record-trace", "t.ptrc"]).unwrap();
+        assert_eq!(rec.record.as_deref(), Some(std::path::Path::new("t.ptrc")));
+        assert!(args(&["--record-trace"]).is_err());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Whole-simulation configuration.
 
-use patchsim_kernel::stream_seed;
+use std::path::PathBuf;
+
+use patchsim_kernel::{stream_seed, streams};
 use patchsim_noc::{FabricConfig, FabricKind, FaultSpec, LinkBandwidth};
 use patchsim_predictor::PredictorChoice;
 use patchsim_protocol::{ProtocolConfig, ProtocolKind};
@@ -70,6 +72,11 @@ pub struct SimConfig {
     /// disables the watchdog; fault-injection runs set it to convert
     /// silent starvation into a test failure.
     pub liveness_horizon: Option<u64>,
+    /// When set, the run records every generated work item and writes a
+    /// `.ptrc` trace (see `patchsim-trace`) to this path as it finishes.
+    /// Replaying that trace via `WorkloadSpec::Trace` reproduces the
+    /// run's `RunResult` bit-for-bit.
+    pub record_trace: Option<PathBuf>,
 }
 
 impl SimConfig {
@@ -88,6 +95,7 @@ impl SimConfig {
             max_cycles: u64::MAX / 4,
             faults: FaultSpec::none(),
             liveness_horizon: None,
+            record_trace: None,
         }
     }
 
@@ -169,8 +177,16 @@ impl SimConfig {
         self
     }
 
-    /// The stream label of the fault schedule's RNG stream ("faul").
-    pub const FAULT_STREAM: u64 = 0x66_61_75_6c;
+    /// Records the run's generated work items to a `.ptrc` trace at
+    /// `path` when the run completes.
+    pub fn with_record_trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.record_trace = Some(path.into());
+        self
+    }
+
+    /// The stream label of the fault schedule's RNG stream ("faul");
+    /// see [`patchsim_kernel::streams`].
+    pub const FAULT_STREAM: u64 = streams::FAULT;
 
     /// The interconnect configuration this simulation will use: the
     /// configured fabric topology at the system size, with the

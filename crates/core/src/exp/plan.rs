@@ -254,6 +254,12 @@ impl ExperimentPlan {
         &self.cells
     }
 
+    /// Mutable access to the grid cells, for per-cell adjustments after
+    /// the grid is built (e.g. arming trace recording on a single cell).
+    pub fn cells_mut(&mut self) -> &mut [Cell] {
+        &mut self.cells
+    }
+
     /// Number of cells in the grid.
     pub fn len(&self) -> usize {
         self.cells.len()

@@ -68,7 +68,14 @@ impl Runner {
             .flat_map(|cell| {
                 (0..seeds).map(|rep| {
                     let base = cell.config.seed;
-                    cell.config.clone().with_seed(replicate_seed(base, rep))
+                    let mut cfg = cell.config.clone().with_seed(replicate_seed(base, rep));
+                    // Only replication 0 records: later replications run
+                    // perturbed seeds, and a shared output path would be a
+                    // last-writer-wins race across the worker pool.
+                    if rep > 0 {
+                        cfg.record_trace = None;
+                    }
+                    cfg
                 })
             })
             .collect();

@@ -121,4 +121,7 @@ pub use patchsim_noc::{
 };
 pub use patchsim_predictor::PredictorChoice;
 pub use patchsim_protocol::{ProtocolConfig, ProtocolCounters, ProtocolKind, TenureConfig};
-pub use patchsim_workload::{presets, SharingProfile, WorkloadSpec};
+pub use patchsim_trace::{TraceError, TraceReader, TraceWriter};
+pub use patchsim_workload::{
+    presets, service_presets, ServiceProfile, SharingProfile, TraceData, WorkloadSpec, ZipfSampler,
+};

@@ -1,20 +1,21 @@
 //! System assembly and the simulation event loop.
 
+use std::hash::Hasher;
+
+use patchsim_kernel::collections::FxHasher;
 use patchsim_kernel::stats::Histogram;
-use patchsim_kernel::{Cycle, EventQueue, SimRng};
+use patchsim_kernel::{streams, Cycle, EventQueue, SimRng};
 use patchsim_noc::{Fabric, NocEvent, NodeId};
 use patchsim_protocol::{
     build_controller, Completion, Controller, CoreResponse, MemOp, Msg, Outbox, ProtocolCounters,
     TimerKey,
 };
+use patchsim_trace::TraceWriter;
 use patchsim_workload::Generator;
 
 use crate::checker::{CoherenceChecker, TokenAuditor};
 use crate::config::{CheckLevel, SimConfig};
-use crate::TrafficStats;
-
-/// RNG stream label for workload generators.
-const WORKLOAD_STREAM: u64 = 0x77_6f_72_6b; // "work"
+use crate::{TrafficClass, TrafficStats};
 
 #[derive(Debug)]
 enum Event {
@@ -93,6 +94,53 @@ impl RunResult {
             self.traffic.bytes(class) as f64 / self.measured_misses as f64
         }
     }
+
+    /// Folds the deterministic fields of this result into `h`. Floats
+    /// are excluded: everything folded is an exact integer product of
+    /// the simulation, so the digest is bit-stable across platforms.
+    ///
+    /// The field order is pinned — `perf_baseline`'s recorded result
+    /// hash (and CI's thread-determinism diff) depend on it, so only
+    /// ever append.
+    pub fn fold_into(&self, h: &mut FxHasher) {
+        h.write_u64(self.runtime_cycles);
+        h.write_u64(self.ops_completed);
+        h.write_u64(self.measured_misses);
+        h.write_u64(self.events_processed);
+        for class in TrafficClass::ALL {
+            h.write_u64(self.traffic.bytes(class));
+            h.write_u64(self.traffic.traversals(class));
+        }
+        h.write_u64(self.traffic.dropped_packets());
+        h.write_u64(self.traffic.dropped_bytes());
+        let c = &self.counters;
+        for v in [
+            c.hits,
+            c.misses,
+            c.satisfied_before_activation,
+            c.tenure_timeouts,
+            c.direct_responses,
+            c.direct_ignored,
+            c.reissues,
+            c.persistent_requests,
+            c.writebacks,
+        ] {
+            h.write_u64(v);
+        }
+        for (lower, count) in self.miss_latency.buckets() {
+            h.write_u64(lower);
+            h.write_u64(count);
+        }
+    }
+
+    /// The deterministic digest of this result (a fresh
+    /// [`fold_into`](RunResult::fold_into)) — the unit of record→replay
+    /// bit-identity checks.
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.fold_into(&mut h);
+        h.finish()
+    }
 }
 
 /// A fully assembled simulated multicore: cores, workload generators,
@@ -120,6 +168,10 @@ pub struct System {
     last_completion: Cycle,
     cores_past_warmup: usize,
     warmup_end: Option<Cycle>,
+    /// Captures every generated work item when
+    /// `SimConfig::record_trace` is set; written out at the end of
+    /// [`System::run`].
+    recorder: Option<TraceWriter>,
 }
 
 impl System {
@@ -133,7 +185,23 @@ impl System {
             config.protocol.working_set_hint = Some(config.workload.working_set_blocks(n));
         }
         let noc = Fabric::new(config.fabric_config());
-        let root_rng = SimRng::from_seed(config.seed).fork(WORKLOAD_STREAM);
+        // Recording sits at the generator seam: the trace captures the
+        // items generators hand the cores, so replaying it reproduces
+        // the identical event sequence. The stored working-set hint is
+        // the one this run sizes its tables with (derived or explicit),
+        // so replays pre-size identically too.
+        let recorder = config.record_trace.as_ref().map(|_| {
+            TraceWriter::new(
+                config.workload.name(),
+                config.seed,
+                n,
+                config
+                    .protocol
+                    .working_set_hint
+                    .expect("working-set hint derived above"),
+            )
+        });
+        let root_rng = SimRng::from_seed(config.seed).fork(streams::WORKLOAD);
         let nodes = (0..n)
             .map(|i| build_controller(&config.protocol, NodeId::new(i)))
             .collect();
@@ -181,6 +249,7 @@ impl System {
             } else {
                 None
             },
+            recorder,
             config,
         };
         for i in 0..n {
@@ -209,6 +278,10 @@ impl System {
             return;
         }
         let item = core.generator.next_item();
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record(node, item);
+        }
+        let core = &mut self.cores[node.index()];
         core.pending = Some(MemOp {
             addr: item.addr,
             kind: item.kind,
@@ -434,6 +507,17 @@ impl System {
             0,
             "tokens still in flight after drain"
         );
+
+        if let Some(recorder) = self.recorder.take() {
+            let path = self
+                .config
+                .record_trace
+                .as_ref()
+                .expect("recorder implies a record path");
+            recorder
+                .write_path(path)
+                .unwrap_or_else(|e| panic!("failed to write trace {}: {e}", path.display()));
+        }
 
         let warmup_end = self.warmup_end.expect("all cores passed warmup");
         let mut counters = ProtocolCounters::default();

@@ -31,6 +31,7 @@ mod cycle;
 mod event;
 mod rng;
 pub mod stats;
+pub mod streams;
 
 pub use cycle::Cycle;
 pub use event::{DrainCurrentCycle, EventQueue};

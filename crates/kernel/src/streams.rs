@@ -1,0 +1,45 @@
+//! The registry of named RNG stream labels.
+//!
+//! Every component that consumes randomness forks its own stream from the
+//! run seed via [`stream_seed`](crate::stream_seed) (or
+//! [`SimRng::fork`](crate::SimRng::fork)) under a label listed here, so
+//! that adding a new consumer never perturbs the draws seen by existing
+//! ones. Labels are the component's four-letter ASCII tag packed into a
+//! `u64`; keeping them in one table makes accidental collisions visible
+//! at a glance.
+
+/// Workload generators (`"work"`). The per-run root of every core's
+/// access stream; each core forks a per-node child from it.
+pub const WORKLOAD: u64 = 0x77_6f_72_6b;
+
+/// The interconnect fault schedule (`"faul"`). Dedicated so that turning
+/// faults on or off never shifts a workload's random draws.
+pub const FAULT: u64 = 0x66_61_75_6c;
+
+/// Service-traffic generators (`"serv"`). Forked *below* each core's
+/// [`WORKLOAD`]-derived stream, so the service generators added after the
+/// synthetic ones draw from a stream no existing workload ever touched —
+/// recorded goldens cannot shift.
+pub const SERVICE: u64 = 0x73_65_72_76;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_the_ascii_tags() {
+        assert_eq!(WORKLOAD.to_be_bytes()[4..], *b"work");
+        assert_eq!(FAULT.to_be_bytes()[4..], *b"faul");
+        assert_eq!(SERVICE.to_be_bytes()[4..], *b"serv");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [WORKLOAD, FAULT, SERVICE];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,9 +1,10 @@
 //! The per-core access-stream generator.
 
-use patchsim_kernel::SimRng;
+use patchsim_kernel::{streams, SimRng};
 use patchsim_mem::{AccessKind, BlockAddr};
 use patchsim_noc::NodeId;
 
+use crate::service::{ServiceProfile, ZipfSampler};
 use crate::{SharingProfile, WorkloadSpec};
 
 /// One memory operation produced by a workload generator: what to access
@@ -33,6 +34,10 @@ pub struct Generator {
     /// Second half of a migratory read-modify-write pair, if one is queued.
     pending: Option<WorkItem>,
     ops_generated: u64,
+    /// Precomputed Zipf tables for [`WorkloadSpec::Service`].
+    zipf: Option<ZipfSampler>,
+    /// Replay position for [`WorkloadSpec::Trace`].
+    cursor: usize,
 }
 
 /// Address-space layout constants. Regions of different kinds (and of
@@ -51,7 +56,23 @@ impl Generator {
     /// Panics if `node` is out of range.
     pub fn new(spec: WorkloadSpec, node: NodeId, num_nodes: u16, rng: SimRng) -> Self {
         assert!(node.raw() < num_nodes, "{node} out of range");
-        let rng = rng.fork(node.raw() as u64);
+        if let WorkloadSpec::Trace(t) = &spec {
+            assert_eq!(
+                t.num_nodes, num_nodes,
+                "trace '{}' was recorded on {} cores and cannot replay on {}",
+                t.label, t.num_nodes, num_nodes
+            );
+        }
+        let mut rng = rng.fork(node.raw() as u64);
+        let mut zipf = None;
+        if let WorkloadSpec::Service(p) = &spec {
+            // Service generators draw from a stream forked *below* the
+            // per-node workload stream under a dedicated label, so no
+            // pre-existing workload's draws can ever shift.
+            rng = rng.fork(streams::SERVICE);
+            let tenant_keys = (p.keys / p.tenants.max(1) as u64).max(1);
+            zipf = Some(ZipfSampler::new(tenant_keys, p.theta));
+        }
         Generator {
             spec,
             node,
@@ -59,6 +80,8 @@ impl Generator {
             rng,
             pending: None,
             ops_generated: 0,
+            zipf,
+            cursor: 0,
         }
     }
 
@@ -102,7 +125,75 @@ impl Generator {
                 let profile = profile.clone();
                 self.synthetic_item(&profile)
             }
+            WorkloadSpec::Service(profile) => {
+                let profile = profile.clone();
+                self.service_item(&profile)
+            }
+            WorkloadSpec::Trace(_) => self.trace_item(),
         }
+    }
+
+    /// Produces the next service-traffic access. All time variation is
+    /// keyed to this generator's own operation count, and every path
+    /// consumes the same RNG draws in the same order (think, tenant
+    /// chance, tenant pick, rank, write chance), so the stream stays a
+    /// pure function of `(profile, node, seed)`.
+    fn service_item(&mut self, p: &ServiceProfile) -> WorkItem {
+        let ops = self.ops_generated;
+        let mut think = self.think(p.think_mean);
+        if p.burst_period > 0 && ops % p.burst_period < p.burst_len {
+            think /= p.burst_think_div.max(1);
+        }
+        let tenants = p.tenants.max(1) as u64;
+        let tenant_keys = (p.keys / tenants).max(1);
+        let tenant = if tenants == 1 {
+            0
+        } else {
+            let hot = ops.checked_div(p.phase_ops).map_or(0, |n| n % tenants);
+            if self.rng.chance(p.hot_tenant_frac) {
+                hot
+            } else {
+                self.rng.below(tenants)
+            }
+        };
+        let zipf = self.zipf.expect("service generator has a sampler");
+        let rank = zipf.sample(&mut self.rng);
+        // Hot-set rotation: shift the rank-to-key mapping every
+        // `hot_period` ops, so which *keys* are hot drifts over time
+        // while the skew shape stays fixed.
+        let offset = ops
+            .checked_div(p.hot_period)
+            .map_or(0, |n| n.wrapping_mul(p.hot_step) % tenant_keys);
+        let addr = BlockAddr::new(tenant * tenant_keys + (rank + offset) % tenant_keys);
+        let kind = if self.rng.chance(p.write_frac) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        WorkItem {
+            addr,
+            kind,
+            think_cycles: think,
+        }
+    }
+
+    /// Replays the next recorded item for this core. Wraps around if
+    /// asked for more items than were recorded (replaying a trace under
+    /// its recording config never wraps).
+    fn trace_item(&mut self) -> WorkItem {
+        let WorkloadSpec::Trace(t) = &self.spec else {
+            unreachable!("trace_item called on a non-trace spec")
+        };
+        let stream = &t.streams[self.node.raw() as usize];
+        assert!(
+            !stream.is_empty(),
+            "trace '{}' has no items for {}",
+            t.label,
+            self.node
+        );
+        let item = stream[self.cursor % stream.len()];
+        self.cursor += 1;
+        item
     }
 
     fn synthetic_item(&mut self, p: &SharingProfile) -> WorkItem {
@@ -322,5 +413,117 @@ mod tests {
             g.next_item();
         }
         assert_eq!(g.ops_generated(), 5);
+    }
+
+    #[test]
+    fn service_stream_is_deterministic_and_in_bounds() {
+        use crate::service_presets;
+        let mut a = gen_for(service_presets::zipf_hot(), 2, 8, 21);
+        let mut b = gen_for(service_presets::zipf_hot(), 2, 8, 21);
+        for _ in 0..2000 {
+            let item = a.next_item();
+            assert_eq!(item, b.next_item());
+            assert!(item.addr.raw() < 8192, "service addr within keyspace");
+        }
+    }
+
+    #[test]
+    fn service_skew_concentrates_mass_vs_uniform() {
+        use crate::service_presets;
+        let top_share = |spec: WorkloadSpec| {
+            let mut g = gen_for(spec, 0, 8, 13);
+            let mut counts = std::collections::BTreeMap::new();
+            for _ in 0..20_000 {
+                *counts.entry(g.next_item().addr.raw()).or_insert(0u64) += 1;
+            }
+            let mut freqs: Vec<u64> = counts.into_values().collect();
+            freqs.sort_unstable_by(|a, b| b.cmp(a));
+            freqs.iter().take(16).sum::<u64>() as f64 / 20_000.0
+        };
+        let zipf = top_share(service_presets::zipf());
+        let uniform = top_share(service_presets::uniform());
+        assert!(
+            zipf > 4.0 * uniform,
+            "zipf top-16 share {zipf:.3} should dwarf uniform {uniform:.3}"
+        );
+    }
+
+    #[test]
+    fn service_hot_set_rotates_over_time() {
+        use crate::service_presets;
+        // svc-hot rotates every 256 ops; the most popular key of the
+        // first window should differ from a much later window's.
+        let mut g = gen_for(service_presets::zipf_hot(), 0, 8, 5);
+        let hottest = |g: &mut Generator| {
+            let mut counts = std::collections::BTreeMap::new();
+            for _ in 0..256 {
+                *counts.entry(g.next_item().addr.raw()).or_insert(0u64) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        let early = hottest(&mut g);
+        for _ in 0..4096 {
+            g.next_item();
+        }
+        let late = hottest(&mut g);
+        assert_ne!(early, late, "hot key should drift across rotations");
+    }
+
+    #[test]
+    fn service_burst_window_shrinks_think_time() {
+        use crate::service_presets;
+        let WorkloadSpec::Service(p) = service_presets::uniform() else {
+            panic!()
+        };
+        let spec = WorkloadSpec::Service(p.with_burst(256, 64, 8));
+        let mut g = gen_for(spec, 0, 4, 7);
+        let mut burst_total = 0u64;
+        let mut steady_total = 0u64;
+        for i in 1..=25_600u64 {
+            let think = g.next_item().think_cycles;
+            if i % 256 < 64 {
+                burst_total += think;
+            } else {
+                steady_total += think;
+            }
+        }
+        let burst_mean = burst_total as f64 / (25_600.0 * 64.0 / 256.0);
+        let steady_mean = steady_total as f64 / (25_600.0 * 192.0 / 256.0);
+        assert!(
+            burst_mean < steady_mean / 4.0,
+            "burst mean {burst_mean:.2} vs steady {steady_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn trace_replay_returns_recorded_items_in_order_then_wraps() {
+        use crate::TraceData;
+        let mut t = TraceData::empty("unit", 1, 2, 16);
+        let items: Vec<WorkItem> = (0..5)
+            .map(|i| WorkItem {
+                addr: BlockAddr::new(i * 3),
+                kind: if i % 2 == 0 {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                },
+                think_cycles: i,
+            })
+            .collect();
+        t.streams[1] = items.clone();
+        t.streams[0] = vec![items[0]];
+        let mut g = gen_for(WorkloadSpec::trace(t), 1, 2, 99);
+        for item in &items {
+            assert_eq!(g.next_item(), *item);
+        }
+        assert_eq!(g.next_item(), items[0], "wraps past the recorded end");
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded on 2 cores")]
+    fn trace_replay_rejects_mismatched_node_count() {
+        use crate::TraceData;
+        let t = TraceData::empty("unit", 1, 2, 16);
+        gen_for(WorkloadSpec::trace(t), 0, 4, 99);
     }
 }

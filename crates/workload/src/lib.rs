@@ -19,6 +19,13 @@
 //! writes a random entry in a fixed-size table (16k locations) 30% of the
 //! time and reads a random entry 70% of the time".
 //!
+//! Two further workload families round out the catalog (see
+//! `docs/workloads.md`): [`WorkloadSpec::Service`] generates
+//! service-shaped traffic — Zipfian key skew with rotating hot sets,
+//! phase-changing tenant mixes, bursty arrivals — from a dedicated RNG
+//! stream, and [`WorkloadSpec::Trace`] replays a [`TraceData`] recorded
+//! by the `patchsim-trace` crate bit-identically.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +44,10 @@
 
 mod generator;
 mod profile;
+mod replay;
+mod service;
 
 pub use generator::{Generator, WorkItem};
 pub use profile::{presets, SharingProfile, WorkloadSpec};
+pub use replay::TraceData;
+pub use service::{service_presets, ServiceProfile, ZipfSampler};

@@ -1,9 +1,13 @@
 //! Workload specifications and named presets.
 
+use std::sync::Arc;
+
 use patchsim_kernel::SimRng;
 use patchsim_noc::NodeId;
 
 use crate::generator::Generator;
+use crate::replay::TraceData;
+use crate::service::ServiceProfile;
 
 /// The sharing-pattern statistics of a synthetic workload.
 ///
@@ -43,8 +47,9 @@ pub struct SharingProfile {
     pub think_mean: u64,
 }
 
-/// A complete workload specification: either a synthetic sharing profile
-/// or the paper's scalability microbenchmark.
+/// A complete workload specification: a synthetic sharing profile, the
+/// paper's scalability microbenchmark, a service-traffic profile, or the
+/// replay of a recorded trace.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadSpec {
     /// A [`SharingProfile`]-driven synthetic workload.
@@ -59,6 +64,14 @@ pub enum WorkloadSpec {
         /// Mean think time between accesses, in cycles.
         think_mean: u64,
     },
+    /// A [`ServiceProfile`]-driven service workload: Zipfian key skew,
+    /// rotating hot sets, tenant phases, bursty arrivals.
+    Service(ServiceProfile),
+    /// Replay of a recorded trace: each core's generator becomes a
+    /// cursor over its recorded stream. The `Arc` keeps cloning a spec
+    /// (which happens once per core and once per experiment cell) from
+    /// duplicating the trace body.
+    Trace(Arc<TraceData>),
 }
 
 impl WorkloadSpec {
@@ -69,6 +82,11 @@ impl WorkloadSpec {
             write_frac: 0.3,
             think_mean: 10,
         }
+    }
+
+    /// Wraps a recorded trace for replay.
+    pub fn trace(data: TraceData) -> Self {
+        WorkloadSpec::Trace(Arc::new(data))
     }
 
     /// Builds the per-core generator for `node` in an `num_nodes`-core
@@ -84,17 +102,20 @@ impl WorkloadSpec {
     }
 
     /// The workload's display name.
-    pub fn name(&self) -> &'static str {
+    pub fn name(&self) -> &str {
         match self {
             WorkloadSpec::Synthetic(p) => p.name,
             WorkloadSpec::Microbenchmark { .. } => "microbench",
+            WorkloadSpec::Service(p) => p.name,
+            WorkloadSpec::Trace(t) => &t.label,
         }
     }
 
     /// Approximate number of distinct blocks an `num_nodes`-core run of
     /// this workload touches. Used to pre-size the controllers' per-block
     /// tables; an estimate (region sizes, ignoring partial coverage), not
-    /// a bound.
+    /// a bound. For traces this is the *recording run's* estimate,
+    /// reproduced verbatim so replayed table capacities match exactly.
     pub fn working_set_blocks(&self, num_nodes: u16) -> u64 {
         match self {
             WorkloadSpec::Microbenchmark { table_blocks, .. } => *table_blocks,
@@ -103,6 +124,8 @@ impl WorkloadSpec {
                 let per_core = p.pc_blocks_per_core + p.private_blocks;
                 clusters * (p.shared_blocks + p.cluster_size as u64 * per_core)
             }
+            WorkloadSpec::Service(p) => p.keys.max(1),
+            WorkloadSpec::Trace(t) => t.working_set_blocks,
         }
     }
 }
@@ -211,8 +234,11 @@ pub mod presets {
         vec![jbb(), oltp(), apache(), barnes(), ocean()]
     }
 
-    /// Looks a preset up by name.
+    /// Looks a preset up by name. Service presets from
+    /// [`service_presets`](crate::service_presets) are included so the
+    /// bench `--workload` flag can name any generated workload.
     pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        use crate::service::service_presets as svc;
         match name {
             "oltp" => Some(oltp()),
             "apache" => Some(apache()),
@@ -220,6 +246,9 @@ pub mod presets {
             "barnes" => Some(barnes()),
             "ocean" => Some(ocean()),
             "microbench" => Some(WorkloadSpec::microbenchmark()),
+            "svc-uniform" => Some(svc::uniform()),
+            "svc-zipf" => Some(svc::zipf()),
+            "svc-hot" => Some(svc::zipf_hot()),
             _ => None,
         }
     }
@@ -251,11 +280,29 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for name in ["oltp", "apache", "jbb", "barnes", "ocean", "microbench"] {
+        for name in [
+            "oltp",
+            "apache",
+            "jbb",
+            "barnes",
+            "ocean",
+            "microbench",
+            "svc-uniform",
+            "svc-zipf",
+            "svc-hot",
+        ] {
             let spec = presets::by_name(name).unwrap();
             assert_eq!(spec.name(), name);
         }
         assert!(presets::by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn trace_spec_reports_recorded_metadata() {
+        use crate::replay::TraceData;
+        let spec = WorkloadSpec::trace(TraceData::empty("oltp", 42, 8, 4096));
+        assert_eq!(spec.name(), "oltp");
+        assert_eq!(spec.working_set_blocks(8), 4096);
     }
 
     #[test]

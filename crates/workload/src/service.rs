@@ -1,0 +1,278 @@
+//! Service-shaped traffic: Zipfian key skew, rotating hot sets,
+//! phase-changing tenant mixes, and bursty arrivals.
+//!
+//! The synthetic [`SharingProfile`](crate::SharingProfile) workloads model
+//! the paper's checkpointed applications; a *service* under live traffic
+//! looks different: requests hit a shared keyspace with heavy skew (a few
+//! hot keys absorb most traffic), the hot set drifts over time, tenants
+//! wax and wane in phases, and arrivals come in bursts. [`ServiceProfile`]
+//! parameterizes all four effects on top of a YCSB-style [`ZipfSampler`].
+//!
+//! Service generators draw from a dedicated RNG stream
+//! ([`streams::SERVICE`](patchsim_kernel::streams::SERVICE)) forked below
+//! each core's per-node workload stream, so adding them cannot shift any
+//! draw an existing workload makes.
+
+use patchsim_kernel::SimRng;
+
+use crate::WorkloadSpec;
+
+/// A skewed-keyspace service workload.
+///
+/// All time-varying behaviour is keyed to the generator's own operation
+/// count (not simulation time), which keeps the stream a pure function of
+/// `(profile, node, seed)` — the same determinism contract as every other
+/// workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceProfile {
+    /// Human-readable name used in figure output.
+    pub name: &'static str,
+    /// Total keyspace size in blocks, split evenly across tenants.
+    pub keys: u64,
+    /// Zipf skew parameter `theta` in `[0, 1)`; `0` is uniform.
+    pub theta: f64,
+    /// Operations between hot-set rotations; `0` keeps the hot set fixed.
+    pub hot_period: u64,
+    /// How many ranks the key mapping shifts per rotation.
+    pub hot_step: u64,
+    /// Number of tenants partitioning the keyspace.
+    pub tenants: u16,
+    /// Operations per tenant phase; each phase promotes the next tenant
+    /// to "hot". `0` pins tenant 0 as hot forever.
+    pub phase_ops: u64,
+    /// Probability an access targets the currently hot tenant (the rest
+    /// pick a tenant uniformly).
+    pub hot_tenant_frac: f64,
+    /// Probability an access is a write.
+    pub write_frac: f64,
+    /// Mean think time between accesses, in cycles.
+    pub think_mean: u64,
+    /// Burst cycle length in operations; `0` means steady (open-loop
+    /// bursts are approximated by think-time modulation, since cores in
+    /// this simulator are closed-loop).
+    pub burst_period: u64,
+    /// Operations at the start of each burst cycle issued with divided
+    /// think time.
+    pub burst_len: u64,
+    /// Think-time divisor during a burst.
+    pub burst_think_div: u64,
+}
+
+impl ServiceProfile {
+    /// Returns the profile with bursty arrivals layered on: the first
+    /// `len` of every `period` operations issue with think time divided
+    /// by `div`.
+    pub fn with_burst(mut self, period: u64, len: u64, div: u64) -> Self {
+        self.burst_period = period;
+        self.burst_len = len;
+        self.burst_think_div = div;
+        self
+    }
+}
+
+/// Service presets used by the `service` experiment plan.
+pub mod service_presets {
+    use super::*;
+
+    fn base(name: &'static str, theta: f64) -> ServiceProfile {
+        ServiceProfile {
+            name,
+            keys: 8192,
+            theta,
+            hot_period: 0,
+            hot_step: 0,
+            tenants: 1,
+            phase_ops: 0,
+            hot_tenant_frac: 0.0,
+            write_frac: 0.2,
+            think_mean: 10,
+            burst_period: 0,
+            burst_len: 0,
+            burst_think_div: 1,
+        }
+    }
+
+    /// Uniform keyspace traffic (`theta = 0`): the no-skew control.
+    pub fn uniform() -> WorkloadSpec {
+        WorkloadSpec::Service(base("svc-uniform", 0.0))
+    }
+
+    /// Zipfian skew at `theta = 0.9` (YCSB's default hot-key regime)
+    /// with a static hot set.
+    pub fn zipf() -> WorkloadSpec {
+        WorkloadSpec::Service(base("svc-zipf", 0.9))
+    }
+
+    /// Zipfian skew plus a rotating hot set and four tenants trading the
+    /// "hot" role in phases — the full time-varying service shape.
+    pub fn zipf_hot() -> WorkloadSpec {
+        WorkloadSpec::Service(ServiceProfile {
+            hot_period: 256,
+            hot_step: 97,
+            tenants: 4,
+            phase_ops: 512,
+            hot_tenant_frac: 0.75,
+            ..base("svc-hot", 0.9)
+        })
+    }
+}
+
+/// A YCSB-style bounded Zipfian sampler over ranks `0..n`.
+///
+/// Rank `0` is the hottest key. Uses the standard rejection-free closed
+/// form (Gray et al.), with `theta = 0` degenerating to a uniform draw.
+/// Sampling consumes exactly one RNG draw, so the draw count — and hence
+/// downstream stream alignment — is independent of which rank comes out.
+#[derive(Clone, Copy, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    one_half_pow_theta: f64,
+}
+
+/// The truncated zeta sum `Σ_{i=1..n} i^-theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| (i as f64).powf(-theta)).sum()
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over ranks `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "zipf sampler needs a non-empty keyspace");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "zipf theta must be in [0, 1), got {theta}"
+        );
+        if theta == 0.0 || n == 1 {
+            return ZipfSampler {
+                n,
+                theta: 0.0,
+                alpha: 0.0,
+                zetan: 0.0,
+                eta: 0.0,
+                one_half_pow_theta: 0.0,
+            };
+        }
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(n.min(2), theta);
+        ZipfSampler {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            one_half_pow_theta: 0.5f64.powf(theta),
+        }
+    }
+
+    /// The analytic probability mass of the hottest `k` ranks.
+    pub fn head_mass(&self, k: u64) -> f64 {
+        let k = k.min(self.n);
+        if self.theta == 0.0 {
+            k as f64 / self.n as f64
+        } else {
+            zeta(k, self.theta) / self.zetan
+        }
+    }
+
+    /// Draws a rank in `0..n` (0 = hottest), consuming one RNG draw.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.theta == 0.0 {
+            return if self.n == 1 { 0 } else { rng.below(self.n) };
+        }
+        let u = rng.unit();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.one_half_pow_theta {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic_across_runs() {
+        let z = ZipfSampler::new(1024, 0.9);
+        let mut a = SimRng::from_seed(11);
+        let mut b = SimRng::from_seed(11);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn hot_set_mass_matches_the_analytic_zeta_ratio() {
+        let n = 1024;
+        let z = ZipfSampler::new(n, 0.9);
+        let mut rng = SimRng::from_seed(3);
+        let head = 16;
+        let samples = 100_000;
+        let hits = (0..samples).filter(|_| z.sample(&mut rng) < head).count() as f64;
+        let empirical = hits / samples as f64;
+        let analytic = z.head_mass(head);
+        assert!(
+            (empirical - analytic).abs() < 0.02,
+            "top-{head} mass: empirical {empirical:.4} vs analytic {analytic:.4}"
+        );
+        // Skew sanity: 16/1024 keys must hold far more than their
+        // uniform share of the mass.
+        assert!(analytic > 0.3, "theta=0.9 head mass {analytic:.4}");
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let n = 64;
+        let z = ZipfSampler::new(n, 0.0);
+        let mut rng = SimRng::from_seed(5);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..64_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        assert!(min > 700 && max < 1300, "uniform spread {min}..{max}");
+    }
+
+    #[test]
+    fn single_key_space_always_returns_rank_zero() {
+        let z = ZipfSampler::new(1, 0.9);
+        let mut rng = SimRng::from_seed(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn ranks_stay_in_bounds_at_high_skew() {
+        let z = ZipfSampler::new(100, 0.99);
+        let mut rng = SimRng::from_seed(17);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn with_burst_sets_the_burst_knobs() {
+        let WorkloadSpec::Service(p) = service_presets::zipf() else {
+            panic!()
+        };
+        let p = p.with_burst(256, 64, 8);
+        assert_eq!(
+            (p.burst_period, p.burst_len, p.burst_think_div),
+            (256, 64, 8)
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests for the `service` experiment plan and the
+//! `--workload`/`--record-trace` command line: the sweep the CI smoke
+//! job runs (`runplan service --quick`) must be bit-identical at any
+//! worker-thread count, its burst cells must actually burst, and the
+//! `runplan` binary must reject a trace replayed at the wrong system
+//! size with usage and exit status 2.
+
+use std::process::Command;
+
+use patchsim::exp::{Format, Runner};
+use patchsim::{TraceWriter, WorkloadSpec};
+use patchsim_bench::{service_plan, with_standard_columns, Scale, SERVICE_BURST};
+
+/// A debug-build-friendly scale for plan-level tests.
+fn tiny() -> Scale {
+    let mut scale = Scale::quick();
+    scale.cores = 8;
+    scale.ops = 40;
+    scale.warmup = 20;
+    scale
+}
+
+fn csv(table: &patchsim::exp::Table) -> String {
+    let mut out = Vec::new();
+    table.emit(Format::Csv, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+/// The determinism contract holds for the service generators: a serial
+/// run and a 4-worker run of the whole service plan emit byte-identical
+/// tables. The Zipfian/burst draws come from a dedicated RNG stream that
+/// is still a pure function of the cell's seed.
+#[test]
+fn service_plan_is_bit_identical_across_thread_counts() {
+    let plan = service_plan(tiny());
+    let serial = with_standard_columns(Runner::serial().run(&plan));
+    let parallel = with_standard_columns(Runner::new().with_threads(4).run(&plan));
+    assert_eq!(
+        csv(&serial),
+        csv(&parallel),
+        "service traffic must be a pure function of the cell, not of scheduling"
+    );
+}
+
+/// The grid shape is skew x arrivals x protocol, and the burst axis
+/// actually arms the burst parameters on (only) its cells.
+#[test]
+fn service_plan_burst_cells_are_bursty() {
+    let plan = service_plan(tiny());
+    assert_eq!(plan.axis_names(), &["skew", "arrivals", "config"]);
+    assert_eq!(plan.len(), 3 * 2 * 3);
+    let (period, len, div) = SERVICE_BURST;
+    for cell in plan.cells() {
+        let WorkloadSpec::Service(profile) = &cell.config.workload else {
+            panic!("service cell without a service workload");
+        };
+        if cell.labels[1] == "burst" {
+            assert_eq!(profile.burst_period, period);
+            assert_eq!(profile.burst_len, len);
+            assert_eq!(profile.burst_think_div, div);
+        } else {
+            assert_eq!(cell.labels[1], "steady");
+            assert_eq!(profile.burst_period, 0, "steady cells must not burst");
+        }
+    }
+}
+
+/// Replaying a trace at the wrong system size is a usage error: the
+/// `runplan` binary prints the mismatch and exits with status 2 before
+/// running anything.
+#[test]
+fn runplan_rejects_a_trace_with_the_wrong_node_count() {
+    // An 8-core trace; `--quick` plans run 16 cores.
+    let mut path = std::env::temp_dir();
+    path.push(format!("patchsim_wrong_scale_{}.ptrc", std::process::id()));
+    let mut writer = TraceWriter::new("mismatch", 1, 8, 32);
+    let _ = &mut writer; // no items needed: the size check precedes replay
+    writer.write_path(&path).expect("trace writes");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_runplan"))
+        .args([
+            "faults",
+            "--quick",
+            "--workload",
+            &format!("trace:{}", path.display()),
+        ])
+        .output()
+        .expect("runplan executes");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(output.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("recorded on 8 cores"),
+        "stderr names the mismatch: {stderr}"
+    );
+    assert!(stderr.contains("Usage:"), "usage text follows the error");
+}
+
+/// An unreadable trace path is also a usage error, not a panic.
+#[test]
+fn runplan_rejects_a_missing_trace_file() {
+    let output = Command::new(env!("CARGO_BIN_EXE_runplan"))
+        .args(["faults", "--quick", "--workload", "trace:/nonexistent.ptrc"])
+        .output()
+        .expect("runplan executes");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot replay trace"), "stderr: {stderr}");
+}
