@@ -2,14 +2,22 @@
 //! plan by name with the standard measurement columns.
 //!
 //! `cargo run --release -p patchsim-bench --bin runplan -- <plan> [--quick]
-//! [--seeds N] [--threads N] [--fabric F] [--faults SPEC]
-//! [--format {text,csv,json}] [--out PATH]`
+//! [--seeds N] [--threads N] [--fabric F] [--faults SPEC] [--store DIR]
+//! [--cell-timeout SECS] [--retries N] [--format {text,csv,json}]
+//! [--out PATH]`
 //!
 //! `runplan --help` lists every registered plan with a one-line
 //! description; `runplan list` prints the bare plan names (one per line,
 //! for scripting). A missing or unknown plan name prints the described
 //! registry and exits with status 2.
+//!
+//! `runplan merge-store A B -o C` merges two result stores (see
+//! `--store`) into a third, erroring out if the same cell key carries
+//! different results in the two inputs.
 
+use std::path::PathBuf;
+
+use patchsim::exp::ResultStore;
 use patchsim_bench::{plan_by_name, with_standard_columns, BenchArgs, PLAN_INFO, PLAN_NAMES};
 
 /// The registered plans with their one-line descriptions, one per line,
@@ -27,7 +35,64 @@ fn plan_listing() -> String {
         .join("\n")
 }
 
+const MERGE_USAGE: &str = "Usage: runplan merge-store <STORE_A> <STORE_B> -o <OUT>
+
+Merges the entries of two result stores into a third (created if
+absent). Identical duplicate entries are skipped; the same key holding
+two different results is a hard error naming both entry files.";
+
+/// Handles `runplan merge-store A B -o C`: never returns.
+fn merge_store(raw: &[String]) -> ! {
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{MERGE_USAGE}");
+        std::process::exit(0);
+    }
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("error: {arg} requires a value\n\n{MERGE_USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag '{flag}'\n\n{MERGE_USAGE}");
+                std::process::exit(2);
+            }
+            value => inputs.push(PathBuf::from(value)),
+        }
+    }
+    let (Some(out), [a, b]) = (out, inputs.as_slice()) else {
+        eprintln!("error: merge-store needs two input stores and -o OUT\n\n{MERGE_USAGE}");
+        std::process::exit(2);
+    };
+    match ResultStore::merge(a, b, &out) {
+        Ok(report) => {
+            eprintln!(
+                "merged {} entries into {} ({} identical duplicates skipped, {} corrupt quarantined)",
+                report.merged,
+                out.display(),
+                report.duplicates,
+                report.quarantined,
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("merge-store") {
+        merge_store(&raw[1..]);
+    }
     let about = format!(
         "Run any registered experiment plan by name.\n\nPlans:\n{}",
         plan_listing()

@@ -34,8 +34,16 @@
 //! name like `oltp` or `svc-zipf`, or a recorded `.ptrc` trace to
 //! replay; plans with a workload axis override it),
 //! `--record-trace PATH` (record the plan's first cell to a `.ptrc`
-//! trace), `--format {text,csv,json}`, and `--out PATH`. Unknown flags
-//! and malformed values print usage and exit non-zero.
+//! trace), `--store DIR` (persist/resume results through a
+//! content-addressed store — a killed sweep rerun with the same store
+//! recomputes only what is missing and produces a byte-identical table),
+//! `--cell-timeout SECS` and `--retries N` (cell-level fault isolation:
+//! panicking or overrunning cells are retried, then reported failed
+//! without aborting the sweep), `--format {text,csv,json}`, and
+//! `--out PATH`. Unknown flags and malformed values print usage and exit
+//! non-zero; completed-but-incomplete sweeps (failed cells) exit 3
+//! (2 when a trace write failed). `runplan merge-store A B -o C` merges
+//! two stores with conflict detection.
 //!
 //! `cargo bench` additionally runs scaled-down versions of every figure
 //! plus microbenchmarks of the simulator's core data structures.
@@ -44,8 +52,11 @@ pub mod harness;
 
 use std::io::{self, Write};
 use std::path::PathBuf;
+use std::time::Duration;
 
-use patchsim::exp::{AxisValue, Cell, ExperimentPlan, Format, Runner, Sweep, Table};
+use patchsim::exp::{
+    AxisValue, Cell, ExperimentPlan, FailureKind, Format, ResultStore, Runner, Sweep, Table,
+};
 use patchsim::{
     presets, service_presets, FabricKind, FaultSpec, LinkBandwidth, PredictorChoice, ProtocolKind,
     SharerEncoding, SimConfig, TenureConfig, TraceReader, TrafficClass, WorkloadSpec,
@@ -141,6 +152,16 @@ pub struct BenchArgs {
     /// [`BenchArgs::run_plan`] records the plan's first cell (replication
     /// 0) to a `.ptrc` trace at this path.
     pub record: Option<PathBuf>,
+    /// Result-store directory (`--store DIR`); when set, completed runs
+    /// persist there and prior runs are loaded instead of recomputed, so
+    /// an interrupted sweep resumes where it died (see `docs/resume.md`).
+    pub store: Option<PathBuf>,
+    /// Per-run wall-clock budget (`--cell-timeout SECS`); runs exceeding
+    /// it fail their cell without aborting the sweep.
+    pub cell_timeout: Option<Duration>,
+    /// Retry budget for failed runs (`--retries N`); `None` uses the
+    /// runner default (one retry).
+    pub retries: Option<u32>,
 }
 
 /// The option block shared by every binary's usage text.
@@ -162,6 +183,15 @@ const OPTIONS_HELP: &str = "Options:
   --record-trace PATH
                  record the plan's first cell (replication 0) to a .ptrc
                  trace at PATH as it finishes
+  --store DIR    persist each run's result in a content-addressed store
+                 at DIR and resume from it: prior results load instead
+                 of recomputing, so a killed sweep picks up where it
+                 died (corrupt entries are quarantined and recomputed)
+  --cell-timeout SECS
+                 wall-clock budget per simulation run; runs exceeding it
+                 fail their cell without aborting the sweep
+  --retries N    retry failed runs N times before reporting the cell
+                 failed (default 1; 0 disables retries)
   --format FMT   output format: text, csv, json (default text)
   --out PATH     write the table to PATH instead of stdout
   -h, --help     print this help";
@@ -217,6 +247,9 @@ impl BenchArgs {
         let mut format = Format::Text;
         let mut out: Option<PathBuf> = None;
         let mut record: Option<PathBuf> = None;
+        let mut store: Option<PathBuf> = None;
+        let mut cell_timeout: Option<Duration> = None;
+        let mut retries: Option<u32> = None;
         let mut positional: Option<String> = None;
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
@@ -272,6 +305,27 @@ impl BenchArgs {
                     let v = it.next().ok_or("--out requires a value")?;
                     out = Some(PathBuf::from(v));
                 }
+                "--store" => {
+                    let v = it.next().ok_or("--store requires a value")?;
+                    store = Some(PathBuf::from(v));
+                }
+                "--cell-timeout" => {
+                    let v = it.next().ok_or("--cell-timeout requires a value")?;
+                    let secs: u64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid --cell-timeout value '{v}'"))?;
+                    if secs == 0 {
+                        return Err("--cell-timeout must be at least 1 second".into());
+                    }
+                    cell_timeout = Some(Duration::from_secs(secs));
+                }
+                "--retries" => {
+                    let v = it.next().ok_or("--retries requires a value")?;
+                    let n: u32 = v
+                        .parse()
+                        .map_err(|_| format!("invalid --retries value '{v}'"))?;
+                    retries = Some(n);
+                }
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag '{flag}'"));
                 }
@@ -310,6 +364,9 @@ impl BenchArgs {
                 format,
                 out,
                 record,
+                store,
+                cell_timeout,
+                retries,
             },
             positional,
         ))
@@ -329,12 +386,30 @@ impl BenchArgs {
         self.runner().run(&plan)
     }
 
-    /// The runner this invocation asked for.
+    /// The runner this invocation asked for: thread count, result store,
+    /// cell timeout, and retry budget all applied. Exits with status 2
+    /// when `--store` names a directory that cannot be created or opened.
     pub fn runner(&self) -> Runner {
-        match self.threads {
-            Some(n) => Runner::new().with_threads(n),
-            None => Runner::new(),
+        let mut runner = Runner::new();
+        if let Some(n) = self.threads {
+            runner = runner.with_threads(n);
         }
+        if let Some(dir) = &self.store {
+            match ResultStore::open(dir) {
+                Ok(store) => runner = runner.with_store(store),
+                Err(e) => {
+                    eprintln!("error: cannot open result store: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(timeout) = self.cell_timeout {
+            runner = runner.with_cell_timeout(timeout);
+        }
+        if let Some(retries) = self.retries {
+            runner = runner.with_retries(retries);
+        }
+        runner
     }
 
     /// Writes `table` in the selected format to stdout or `--out`.
@@ -367,12 +442,45 @@ impl BenchArgs {
         }
     }
 
-    /// Emits the table, exiting with status 1 on failure — the tail call
-    /// of every figure binary.
+    /// Emits the table and exits non-zero when anything went wrong — the
+    /// tail call of every figure binary.
+    ///
+    /// Exit statuses: 0 on success, 1 on emit failure, 2 when a cell's
+    /// trace recording failed (environment error: bad path, full disk),
+    /// and 3 when cells failed (panic/timeout) after retries — the table
+    /// still emits so surviving cells are not lost, but the sweep is
+    /// incomplete and scripts must not treat it as green.
     pub fn finish(&self, table: &Table) {
-        if let Err(e) = self.emit(table) {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+        for failure in table.failures() {
+            eprintln!(
+                "error: cell {} failed ({} after {} attempt{}): {}",
+                failure.labels.join("/"),
+                failure.kind,
+                failure.attempts,
+                if failure.attempts == 1 { "" } else { "s" },
+                failure.error.replace(['\n', '\r'], " "),
+            );
+        }
+        // A sweep whose every cell failed has nothing to emit; skip the
+        // empty-table error so the failure summary is the last word.
+        if !table.cells().is_empty() || table.failures().is_empty() {
+            if let Err(e) = self.emit(table) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !table.failures().is_empty() {
+            let summary = format!("{} of the plan's cells failed", table.failures().len());
+            if table
+                .failures()
+                .iter()
+                .any(|f| f.kind == FailureKind::TraceWrite)
+            {
+                eprintln!("error: {summary} (trace write failed)");
+                std::process::exit(2);
+            }
+            eprintln!("error: {summary}");
+            std::process::exit(3);
         }
     }
 }

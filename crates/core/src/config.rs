@@ -2,6 +2,7 @@
 
 use std::path::PathBuf;
 
+use patchsim_kernel::digest::Digest;
 use patchsim_kernel::{stream_seed, streams};
 use patchsim_noc::{FabricConfig, FabricKind, FaultSpec, LinkBandwidth};
 use patchsim_predictor::PredictorChoice;
@@ -188,6 +189,62 @@ impl SimConfig {
     /// see [`patchsim_kernel::streams`].
     pub const FAULT_STREAM: u64 = streams::FAULT;
 
+    /// A stable content digest of this configuration: every field that
+    /// can influence simulation results is folded in, so two
+    /// configurations with equal digests produce bit-identical
+    /// [`RunResult`](crate::RunResult)s. The result store
+    /// ([`exp::store`](crate::exp::store)) keys each `(cell, replication)`
+    /// by this digest plus a code-version tag.
+    ///
+    /// `record_trace` is deliberately excluded — it only adds a side
+    /// output, never changes measurements — so a recording run and a
+    /// plain run share one cache entry.
+    ///
+    /// Structured sub-configurations are folded through their `Debug`
+    /// representation: any field added to, removed from, or changed in
+    /// `ProtocolConfig`, a workload profile, or a fault spec
+    /// automatically changes the digest (a conservative invalidation —
+    /// renaming a field invalidates cached cells that are still valid,
+    /// which only costs recomputation, never staleness). Replayed traces
+    /// are the exception: their work items are folded numerically, so the
+    /// digest stays proportional to a header instead of rendering a
+    /// multi-megabyte `Debug` string.
+    pub fn stable_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.str(&format!("{:?}", self.protocol));
+        d.str(&format!("{:?}", self.bandwidth));
+        d.u64(self.stale_drop_cycles);
+        match &self.workload {
+            WorkloadSpec::Trace(trace) => {
+                d.str("Trace");
+                d.str(&trace.label);
+                d.u64(trace.seed);
+                d.u64(u64::from(trace.num_nodes));
+                d.u64(trace.working_set_blocks);
+                d.u64(trace.streams.len() as u64);
+                for stream in &trace.streams {
+                    d.u64(stream.len() as u64);
+                    for item in stream {
+                        d.u64(item.addr.raw());
+                        d.str(&format!("{:?}", item.kind));
+                        d.u64(item.think_cycles);
+                    }
+                }
+            }
+            other => {
+                d.str(&format!("{other:?}"));
+            }
+        }
+        d.u64(self.ops_per_core);
+        d.u64(self.warmup_ops_per_core);
+        d.u64(self.seed);
+        d.str(&format!("{:?}", self.check));
+        d.u64(self.max_cycles);
+        d.str(&format!("{:?}", self.faults));
+        d.opt_u64(self.liveness_horizon);
+        d.finish()
+    }
+
     /// The interconnect configuration this simulation will use: the
     /// configured fabric topology at the system size, with the
     /// configured bandwidth, staleness bound, fault mix, and
@@ -254,6 +311,41 @@ mod tests {
             cfg.with_liveness_horizon(5_000).liveness_horizon,
             Some(5_000)
         );
+    }
+
+    #[test]
+    fn stable_digest_is_deterministic_and_field_sensitive() {
+        let cfg = SimConfig::new(ProtocolKind::Patch, 16)
+            .with_ops_per_core(100)
+            .with_seed(7);
+        assert_eq!(cfg.stable_digest(), cfg.clone().stable_digest());
+        assert_ne!(
+            cfg.stable_digest(),
+            cfg.clone().with_seed(8).stable_digest()
+        );
+        assert_ne!(
+            cfg.stable_digest(),
+            cfg.clone().with_ops_per_core(101).stable_digest()
+        );
+        assert_ne!(
+            cfg.stable_digest(),
+            cfg.clone().with_checks().stable_digest()
+        );
+        assert_ne!(
+            cfg.stable_digest(),
+            SimConfig::new(ProtocolKind::TokenB, 16)
+                .with_ops_per_core(100)
+                .with_seed(7)
+                .stable_digest()
+        );
+    }
+
+    #[test]
+    fn stable_digest_ignores_trace_recording() {
+        let cfg = SimConfig::new(ProtocolKind::Patch, 16).with_seed(3);
+        let mut recording = cfg.clone();
+        recording.record_trace = Some(std::path::PathBuf::from("/tmp/out.trace"));
+        assert_eq!(cfg.stable_digest(), recording.stable_digest());
     }
 
     #[test]

@@ -7,7 +7,34 @@
 use std::fmt;
 use std::io::{self, Write};
 
-use crate::exp::table::{Table, Value};
+use crate::exp::table::{CellFailure, Table, Value};
+
+/// Computes one table value, mapping [`TableError`](crate::exp::TableError)
+/// (e.g. a normalized row whose baseline cell failed) to
+/// [`io::ErrorKind::InvalidData`] so emitters report it instead of
+/// panicking.
+fn table_value(table: &Table, row: usize, col: usize) -> io::Result<Value> {
+    table
+        .try_value(row, col)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Flattens a failure's error text to one line for text/CSV comments.
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+/// Renders a failed cell as a `#` comment line (text and CSV formats).
+fn failure_comment(failure: &CellFailure) -> String {
+    format!(
+        "# FAILED {}: [{} after {} attempt{}] {}",
+        failure.labels.join("/"),
+        failure.kind,
+        failure.attempts,
+        if failure.attempts == 1 { "" } else { "s" },
+        one_line(&failure.error)
+    )
+}
 
 /// The output formats every figure binary accepts via `--format`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,11 +122,14 @@ impl Emitter for TextEmitter {
             .map(|row| {
                 let mut fields: Vec<String> = table.cells()[row].labels.clone();
                 for (col, column) in table.columns().iter().enumerate() {
-                    fields.push(format_value(table.value(row, col), column.precision()));
+                    fields.push(format_value(
+                        table_value(table, row, col)?,
+                        column.precision(),
+                    ));
                 }
-                fields
+                Ok(fields)
             })
-            .collect();
+            .collect::<io::Result<_>>()?;
         let widths: Vec<usize> = headers
             .iter()
             .enumerate()
@@ -144,6 +174,12 @@ impl Emitter for TextEmitter {
         for note in table.notes() {
             writeln!(out, "# {note}")?;
         }
+        if !table.failures().is_empty() {
+            writeln!(out, "# FAILED CELLS ({})", table.failures().len())?;
+            for failure in table.failures() {
+                writeln!(out, "{}", failure_comment(failure))?;
+            }
+        }
         Ok(())
     }
 }
@@ -179,7 +215,7 @@ impl Emitter for CsvEmitter {
                 .collect();
             for (col, column) in table.columns().iter().enumerate() {
                 let precision = column.precision();
-                match table.value(row, col) {
+                match table_value(table, row, col)? {
                     Value::Num(v) => fields.push(format!("{v:.precision$}")),
                     Value::Ci(ci) => {
                         fields.push(format!("{:.precision$}", ci.mean));
@@ -188,6 +224,9 @@ impl Emitter for CsvEmitter {
                 }
             }
             writeln!(out, "{}", fields.join(","))?;
+        }
+        for failure in table.failures() {
+            writeln!(out, "{}", failure_comment(failure))?;
         }
         Ok(())
     }
@@ -241,6 +280,24 @@ impl Emitter for JsonEmitter {
             .map(|n| format!("\"{}\"", json_escape(n)))
             .collect();
         writeln!(out, "  \"notes\": [{}],", notes.join(", "))?;
+        // Rendered only when present, so complete runs keep their exact
+        // historical output.
+        if !table.failures().is_empty() {
+            writeln!(out, "  \"failures\": [")?;
+            let n = table.failures().len();
+            for (i, failure) in table.failures().iter().enumerate() {
+                let comma = if i + 1 < n { "," } else { "" };
+                writeln!(
+                    out,
+                    "    {{\"cell\": \"{}\", \"kind\": \"{}\", \"attempts\": {}, \"error\": \"{}\"}}{comma}",
+                    json_escape(&failure.labels.join("/")),
+                    failure.kind,
+                    failure.attempts,
+                    json_escape(&failure.error)
+                )?;
+            }
+            writeln!(out, "  ],")?;
+        }
         writeln!(out, "  \"rows\": [")?;
         let rows = table.cells().len();
         for row in 0..rows {
@@ -253,7 +310,7 @@ impl Emitter for JsonEmitter {
             for (col, column) in table.columns().iter().enumerate() {
                 let name = json_escape(column.name());
                 let precision = column.precision();
-                match table.value(row, col) {
+                match table_value(table, row, col)? {
                     Value::Num(v) => {
                         fields.push(format!("\"{name}\": {}", json_number(v, precision)));
                     }

@@ -18,6 +18,19 @@
 //!    baseline-normalized and confidence-interval columns declared by the
 //!    caller.
 //!
+//! Two robustness layers make long sweeps practical:
+//!
+//! * **Fault isolation** — each `(cell, replication)` run executes inside
+//!   a panic boundary with an optional wall-clock timeout and bounded
+//!   retries; cells that still fail surface as [`CellFailure`]s on the
+//!   table (rendered explicitly by every emitter) instead of killing the
+//!   sweep.
+//! * **Resumability** — [`store`] persists each run's result under a
+//!   content-addressed key ([`cell_key`]); a [`Runner`] with an attached
+//!   [`ResultStore`] loads hits and recomputes only misses, so a killed
+//!   sweep resumes to a byte-identical table. Corrupt entries are
+//!   quarantined and recomputed, never trusted.
+//!
 //! # Examples
 //!
 //! ```
@@ -57,9 +70,13 @@
 mod emit;
 mod plan;
 mod runner;
+pub mod store;
 mod table;
 
 pub use emit::{CsvEmitter, Emitter, Format, JsonEmitter, TextEmitter};
 pub use plan::{AxisValue, Cell, ConfigTransform, ExperimentPlan, Sweep};
 pub use runner::Runner;
-pub use table::{CellResult, CiMetric, Column, Metric, Table, Value};
+pub use store::{cell_key, LoadOutcome, MergeReport, ResultStore, StoreError, CODE_VERSION};
+pub use table::{
+    CellFailure, CellResult, CiMetric, Column, FailureKind, Metric, Table, TableError, Value,
+};

@@ -21,6 +21,104 @@ pub struct CellResult {
     pub summary: RunSummary,
 }
 
+/// How a failed cell died. Rendered in failure reports and used by the
+/// CLI to pick an exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The simulation panicked (e.g. a livelock watchdog or an internal
+    /// invariant check fired).
+    Panic,
+    /// The cell exceeded its wall-clock budget.
+    Timeout,
+    /// The run completed but its `--record-trace` output could not be
+    /// written.
+    TraceWrite,
+}
+
+impl FailureKind {
+    /// Short lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::TraceWrite => "trace-write",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One grid cell that produced no result: its coordinates, the config
+/// that failed, and what went wrong on the last attempt.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// One label per plan axis, in axis order.
+    pub labels: Vec<String>,
+    /// The configuration that failed (seed = the cell's base seed).
+    pub config: SimConfig,
+    /// The failure category of the final attempt.
+    pub kind: FailureKind,
+    /// How many attempts were made (1 = no retries).
+    pub attempts: u32,
+    /// The panic payload, timeout description, or I/O error text.
+    pub error: String,
+}
+
+/// Typed errors from table construction and value computation —
+/// misdeclared normalization columns and rows whose baseline cell is
+/// absent (e.g. because it failed and was excluded from the grid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The requested normalization axis is not one of the table's axes.
+    UnknownAxis {
+        /// The axis name the caller passed.
+        axis: String,
+        /// The table's actual axes.
+        axes: Vec<String>,
+    },
+    /// The baseline label never occurs on the normalization axis.
+    UnknownBaseline {
+        /// The normalization axis.
+        axis: String,
+        /// The label that never occurs on it.
+        baseline: String,
+    },
+    /// A row has no baseline cell to normalize against.
+    MissingBaseline {
+        /// The baseline label looked for.
+        baseline: String,
+        /// The row's coordinates, joined with `/`.
+        row: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownAxis { axis, axes } => write!(
+                f,
+                "unknown normalization axis '{axis}' (table axes: {})",
+                axes.join(", ")
+            ),
+            TableError::UnknownBaseline { axis, baseline } => {
+                write!(
+                    f,
+                    "baseline label '{baseline}' never occurs on axis '{axis}'"
+                )
+            }
+            TableError::MissingBaseline { baseline, row } => {
+                write!(f, "no baseline cell '{baseline}' for row {row}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// A scalar metric extractor over one cell.
 pub type Metric = Box<dyn Fn(&CellResult) -> f64>;
 
@@ -111,6 +209,7 @@ pub struct Table {
     cells: Vec<CellResult>,
     columns: Vec<Column>,
     notes: Vec<String>,
+    failures: Vec<CellFailure>,
 }
 
 impl Table {
@@ -133,7 +232,33 @@ impl Table {
             cells,
             columns: Vec::new(),
             notes: Vec::new(),
+            failures: Vec::new(),
         }
+    }
+
+    /// Attaches the plan cells that produced no result (panicked, timed
+    /// out, or failed their trace write after exhausting retries).
+    /// Emitters render them explicitly so a sweep with failures can
+    /// never be mistaken for a complete one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any failure's label count differs from the axis count.
+    pub fn with_cell_failures(mut self, failures: Vec<CellFailure>) -> Self {
+        for failure in &failures {
+            assert_eq!(
+                failure.labels.len(),
+                self.axes.len(),
+                "failure labels must match axis count"
+            );
+        }
+        self.failures = failures;
+        self
+    }
+
+    /// The cells that produced no result, in grid order.
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
     }
 
     /// The table's title.
@@ -227,28 +352,59 @@ impl Table {
     ///
     /// Panics if `axis` is not one of the table's axes, if
     /// `baseline_label` never occurs on that axis, or if `name` repeats an
-    /// existing column or axis name.
+    /// existing column or axis name. Callers handling user-supplied axis
+    /// names should use [`try_normalized_column`](Table::try_normalized_column).
     pub fn with_normalized_column(
-        mut self,
+        self,
         name: impl Into<String>,
         precision: usize,
         axis: &str,
         baseline_label: &str,
         metric: impl Fn(&CellResult) -> f64 + 'static,
     ) -> Self {
-        let axis_idx = self
-            .axes
-            .iter()
-            .position(|a| a == axis)
-            .unwrap_or_else(|| panic!("unknown normalization axis '{axis}'"));
-        assert!(
-            self.cells.is_empty()
-                || self
-                    .cells
-                    .iter()
-                    .any(|c| c.labels[axis_idx] == baseline_label),
-            "baseline label '{baseline_label}' never occurs on axis '{axis}'"
-        );
+        self.try_normalized_column(name, precision, axis, baseline_label, metric)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_normalized_column`](Table::with_normalized_column):
+    /// a bad axis or baseline label comes back as a [`TableError`] naming
+    /// the offending axis instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::UnknownAxis`] when `axis` is not a table axis;
+    /// [`TableError::UnknownBaseline`] when `baseline_label` never occurs
+    /// on it (in a non-empty table).
+    ///
+    /// # Panics
+    ///
+    /// Still panics if `name` repeats an existing column or axis name —
+    /// that is a programming error in the plan, not a data condition.
+    pub fn try_normalized_column(
+        mut self,
+        name: impl Into<String>,
+        precision: usize,
+        axis: &str,
+        baseline_label: &str,
+        metric: impl Fn(&CellResult) -> f64 + 'static,
+    ) -> Result<Self, TableError> {
+        let Some(axis_idx) = self.axes.iter().position(|a| a == axis) else {
+            return Err(TableError::UnknownAxis {
+                axis: axis.to_string(),
+                axes: self.axes.clone(),
+            });
+        };
+        if !self.cells.is_empty()
+            && !self
+                .cells
+                .iter()
+                .any(|c| c.labels[axis_idx] == baseline_label)
+        {
+            return Err(TableError::UnknownBaseline {
+                axis: axis.to_string(),
+                baseline: baseline_label.to_string(),
+            });
+        }
         self.push_column(
             name.into(),
             precision,
@@ -258,12 +414,17 @@ impl Table {
                 metric: Box::new(metric),
             },
         );
-        self
+        Ok(self)
     }
 
     /// The row index of the baseline cell for `row` on `axis`: identical
     /// coordinates except `axis` replaced by `baseline`.
-    fn baseline_row(&self, row: usize, axis: usize, baseline: &str) -> usize {
+    fn try_baseline_row(
+        &self,
+        row: usize,
+        axis: usize,
+        baseline: &str,
+    ) -> Result<usize, TableError> {
         let labels = &self.cells[row].labels;
         self.cells
             .iter()
@@ -274,7 +435,10 @@ impl Table {
                         .enumerate()
                         .all(|(i, l)| i == axis || l == &labels[i])
             })
-            .unwrap_or_else(|| panic!("no baseline cell '{baseline}' for row {}", labels.join("/")))
+            .ok_or_else(|| TableError::MissingBaseline {
+                baseline: baseline.to_string(),
+                row: labels.join("/"),
+            })
     }
 
     /// Computes the value of column `col` for row `row`.
@@ -282,10 +446,28 @@ impl Table {
     /// # Panics
     ///
     /// Panics if either index is out of range, or if a normalized column
-    /// has no baseline cell for the row.
+    /// has no baseline cell for the row. Emitters use
+    /// [`try_value`](Table::try_value) so a sparse grid (e.g. after cell
+    /// failures) surfaces as an error, not a crash.
     pub fn value(&self, row: usize, col: usize) -> Value {
+        self.try_value(row, col).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`value`](Table::value): a normalized column whose
+    /// baseline cell is absent (failed, filtered, or never planned) comes
+    /// back as [`TableError::MissingBaseline`] naming the row.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::MissingBaseline`] when a normalized column has no
+    /// baseline cell for the row.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if `row` or `col` is out of range.
+    pub fn try_value(&self, row: usize, col: usize) -> Result<Value, TableError> {
         let cell = &self.cells[row];
-        match &self.columns[col].kind {
+        Ok(match &self.columns[col].kind {
             ColumnKind::Metric(metric) => Value::Num(metric(cell)),
             ColumnKind::Ci(metric) => Value::Ci(metric(cell)),
             ColumnKind::Normalized {
@@ -293,10 +475,10 @@ impl Table {
                 baseline,
                 metric,
             } => {
-                let base = metric(&self.cells[self.baseline_row(row, *axis, baseline)]);
+                let base = metric(&self.cells[self.try_baseline_row(row, *axis, baseline)?]);
                 Value::Num(metric(cell) / base)
             }
-        }
+        })
     }
 
     /// Renders the table in `format` to `out`.
@@ -388,6 +570,84 @@ mod tests {
     #[should_panic(expected = "never occurs")]
     fn unknown_baseline_rejected() {
         let _ = tiny_table().with_normalized_column("n", 3, "config", "nope", |_| 0.0);
+    }
+
+    #[test]
+    fn try_normalized_column_names_the_bad_axis() {
+        let err = tiny_table()
+            .try_normalized_column("n", 3, "nope", "Directory", |_| 0.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TableError::UnknownAxis {
+                axis: "nope".into(),
+                axes: vec!["config".into(), "think".into()],
+            }
+        );
+        assert!(err
+            .to_string()
+            .contains("unknown normalization axis 'nope'"));
+        let err = tiny_table()
+            .try_normalized_column("n", 3, "config", "nope", |_| 0.0)
+            .unwrap_err();
+        assert!(err.to_string().contains("never occurs"));
+    }
+
+    #[test]
+    fn try_value_reports_missing_baseline_rows() {
+        // Drop the Directory/short baseline so row PATCH/short has no
+        // cell to normalize against — the situation a failed cell
+        // creates.
+        let full = tiny_table();
+        let cells: Vec<CellResult> = full
+            .cells()
+            .iter()
+            .filter(|c| !(c.labels[0] == "Directory" && c.labels[1] == "short"))
+            .cloned()
+            .collect();
+        let table = Table::new("t", full.axes().to_vec(), cells)
+            .try_normalized_column("norm", 3, "config", "Directory", |c| c.summary.runtime.mean)
+            .unwrap();
+        let bad_row = table
+            .cells()
+            .iter()
+            .position(|c| c.labels == vec!["PATCH".to_string(), "short".to_string()])
+            .unwrap();
+        let err = table.try_value(bad_row, 0).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::MissingBaseline {
+                baseline: "Directory".into(),
+                row: "PATCH/short".into(),
+            }
+        );
+        // Rows whose baseline survives still compute.
+        let good_row = table
+            .cells()
+            .iter()
+            .position(|c| c.labels == vec!["Directory".to_string(), "long".to_string()])
+            .unwrap();
+        assert!(table.try_value(good_row, 0).is_ok());
+    }
+
+    #[test]
+    fn failures_attach_and_render_metadata() {
+        let full = tiny_table();
+        let victim = full.cells()[0].clone();
+        let survivors: Vec<CellResult> = full.cells()[1..].to_vec();
+        let table = Table::new("t", full.axes().to_vec(), survivors).with_cell_failures(vec![
+            CellFailure {
+                labels: victim.labels.clone(),
+                config: victim.config.clone(),
+                kind: FailureKind::Panic,
+                attempts: 2,
+                error: "boom".into(),
+            },
+        ]);
+        assert_eq!(table.failures().len(), 1);
+        assert_eq!(table.failures()[0].kind.label(), "panic");
+        assert_eq!(FailureKind::Timeout.to_string(), "timeout");
+        assert_eq!(FailureKind::TraceWrite.to_string(), "trace-write");
     }
 
     #[test]

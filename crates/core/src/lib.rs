@@ -108,7 +108,7 @@ mod system;
 pub use checker::{CoherenceChecker, TokenAuditor};
 pub use config::{CheckLevel, SimConfig};
 pub use report::{summarize, ClassBytes, LatencyPercentiles, RunSummary};
-pub use system::{run, run_many, RunResult, System};
+pub use system::{run, run_many, try_run, RunError, RunResult, System};
 
 // Re-export the vocabulary types users need to configure and interpret
 // experiments, so downstream code can depend on `patchsim` alone.

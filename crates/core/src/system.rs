@@ -1,6 +1,9 @@
 //! System assembly and the simulation event loop.
 
+use std::fmt;
 use std::hash::Hasher;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use patchsim_kernel::collections::FxHasher;
 use patchsim_kernel::stats::Histogram;
@@ -10,7 +13,7 @@ use patchsim_protocol::{
     build_controller, Completion, Controller, CoreResponse, MemOp, Msg, Outbox, ProtocolCounters,
     TimerKey,
 };
-use patchsim_trace::TraceWriter;
+use patchsim_trace::{TraceError, TraceWriter};
 use patchsim_workload::Generator;
 
 use crate::checker::{CoherenceChecker, TokenAuditor};
@@ -43,6 +46,50 @@ struct CoreState {
     outstanding_since: Cycle,
     ops_done: u64,
     finished: bool,
+}
+
+/// An infrastructure failure from [`System::try_run`]: the simulation
+/// could not produce (or finish publishing) a result for a reason that is
+/// *not* a protocol bug. Protocol bugs — invariant violations, deadlock,
+/// livelock — still panic, because they invalidate the simulation itself;
+/// the experiment runner isolates those panics per cell instead.
+#[derive(Debug)]
+pub enum RunError {
+    /// The run completed but its recorded trace (`record_trace`) could
+    /// not be written.
+    TraceWrite {
+        /// The trace output path.
+        path: PathBuf,
+        /// The underlying encoder or filesystem error.
+        source: TraceError,
+    },
+    /// The run exceeded its wall-clock budget before finishing.
+    Timeout {
+        /// The configured per-run wall-clock limit.
+        limit: Duration,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::TraceWrite { path, source } => {
+                write!(f, "failed to write trace {}: {source}", path.display())
+            }
+            RunError::Timeout { limit } => {
+                write!(f, "simulation exceeded its {limit:?} wall-clock budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::TraceWrite { source, .. } => Some(source),
+            RunError::Timeout { .. } => None,
+        }
+    }
 }
 
 /// The measured outcome of one simulation run.
@@ -477,15 +524,67 @@ impl System {
     /// Panics on any detected protocol bug: an invariant violation (with
     /// checking enabled), a core that never finishes its quota (deadlock
     /// or starvation), a controller left non-quiescent, tokens left in
-    /// flight, or simulated time exceeding `max_cycles` (livelock).
-    pub fn run(mut self) -> RunResult {
-        while let Some((now, event)) = self.queue.pop() {
-            assert!(
-                now.as_u64() <= self.config.max_cycles,
-                "simulation exceeded {} cycles: livelock or runaway protocol",
-                self.config.max_cycles
-            );
-            self.dispatch(now, event);
+    /// flight, or simulated time exceeding `max_cycles` (livelock). Also
+    /// panics if a recorded trace cannot be written — use
+    /// [`System::try_run`] to handle that as a typed error instead.
+    pub fn run(self) -> RunResult {
+        match self.try_run(None) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation to completion, optionally bounded by a
+    /// wall-clock `timeout`, surfacing infrastructure failures as typed
+    /// [`RunError`]s instead of panics.
+    ///
+    /// The timeout is cooperative: the event loop compares `Instant::now`
+    /// against the deadline every `DEADLINE_CHECK_EVENTS` events (a few
+    /// milliseconds of real time), so an expired run returns promptly
+    /// without a watchdog thread left burning CPU behind an abandoned
+    /// simulation. With `timeout == None` the hot loop contains no clock
+    /// reads at all.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Timeout`] if the wall-clock budget expires, and
+    /// [`RunError::TraceWrite`] if the run finished but its recorded
+    /// trace could not be written.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on detected protocol bugs — see [`System::run`].
+    pub fn try_run(mut self, timeout: Option<Duration>) -> Result<RunResult, RunError> {
+        match timeout {
+            None => {
+                while let Some((now, event)) = self.queue.pop() {
+                    assert!(
+                        now.as_u64() <= self.config.max_cycles,
+                        "simulation exceeded {} cycles: livelock or runaway protocol",
+                        self.config.max_cycles
+                    );
+                    self.dispatch(now, event);
+                }
+            }
+            Some(limit) => {
+                let deadline = Instant::now() + limit;
+                let mut countdown = DEADLINE_CHECK_EVENTS;
+                while let Some((now, event)) = self.queue.pop() {
+                    assert!(
+                        now.as_u64() <= self.config.max_cycles,
+                        "simulation exceeded {} cycles: livelock or runaway protocol",
+                        self.config.max_cycles
+                    );
+                    self.dispatch(now, event);
+                    countdown -= 1;
+                    if countdown == 0 {
+                        countdown = DEADLINE_CHECK_EVENTS;
+                        if Instant::now() >= deadline {
+                            return Err(RunError::Timeout { limit });
+                        }
+                    }
+                }
+            }
         }
         // Forward-progress postconditions.
         for (i, core) in self.cores.iter().enumerate() {
@@ -516,7 +615,10 @@ impl System {
                 .expect("recorder implies a record path");
             recorder
                 .write_path(path)
-                .unwrap_or_else(|e| panic!("failed to write trace {}: {e}", path.display()));
+                .map_err(|source| RunError::TraceWrite {
+                    path: path.clone(),
+                    source,
+                })?;
         }
 
         let warmup_end = self.warmup_end.expect("all cores passed warmup");
@@ -533,7 +635,7 @@ impl System {
             counters.persistent_requests += c.persistent_requests;
             counters.writebacks += c.writebacks;
         }
-        RunResult {
+        Ok(RunResult {
             protocol: self.nodes[0].protocol_name(),
             runtime_cycles: self.last_completion.saturating_since(warmup_end),
             ops_completed: self.ops_completed_measured,
@@ -545,15 +647,32 @@ impl System {
             coherence_checks: self.checker.checks_performed(),
             token_audits: self.auditor.audits_performed(),
             events_processed: self.queue.total_pushed(),
-        }
+        })
     }
 }
+
+/// How many events [`System::try_run`] processes between wall-clock
+/// deadline checks. Events take well under a microsecond each, so this
+/// bounds timeout overshoot to a few milliseconds while keeping clock
+/// reads out of the hot loop.
+pub const DEADLINE_CHECK_EVENTS: u32 = 1 << 14;
 
 /// Builds and runs one simulation.
 ///
 /// See [`System::run`] for the panics that signal protocol bugs.
 pub fn run(config: &SimConfig) -> RunResult {
     System::new(config.clone()).run()
+}
+
+/// Builds and runs one simulation with typed infrastructure errors and an
+/// optional wall-clock budget — see [`System::try_run`].
+///
+/// # Errors
+///
+/// [`RunError::Timeout`] if `timeout` expires mid-run,
+/// [`RunError::TraceWrite`] if the recorded trace cannot be written.
+pub fn try_run(config: &SimConfig, timeout: Option<Duration>) -> Result<RunResult, RunError> {
+    System::new(config.clone()).try_run(timeout)
 }
 
 /// Runs `seeds` perturbed copies of the simulation, the methodology
@@ -714,6 +833,55 @@ mod tests {
         assert_eq!(base.runtime_cycles, spelled.runtime_cycles);
         assert_eq!(base.traffic, spelled.traffic);
         assert_eq!(base.events_processed, spelled.events_processed);
+    }
+
+    #[test]
+    fn try_run_times_out_on_a_tiny_budget() {
+        let cfg = small(ProtocolKind::Directory).with_ops_per_core(50_000);
+        match try_run(&cfg, Some(Duration::from_nanos(1))) {
+            Err(RunError::Timeout { limit }) => assert_eq!(limit, Duration::from_nanos(1)),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_without_timeout_matches_run() {
+        let cfg = small(ProtocolKind::Directory);
+        let a = run(&cfg);
+        let b = try_run(&cfg, None).expect("no infrastructure failure");
+        assert_eq!(a.digest(), b.digest());
+        // A generous budget changes nothing either.
+        let c = try_run(&cfg, Some(Duration::from_secs(3600))).unwrap();
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn try_run_surfaces_trace_write_failure() {
+        let path = std::env::temp_dir()
+            .join(format!("patchsim-no-such-dir-{}", std::process::id()))
+            .join("missing")
+            .join("t.ptrc");
+        let cfg = small(ProtocolKind::Directory)
+            .with_ops_per_core(20)
+            .with_record_trace(path.clone());
+        match try_run(&cfg, None) {
+            Err(RunError::TraceWrite { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected a trace-write error, got {other:?}"),
+        }
+    }
+
+    /// The panicking `run` entry point keeps its original trace-failure
+    /// message (callers that want the typed error use `try_run`).
+    #[test]
+    #[should_panic(expected = "failed to write trace")]
+    fn run_still_panics_on_trace_write_failure() {
+        let path = std::env::temp_dir()
+            .join(format!("patchsim-no-such-dir-{}", std::process::id()))
+            .join("missing")
+            .join("t.ptrc");
+        let _ = run(&small(ProtocolKind::Directory)
+            .with_ops_per_core(20)
+            .with_record_trace(path));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod collections;
 mod cycle;
+pub mod digest;
 mod event;
 mod rng;
 pub mod stats;

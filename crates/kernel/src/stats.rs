@@ -265,6 +265,38 @@ impl Histogram {
         self.max
     }
 
+    /// Reconstructs a histogram from its sparse [`Histogram::buckets`]
+    /// representation plus the exact sample `sum` and `max` — the inverse
+    /// of serializing those three pieces, used by the on-disk result
+    /// store to round-trip latency distributions.
+    ///
+    /// Returns `None` if any `lower` bound is not a value
+    /// [`Histogram::buckets`] can produce (zero or a power of two below
+    /// 2³²) or if a bucket repeats, so a decoder can treat a malformed
+    /// input as corrupt instead of panicking.
+    pub fn from_parts(pairs: &[(u64, u64)], sum: u64, max: u64) -> Option<Self> {
+        let mut h = Histogram {
+            buckets: [0; 32],
+            count: 0,
+            sum,
+            max,
+        };
+        for &(lower, count) in pairs {
+            let index = match lower {
+                0 => 0,
+                l if l.is_power_of_two() => l.trailing_zeros() as usize,
+                _ => return None,
+            };
+            // Index 0 is spelled `lower == 0`; `lower == 1` never occurs.
+            if lower == 1 || index >= h.buckets.len() || h.buckets[index] != 0 {
+                return None;
+            }
+            h.buckets[index] = count;
+            h.count = h.count.checked_add(count)?;
+        }
+        Some(h)
+    }
+
     /// Returns `(lower_bound, count)` pairs for non-empty buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -506,6 +538,40 @@ mod tests {
         e.merge(&Histogram::new());
         assert_eq!(e.count(), 0);
         assert_eq!(e.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 9, 100, 4096, u64::MAX / 2] {
+            h.record(v);
+        }
+        let pairs: Vec<_> = h.buckets().collect();
+        let rebuilt = Histogram::from_parts(&pairs, h.sum(), h.max()).unwrap();
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.max(), h.max());
+        assert_eq!(rebuilt.buckets().collect::<Vec<_>>(), pairs);
+        for p in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(rebuilt.percentile(p), h.percentile(p));
+        }
+        // An empty histogram round-trips too.
+        let empty = Histogram::from_parts(&[], 0, 0).unwrap();
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn histogram_from_parts_rejects_malformed_input() {
+        // Not a power of two.
+        assert!(Histogram::from_parts(&[(3, 1)], 3, 3).is_none());
+        // Bucket 0 is spelled with lower bound 0, never 1.
+        assert!(Histogram::from_parts(&[(1, 1)], 1, 1).is_none());
+        // Duplicate bucket.
+        assert!(Histogram::from_parts(&[(4, 1), (4, 2)], 12, 5).is_none());
+        // Past the last bucket.
+        assert!(Histogram::from_parts(&[(1u64 << 40, 1)], 0, 0).is_none());
+        // Counts that overflow the total.
+        assert!(Histogram::from_parts(&[(0, u64::MAX), (4, 1)], 0, 4).is_none());
     }
 
     #[test]

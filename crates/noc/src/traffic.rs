@@ -182,6 +182,25 @@ impl TrafficStats {
         self.dropped_bytes
     }
 
+    /// Reconstructs traffic statistics from per-class totals — the
+    /// inverse of reading them back with [`TrafficStats::bytes`],
+    /// [`TrafficStats::traversals`], and the drop getters, used by the
+    /// on-disk result store to round-trip results. Both arrays are
+    /// indexed in [`TrafficClass::ALL`] order.
+    pub fn from_parts(
+        bytes: [u64; 8],
+        traversals: [u64; 8],
+        dropped_packets: u64,
+        dropped_bytes: u64,
+    ) -> Self {
+        TrafficStats {
+            bytes,
+            traversals,
+            dropped: dropped_packets,
+            dropped_bytes,
+        }
+    }
+
     /// Folds another accumulator into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         for i in 0..8 {
@@ -244,6 +263,23 @@ mod tests {
         assert_eq!(a.bytes(TrafficClass::Forward), 16);
         assert_eq!(a.dropped_packets(), 2);
         assert_eq!(a.dropped_bytes(), 24);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut t = TrafficStats::new();
+        t.record(TrafficClass::Data, 72);
+        t.record(TrafficClass::Reissue, 8);
+        t.record_drop(16);
+        let mut bytes = [0u64; 8];
+        let mut traversals = [0u64; 8];
+        for (i, class) in TrafficClass::ALL.into_iter().enumerate() {
+            bytes[i] = t.bytes(class);
+            traversals[i] = t.traversals(class);
+        }
+        let rebuilt =
+            TrafficStats::from_parts(bytes, traversals, t.dropped_packets(), t.dropped_bytes());
+        assert_eq!(rebuilt, t);
     }
 
     #[test]
