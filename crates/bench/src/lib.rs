@@ -18,6 +18,7 @@
 //! | Cross-fabric scalability (extension) | `runplan fabric` | [`cross_fabric_plan`] |
 //! | Fault-injection robustness (extension) | `runplan faults` | [`faults_plan`] |
 //! | Service-shaped traffic (extension) | `runplan service` | [`service_plan`] |
+//! | Open-loop saturation (extension) | `runplan saturation` | [`saturation_plan`] |
 //! | DESIGN.md ablations | `ablation_*` | [`ablation_tenure_timeout_plan`], ... |
 //! | Any of the above by name | `runplan <plan>` | [`plan_by_name`] |
 //!
@@ -42,8 +43,11 @@
 //! without aborting the sweep), `--format {text,csv,json}`, and
 //! `--out PATH`. Unknown flags and malformed values print usage and exit
 //! non-zero; completed-but-incomplete sweeps (failed cells) exit 3
-//! (2 when a trace write failed). `runplan merge-store A B -o C` merges
-//! two stores with conflict detection.
+//! (2 when a trace write failed). `--shard K/N` deterministically
+//! partitions any plan's cells across N machines; `runplan merge-store
+//! A B -o C` merges two stores with conflict detection, and `runplan
+//! store-stats DIR [--prune-stale]` inventories (and garbage-collects)
+//! a store.
 //!
 //! `cargo bench` additionally runs scaled-down versions of every figure
 //! plus microbenchmarks of the simulator's core data structures.
@@ -55,11 +59,13 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use patchsim::exp::{
-    AxisValue, Cell, ExperimentPlan, FailureKind, Format, ResultStore, Runner, Sweep, Table,
+    cell_key, AxisValue, Cell, ExperimentPlan, FailureKind, Format, ResultStore, Runner, Sweep,
+    Table,
 };
 use patchsim::{
-    presets, service_presets, FabricKind, FaultSpec, LinkBandwidth, PredictorChoice, ProtocolKind,
-    SharerEncoding, SimConfig, TenureConfig, TraceReader, TrafficClass, WorkloadSpec,
+    presets, service_presets, ArrivalProfile, FabricKind, FaultSpec, LinkBandwidth,
+    PredictorChoice, ProtocolKind, SharerEncoding, SimConfig, TenureConfig, TraceReader,
+    TrafficClass, WorkloadSpec,
 };
 
 /// Experiment scale knobs shared by all figure targets.
@@ -162,6 +168,11 @@ pub struct BenchArgs {
     /// Retry budget for failed runs (`--retries N`); `None` uses the
     /// runner default (one retry).
     pub retries: Option<u32>,
+    /// Sweep shard (`--shard K/N`, 1-based): run only the cells whose
+    /// store key hashes to shard `K` of `N`. Shards partition any plan
+    /// deterministically, so N machines can each run one shard into its
+    /// own `--store` and `runplan merge-store` reassembles the sweep.
+    pub shard: Option<(u64, u64)>,
 }
 
 /// The option block shared by every binary's usage text.
@@ -177,9 +188,13 @@ const OPTIONS_HELP: &str = "Options:
                  the faults plan's own axis overrides it)
   --workload W   workload override: a preset name (microbench, oltp,
                  apache, jbb, barnes, ocean, svc-uniform, svc-zipf,
-                 svc-hot) or trace:PATH to replay a recorded .ptrc trace
-                 (plans with a workload axis override it; a trace must
-                 match the scale's core count and pins the base seed)
+                 svc-hot), trace:PATH to replay a recorded .ptrc trace,
+                 or an open-loop arrival spec open:PROCESS[,OPT=V...] —
+                 PROCESS is fixed:P, poisson:P, or burst:P:BP:BL:BD and
+                 options are cap=N, policy={drop,block}, keys=N,
+                 write=F, theta=F (see docs/workloads.md; plans with a
+                 workload axis override it; a trace must match the
+                 scale's core count and pins the base seed)
   --record-trace PATH
                  record the plan's first cell (replication 0) to a .ptrc
                  trace at PATH as it finishes
@@ -192,6 +207,10 @@ const OPTIONS_HELP: &str = "Options:
                  fail their cell without aborting the sweep
   --retries N    retry failed runs N times before reporting the cell
                  failed (default 1; 0 disables retries)
+  --shard K/N    run only shard K of N (1-based): cells are partitioned
+                 deterministically by store key, so N machines each
+                 running one shard into its own --store cover the whole
+                 sweep, reassembled with 'runplan merge-store'
   --format FMT   output format: text, csv, json (default text)
   --out PATH     write the table to PATH instead of stdout
   -h, --help     print this help";
@@ -250,6 +269,7 @@ impl BenchArgs {
         let mut store: Option<PathBuf> = None;
         let mut cell_timeout: Option<Duration> = None;
         let mut retries: Option<u32> = None;
+        let mut shard: Option<(u64, u64)> = None;
         let mut positional: Option<String> = None;
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
@@ -326,6 +346,25 @@ impl BenchArgs {
                         .map_err(|_| format!("invalid --retries value '{v}'"))?;
                     retries = Some(n);
                 }
+                "--shard" => {
+                    let v = it.next().ok_or("--shard requires a value")?;
+                    let (k, n) = v
+                        .split_once('/')
+                        .ok_or_else(|| format!("invalid --shard '{v}' (expected K/N, e.g. 2/4)"))?;
+                    let k: u64 = k
+                        .parse()
+                        .map_err(|_| format!("invalid --shard index '{v}'"))?;
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("invalid --shard count '{v}'"))?;
+                    if n == 0 {
+                        return Err("--shard count N must be at least 1".into());
+                    }
+                    if k == 0 || k > n {
+                        return Err(format!("--shard index K must be in 1..=N (got {k}/{n})"));
+                    }
+                    shard = Some((k, n));
+                }
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag '{flag}'"));
                 }
@@ -367,6 +406,7 @@ impl BenchArgs {
                 store,
                 cell_timeout,
                 retries,
+                shard,
             },
             positional,
         ))
@@ -378,6 +418,13 @@ impl BenchArgs {
     /// replication 0 — see `Runner`): one path, one trace, no
     /// last-writer-wins races across the pool.
     pub fn run_plan(&self, mut plan: ExperimentPlan) -> Table {
+        if let Some((k, n)) = self.shard {
+            // Partition by store key: deterministic for a given plan and
+            // CODE_VERSION, independent of axis order, and exactly the
+            // key each retained cell writes under `--store` — so shard
+            // outputs compose with `merge-store` by construction.
+            plan.retain(|cell| cell_key(&cell.config) % n == k - 1);
+        }
         if let Some(path) = &self.record {
             if let Some(cell) = plan.cells_mut().first_mut() {
                 cell.config.record_trace = Some(path.clone());
@@ -498,17 +545,23 @@ fn usage_error(bin: &str, about: &str, positional: Option<&str>, msg: &str) -> !
     std::process::exit(2);
 }
 
-/// Parses a `--workload` value: a preset name or `trace:PATH`.
+/// Parses a `--workload` value: a preset name, `trace:PATH`, or an
+/// open-loop arrival spec `open:PROCESS[,OPT=V...]`.
 fn parse_workload(value: &str) -> Result<WorkloadSpec, String> {
     if let Some(path) = value.strip_prefix("trace:") {
         let trace = TraceReader::read_path(std::path::Path::new(path))
             .map_err(|e| format!("cannot replay trace '{path}': {e}"))?;
         return Ok(WorkloadSpec::trace(trace));
     }
+    if let Some(spec) = value.strip_prefix("open:") {
+        let profile = ArrivalProfile::parse(spec)
+            .map_err(|e| format!("invalid --workload '{value}': {e}"))?;
+        return Ok(WorkloadSpec::OpenLoop(profile));
+    }
     presets::by_name(value).ok_or_else(|| {
         format!(
             "invalid --workload '{value}' (expected a preset like oltp or \
-             svc-zipf, or trace:PATH)"
+             svc-zipf, trace:PATH, or open:SPEC)"
         )
     })
 }
@@ -931,6 +984,58 @@ pub fn service_plan(scale: Scale) -> ExperimentPlan {
     .build()
 }
 
+/// The Poisson interarrival periods (cycles between arrivals, per core)
+/// the `saturation` plan sweeps, slowest first. The early points sit
+/// well under every protocol's service rate (goodput tracks offered
+/// load, empty backlogs); the late points drive each configuration past
+/// its knee, where drops appear and sojourn time grows without bound.
+pub const SATURATION_PERIODS: [u64; 6] = [400, 200, 100, 50, 25, 12];
+
+/// The open-loop saturation grid: offered load (Poisson interarrival
+/// period) × one protocol per family × {torus, hier} fabrics. Every
+/// other plan is closed-loop — each core issues, waits, thinks — so a
+/// slow protocol quietly sheds load and "runtime" absorbs the damage.
+/// This sweep decouples arrivals from completions behind a bounded
+/// per-core backlog (drop policy), exposing the saturation behaviour a
+/// closed loop cannot show: offered vs achieved rate, drop rate, and
+/// arrival→completion sojourn time exploding past the knee while the
+/// issue→completion miss latency stays flat.
+pub fn saturation_plan(scale: Scale) -> ExperimentPlan {
+    let base = scale
+        .base(ProtocolKind::Directory, scale.cores)
+        .with_ops_per_core(scale.ops)
+        .with_warmup(scale.warmup);
+    Sweep::new(
+        format!("Open-loop saturation ({} cores)", scale.cores),
+        base,
+    )
+    .axis(
+        "load",
+        SATURATION_PERIODS
+            .into_iter()
+            .map(|period| {
+                let profile = ArrivalProfile::parse(&format!("poisson:{period}"))
+                    .expect("shipped arrival spec parses");
+                AxisValue::new(period.to_string(), move |c: SimConfig| {
+                    c.with_workload(WorkloadSpec::OpenLoop(profile.clone()))
+                })
+            })
+            .collect(),
+    )
+    .axis("config", fault_protocol_axis())
+    .axis(
+        "fabric",
+        vec![
+            AxisValue::new("torus", |c| c.with_fabric(FabricKind::Torus)),
+            AxisValue::new("hier", |c| {
+                c.with_fabric(FabricKind::Hierarchical { cluster: None })
+            }),
+        ],
+    )
+    .seeds(scale.seeds)
+    .build()
+}
+
 /// Warmup/measurement schedule for the microbenchmark experiments
 /// (Figures 8–10): the paper measures warmed, steady-state caches, so
 /// the per-core operation budget is derived from the table size — the
@@ -1126,7 +1231,7 @@ pub fn ablation_limited_pointer_plan(scale: Scale) -> ExperimentPlan {
 
 /// Every named plan `runplan` can execute, with a one-line description
 /// (shown by `runplan --help` and the bare `runplan` plan listing).
-pub const PLAN_INFO: [(&str, &str); 15] = [
+pub const PLAN_INFO: [(&str, &str); 16] = [
     (
         "fig4",
         "Figure 4 runtime grid: 5 workloads x 6 protocol configs",
@@ -1154,6 +1259,10 @@ pub const PLAN_INFO: [(&str, &str); 15] = [
     (
         "service",
         "Service-shaped traffic: key skew x arrival burstiness x protocol",
+    ),
+    (
+        "saturation",
+        "Open-loop saturation: offered load x protocol x fabric, drops + sojourn",
     ),
     (
         "tenure_timeout",
@@ -1194,6 +1303,7 @@ pub fn plan_by_name(name: &str, scale: Scale) -> Option<ExperimentPlan> {
         "fabric" => Some(cross_fabric_plan(scale)),
         "faults" => Some(faults_plan(scale)),
         "service" => Some(service_plan(scale)),
+        "saturation" => Some(saturation_plan(scale)),
         "tenure_timeout" => Some(ablation_tenure_timeout_plan(scale)),
         "deact_window" => Some(ablation_deact_window_plan(scale)),
         "stale_drop" => Some(ablation_stale_drop_plan(scale)),
@@ -1219,6 +1329,44 @@ pub fn with_standard_columns(table: Table) -> Table {
             cell.summary.miss_latency_percentiles.p99 as f64
         })
         .with_column("drops", 0, |cell| cell.summary.dropped_packets)
+}
+
+/// The `saturation` plan's column set: offered vs achieved rate (both
+/// per kilocycle), drop percentage, and pooled arrival→completion
+/// sojourn percentiles, plus the closed-loop miss-latency p95 for the
+/// flat-vs-exploding contrast and the backlog high-water mark.
+pub fn with_saturation_columns(table: Table) -> Table {
+    table
+        .with_column("offered_per_kc", 3, |cell| {
+            cell.summary
+                .open_loop
+                .unwrap_or_default()
+                .offered_per_kcycle
+        })
+        .with_column("goodput_per_kc", 3, |cell| {
+            cell.summary
+                .open_loop
+                .unwrap_or_default()
+                .goodput_per_kcycle
+        })
+        .with_column("drop_pct", 2, |cell| {
+            cell.summary.open_loop.unwrap_or_default().drop_pct
+        })
+        .with_column("soj_p50", 0, |cell| {
+            cell.summary.open_loop.unwrap_or_default().sojourn.p50 as f64
+        })
+        .with_column("soj_p95", 0, |cell| {
+            cell.summary.open_loop.unwrap_or_default().sojourn.p95 as f64
+        })
+        .with_column("soj_p99", 0, |cell| {
+            cell.summary.open_loop.unwrap_or_default().sojourn.p99 as f64
+        })
+        .with_column("lat_p95", 0, |cell| {
+            cell.summary.miss_latency_percentiles.p95 as f64
+        })
+        .with_column("backlog_hwm", 0, |cell| {
+            cell.summary.open_loop.unwrap_or_default().backlog_hwm as f64
+        })
 }
 
 /// One bytes-per-miss column per traffic class, in [`TrafficClass::ALL`]
@@ -1416,6 +1564,69 @@ mod tests {
         let (rec, _) = args(&["--record-trace", "t.ptrc"]).unwrap();
         assert_eq!(rec.record.as_deref(), Some(std::path::Path::new("t.ptrc")));
         assert!(args(&["--record-trace"]).is_err());
+    }
+
+    #[test]
+    fn open_workload_flag_parses_and_rejects() {
+        let args = |list: &[&str]| {
+            BenchArgs::try_parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        let (parsed, _) = args(&["--quick", "--workload", "open:poisson:80,cap=32"]).unwrap();
+        let workload = parsed.scale.workload.as_ref().unwrap();
+        assert_eq!(workload.name(), "open:poisson:80,cap=32");
+        assert!(matches!(workload, WorkloadSpec::OpenLoop(_)));
+        assert!(args(&["--workload", "open:poisson:0"]).is_err());
+        assert!(args(&["--workload", "open:warp:5"]).is_err());
+        assert!(args(&["--workload", "open:poisson:80,cap=0"]).is_err());
+    }
+
+    #[test]
+    fn saturation_plan_sweeps_load_and_fabric() {
+        let plan = saturation_plan(Scale::quick());
+        assert_eq!(plan.axis_names(), &["load", "config", "fabric"]);
+        assert_eq!(plan.len(), SATURATION_PERIODS.len() * 3 * 2);
+        for cell in plan.cells() {
+            let WorkloadSpec::OpenLoop(profile) = &cell.config.workload else {
+                panic!("saturation cell {:?} is not open-loop", cell.labels);
+            };
+            let period: u64 = cell.labels[0].parse().unwrap();
+            assert_eq!(profile.process.period(), period);
+        }
+    }
+
+    #[test]
+    fn shards_partition_a_plan_exactly() {
+        let args = |list: &[&str]| {
+            BenchArgs::try_parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        // Malformed shard specs are rejected outright.
+        assert!(args(&["--shard"]).is_err());
+        assert!(args(&["--shard", "3"]).is_err());
+        assert!(args(&["--shard", "0/4"]).is_err());
+        assert!(args(&["--shard", "5/4"]).is_err());
+        assert!(args(&["--shard", "1/0"]).is_err());
+        assert!(args(&["--shard", "a/b"]).is_err());
+
+        // Every cell of the full plan lands in exactly one of N shards.
+        let scale = Scale::quick();
+        let full: Vec<u64> = figure4_plan(scale.clone())
+            .cells()
+            .iter()
+            .map(|c| cell_key(&c.config))
+            .collect();
+        let n = 3;
+        let mut sharded = Vec::new();
+        for k in 1..=n {
+            let (parsed, _) = args(&["--quick", "--shard", &format!("{k}/{n}")]).unwrap();
+            assert_eq!(parsed.shard, Some((k, n)));
+            let mut plan = figure4_plan(scale.clone());
+            plan.retain(|cell| cell_key(&cell.config) % n == k - 1);
+            sharded.extend(plan.cells().iter().map(|c| cell_key(&c.config)));
+        }
+        let mut full_sorted = full.clone();
+        full_sorted.sort_unstable();
+        sharded.sort_unstable();
+        assert_eq!(sharded, full_sorted);
     }
 
     #[test]

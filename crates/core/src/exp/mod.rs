@@ -76,7 +76,9 @@ mod table;
 pub use emit::{CsvEmitter, Emitter, Format, JsonEmitter, TextEmitter};
 pub use plan::{AxisValue, Cell, ConfigTransform, ExperimentPlan, Sweep};
 pub use runner::Runner;
-pub use store::{cell_key, LoadOutcome, MergeReport, ResultStore, StoreError, CODE_VERSION};
+pub use store::{
+    cell_key, LoadOutcome, MergeReport, ResultStore, StoreError, StoreStatsReport, CODE_VERSION,
+};
 pub use table::{
     CellFailure, CellResult, CiMetric, Column, FailureKind, Metric, Table, TableError, Value,
 };

@@ -260,6 +260,14 @@ impl ExperimentPlan {
         &mut self.cells
     }
 
+    /// Keeps only the cells `f` accepts, preserving grid order. This is
+    /// how `--shard K/N` partitions a sweep: each shard retains the
+    /// cells whose store key hashes to it, runs them into its own
+    /// `--store`, and `merge-store` reassembles the full sweep.
+    pub fn retain(&mut self, f: impl FnMut(&Cell) -> bool) {
+        self.cells.retain(f);
+    }
+
     /// Number of cells in the grid.
     pub fn len(&self) -> usize {
         self.cells.len()

@@ -21,7 +21,7 @@
 //! (quarantined) and the result is transparently recomputed. Corruption
 //! is reported as data ([`LoadOutcome::Quarantined`]), never as a panic.
 //!
-//! # Entry format (version 1)
+//! # Entry format (version 2)
 //!
 //! All integers little-endian:
 //!
@@ -35,6 +35,12 @@
 //! payload        ...       encoded RunResult
 //! checksum       u64       FxHash of every preceding byte
 //! ```
+//!
+//! Version 2 appends an open-loop block to the payload: a `u64` presence
+//! flag (0 for closed-loop results) followed, when set, by the
+//! [`OpenLoopStats`] counters and the sojourn histogram. Version-1
+//! entries are quarantined on contact and recomputed; `runplan
+//! store-stats DIR --prune-stale` garbage-collects them in bulk.
 //!
 //! Entries are named `{key:016x}.pse`. The key pins both the resolved
 //! configuration and [`CODE_VERSION`]; bumping the latter (done whenever
@@ -56,11 +62,11 @@ use patchsim_kernel::stats::Histogram;
 use patchsim_protocol::ProtocolCounters;
 
 use crate::config::SimConfig;
-use crate::system::RunResult;
+use crate::system::{OpenLoopStats, RunResult};
 use crate::{TrafficClass, TrafficStats};
 
 const MAGIC: [u8; 4] = *b"PSRE";
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
 const HEADER_LEN: usize = 32;
 const CHECKSUM_LEN: usize = 8;
 const ENTRY_EXT: &str = "pse";
@@ -150,6 +156,29 @@ pub enum LoadOutcome {
         /// Why the entry was rejected.
         reason: String,
     },
+}
+
+/// Inventory from [`ResultStore::stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStatsReport {
+    /// Structurally valid entries (magic + checksum intact) bucketed by
+    /// the `code_version` stamped in their header, sorted by version.
+    /// Versions older than [`CODE_VERSION`] are stale: unreachable by
+    /// any lookup this binary performs, reclaimable with
+    /// [`ResultStore::prune_stale`].
+    pub by_code_version: Vec<(u32, u64)>,
+    /// Structurally valid entries written by an older entry-layout
+    /// codec (`format_version` below this binary's). Also stale.
+    pub stale_format: u64,
+    /// Total bytes across all entry files (valid or not, excluding the
+    /// `corrupt/` quarantine).
+    pub total_bytes: u64,
+    /// Files sitting in the `corrupt/` quarantine directory.
+    pub quarantined: u64,
+    /// Entry files that failed structural validation in place
+    /// (truncated, bad magic, checksum mismatch). Left untouched —
+    /// they quarantine on their next lookup.
+    pub unreadable: u64,
 }
 
 /// Counts from [`ResultStore::merge`].
@@ -290,6 +319,82 @@ impl ResultStore {
         Ok(out)
     }
 
+    /// Inventories the store without modifying it: entry counts by code
+    /// version, total bytes, quarantined and unreadable counts. Unlike
+    /// [`ResultStore::load`], structurally valid entries from *older*
+    /// code or format versions are counted (under their own version),
+    /// not rejected — this is the view `runplan store-stats` prints.
+    pub fn stats(&self) -> Result<StoreStatsReport, StoreError> {
+        let mut report = StoreStatsReport::default();
+        let mut by_version: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        for (_, path) in self.entries()? {
+            let bytes = fs::read(&path).map_err(|source| StoreError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            report.total_bytes += bytes.len() as u64;
+            match entry_versions(&bytes) {
+                Some((format, code)) => {
+                    *by_version.entry(code).or_insert(0) += 1;
+                    if format < FORMAT_VERSION {
+                        report.stale_format += 1;
+                    }
+                }
+                None => report.unreadable += 1,
+            }
+        }
+        report.by_code_version = by_version.into_iter().collect();
+        let corrupt = self.dir.join("corrupt");
+        match fs::read_dir(&corrupt) {
+            Ok(iter) => {
+                for item in iter {
+                    let item = item.map_err(|source| StoreError::Io {
+                        path: corrupt.clone(),
+                        source,
+                    })?;
+                    if item.path().is_file() {
+                        report.quarantined += 1;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(source) => {
+                return Err(StoreError::Io {
+                    path: corrupt,
+                    source,
+                })
+            }
+        }
+        Ok(report)
+    }
+
+    /// Deletes structurally valid entries stamped with an older
+    /// `code_version` or `format_version` than this binary's — entries
+    /// no lookup can ever hit again. Returns how many were removed.
+    /// Unreadable entries are left alone (they quarantine on lookup),
+    /// as is anything from a *newer* binary.
+    pub fn prune_stale(&self) -> Result<u64, StoreError> {
+        let mut removed = 0;
+        for (_, path) in self.entries()? {
+            let bytes = fs::read(&path).map_err(|source| StoreError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let Some((format, code)) = entry_versions(&bytes) else {
+                continue;
+            };
+            if code < CODE_VERSION || format < FORMAT_VERSION {
+                fs::remove_file(&path).map_err(|source| StoreError::Io {
+                    path: path.clone(),
+                    source,
+                })?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     /// Merges the entries of stores `a` and `b` into the store at `out`
     /// (created if absent; `out` may also pre-contain entries, which
     /// participate in conflict detection).
@@ -404,6 +509,31 @@ fn encode_entry(key: u64, result: &RunResult) -> Vec<u8> {
     }
     push_u64(&mut payload, result.miss_latency.sum());
     push_u64(&mut payload, result.miss_latency.max());
+    match &result.open_loop {
+        None => push_u64(&mut payload, 0),
+        Some(ol) => {
+            push_u64(&mut payload, 1);
+            for v in [
+                ol.arrivals,
+                ol.drops,
+                ol.measured_arrivals,
+                ol.measured_drops,
+                ol.blocked_cycles,
+                ol.backlog_hwm,
+                ol.in_flight_at_horizon,
+            ] {
+                push_u64(&mut payload, v);
+            }
+            let pairs: Vec<(u64, u64)> = ol.sojourn.buckets().collect();
+            push_u64(&mut payload, pairs.len() as u64);
+            for (lower, count) in pairs {
+                push_u64(&mut payload, lower);
+                push_u64(&mut payload, count);
+            }
+            push_u64(&mut payload, ol.sojourn.sum());
+            push_u64(&mut payload, ol.sojourn.max());
+        }
+    }
 
     let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
     bytes.extend_from_slice(&MAGIC);
@@ -462,6 +592,30 @@ impl<'a> Reader<'a> {
             ))
         }
     }
+}
+
+/// Structural validation shared by [`ResultStore::stats`] and
+/// [`ResultStore::prune_stale`]: magic, length frame, and checksum —
+/// but deliberately *not* the format/code version gates `decode_entry`
+/// applies, so stale-but-intact entries can be inventoried. Returns
+/// `(format_version, code_version)` or `None` if the bytes cannot be
+/// trusted at all.
+fn entry_versions(bytes: &[u8]) -> Option<(u32, u32)> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN || bytes[..4] != MAGIC {
+        return None;
+    }
+    let payload_len = usize::try_from(read_u64(bytes, 24)).ok()?;
+    let expected = HEADER_LEN
+        .checked_add(payload_len)?
+        .checked_add(CHECKSUM_LEN)?;
+    if expected != bytes.len() {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - CHECKSUM_LEN];
+    if checksum(body) != read_u64(bytes, bytes.len() - CHECKSUM_LEN) {
+        return None;
+    }
+    Some((read_u32(bytes, 4), read_u32(bytes, 8)))
 }
 
 fn read_u32(bytes: &[u8], at: usize) -> u32 {
@@ -577,6 +731,43 @@ fn decode_entry(bytes: &[u8], expect_key: Option<u64>) -> Result<(u64, RunResult
     }
     let sum = r.u64()?;
     let max = r.u64()?;
+    let open_loop = match r.u64()? {
+        0 => None,
+        1 => {
+            let arrivals = r.u64()?;
+            let drops = r.u64()?;
+            let measured_arrivals = r.u64()?;
+            let measured_drops = r.u64()?;
+            let blocked_cycles = r.u64()?;
+            let backlog_hwm = r.u64()?;
+            let in_flight_at_horizon = r.u64()?;
+            let n = usize::try_from(r.u64()?).map_err(|_| "histogram length overflows")?;
+            if n > 32 {
+                return Err(format!("sojourn histogram claims {n} buckets (max 32)"));
+            }
+            let mut soj_pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let lower = r.u64()?;
+                let count = r.u64()?;
+                soj_pairs.push((lower, count));
+            }
+            let soj_sum = r.u64()?;
+            let soj_max = r.u64()?;
+            let sojourn = Histogram::from_parts(&soj_pairs, soj_sum, soj_max)
+                .ok_or("malformed sojourn histogram buckets")?;
+            Some(OpenLoopStats {
+                arrivals,
+                drops,
+                measured_arrivals,
+                measured_drops,
+                blocked_cycles,
+                backlog_hwm,
+                in_flight_at_horizon,
+                sojourn,
+            })
+        }
+        other => return Err(format!("bad open-loop presence flag {other}")),
+    };
     r.done()?;
     let miss_latency =
         Histogram::from_parts(&pairs, sum, max).ok_or("malformed histogram buckets")?;
@@ -594,6 +785,7 @@ fn decode_entry(bytes: &[u8], expect_key: Option<u64>) -> Result<(u64, RunResult
             coherence_checks,
             token_audits,
             events_processed,
+            open_loop,
         },
     ))
 }
@@ -684,6 +876,75 @@ mod tests {
             }
             other => panic!("expected quarantine, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_loop_results_round_trip() {
+        let cfg = SimConfig::new(ProtocolKind::Patch, 4)
+            .with_workload(crate::WorkloadSpec::OpenLoop(
+                crate::ArrivalProfile::parse("poisson:40,cap=4").expect("valid spec"),
+            ))
+            .with_ops_per_core(60)
+            .with_seed(3);
+        let result = crate::run(&cfg);
+        let ol = result.open_loop.as_ref().expect("open-loop run has stats");
+        assert!(ol.arrivals > 0);
+        let bytes = encode_entry(5, &result);
+        let (_, decoded) = decode_entry(&bytes, Some(5)).expect("valid entry");
+        assert_eq!(decoded.digest(), result.digest());
+        let got = decoded
+            .open_loop
+            .expect("open-loop stats survive the codec");
+        assert_eq!(got.arrivals, ol.arrivals);
+        assert_eq!(got.drops, ol.drops);
+        assert_eq!(got.sojourn.count(), ol.sojourn.count());
+        assert_eq!(got.sojourn.sum(), ol.sojourn.sum());
+    }
+
+    #[test]
+    fn stats_inventories_and_prune_stale_reclaims() {
+        let dir = temp_store("stats");
+        let store = ResultStore::open(&dir).unwrap();
+        let result = sample_result();
+        store.save(1, &result).unwrap();
+        store.save(2, &result).unwrap();
+        // Forge a stale entry: same layout, older code version. The
+        // checksum must be recomputed after the header edit.
+        let mut bytes = encode_entry(3, &result);
+        bytes[8..12].copy_from_slice(&(CODE_VERSION - 1).to_le_bytes());
+        let trunc = bytes.len() - CHECKSUM_LEN;
+        let sum = checksum(&bytes[..trunc]).to_le_bytes();
+        bytes[trunc..].copy_from_slice(&sum);
+        fs::write(store.entry_path(3), &bytes).unwrap();
+        // An unreadable (truncated) entry and a quarantined one.
+        fs::write(store.entry_path(4), &bytes[..40]).unwrap();
+        store.save(5, &result).unwrap();
+        let path = store.entry_path(5);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(
+            store.load(5).unwrap(),
+            LoadOutcome::Quarantined { .. }
+        ));
+
+        let report = store.stats().unwrap();
+        assert_eq!(
+            report.by_code_version,
+            vec![(CODE_VERSION - 1, 1), (CODE_VERSION, 2)]
+        );
+        assert_eq!(report.stale_format, 0);
+        assert_eq!(report.unreadable, 1);
+        assert_eq!(report.quarantined, 1);
+        assert!(report.total_bytes > 0);
+
+        assert_eq!(store.prune_stale().unwrap(), 1);
+        assert!(!store.entry_path(3).exists());
+        // Current entries and the unreadable one survive the prune.
+        assert!(store.entry_path(1).exists());
+        assert!(store.entry_path(4).exists());
+        let after = store.stats().unwrap();
+        assert_eq!(after.by_code_version, vec![(CODE_VERSION, 2)]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -107,8 +107,8 @@ mod system;
 
 pub use checker::{CoherenceChecker, TokenAuditor};
 pub use config::{CheckLevel, SimConfig};
-pub use report::{summarize, ClassBytes, LatencyPercentiles, RunSummary};
-pub use system::{run, run_many, try_run, RunError, RunResult, System};
+pub use report::{summarize, ClassBytes, LatencyPercentiles, OpenLoopSummary, RunSummary};
+pub use system::{run, run_many, try_run, OpenLoopStats, RunError, RunResult, System};
 
 // Re-export the vocabulary types users need to configure and interpret
 // experiments, so downstream code can depend on `patchsim` alone.
@@ -123,5 +123,6 @@ pub use patchsim_predictor::PredictorChoice;
 pub use patchsim_protocol::{ProtocolConfig, ProtocolCounters, ProtocolKind, TenureConfig};
 pub use patchsim_trace::{TraceError, TraceReader, TraceWriter};
 pub use patchsim_workload::{
-    presets, service_presets, ServiceProfile, SharingProfile, TraceData, WorkloadSpec, ZipfSampler,
+    presets, service_presets, ArrivalProcess, ArrivalProfile, OverloadPolicy, ServiceProfile,
+    SharingProfile, TraceData, WorkloadSpec, ZipfSampler,
 };

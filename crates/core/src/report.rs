@@ -88,6 +88,35 @@ impl LatencyPercentiles {
     }
 }
 
+/// Saturation metrics pooled over every run of an open-loop
+/// configuration. Present on a [`RunSummary`] only when **all** of its
+/// runs carried [`crate::OpenLoopStats`] — closed-loop sweeps are
+/// unaffected.
+///
+/// Rates are per kilocycle of measured runtime so the offered/achieved
+/// comparison reads directly: an unsaturated cell has
+/// `goodput_per_kcycle` tracking `offered_per_kcycle`; past the knee
+/// goodput flattens, `drop_pct` rises, and `sojourn` grows without
+/// bound while the issue→completion miss latency stays flat.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpenLoopSummary {
+    /// Arrival→completion sojourn percentiles pooled over all runs.
+    pub sojourn: LatencyPercentiles,
+    /// Measured arrivals per 1000 cycles of measured runtime (the
+    /// offered load actually presented, mean across runs).
+    pub offered_per_kcycle: f64,
+    /// Measured completions per 1000 cycles of measured runtime (the
+    /// achieved goodput, mean across runs).
+    pub goodput_per_kcycle: f64,
+    /// Percentage of measured arrivals dropped by full backlogs.
+    pub drop_pct: f64,
+    /// Highest backlog depth any core reached in any run.
+    pub backlog_hwm: u64,
+    /// Mean cycles per run that arrival processes spent stalled under
+    /// the `block` overload policy.
+    pub blocked_cycles: f64,
+}
+
 /// Statistics over a set of perturbed runs of one configuration.
 ///
 /// # Examples
@@ -122,6 +151,9 @@ pub struct RunSummary {
     pub class_bytes_per_miss: ClassBytes,
     /// Mean number of best-effort packets dropped per run.
     pub dropped_packets: f64,
+    /// Open-loop saturation metrics — `Some` iff every run was
+    /// open-loop.
+    pub open_loop: Option<OpenLoopSummary>,
     /// The individual runs.
     pub runs: Vec<RunResult>,
 }
@@ -179,6 +211,38 @@ pub fn summarize(runs: &[RunResult]) -> RunSummary {
         .map(|r| r.traffic.dropped_packets() as f64)
         .sum::<f64>()
         / runs.len() as f64;
+    let open_loop = if runs.iter().all(|r| r.open_loop.is_some()) {
+        let n = runs.len() as f64;
+        let mut sojourn = Histogram::new();
+        let mut backlog_hwm = 0;
+        let (mut arrivals, mut drops, mut blocked) = (0u64, 0u64, 0u64);
+        let (mut offered, mut goodput) = (0.0, 0.0);
+        for r in runs {
+            let ol = r.open_loop.as_ref().expect("checked above");
+            sojourn.merge(&ol.sojourn);
+            backlog_hwm = backlog_hwm.max(ol.backlog_hwm);
+            arrivals += ol.measured_arrivals;
+            drops += ol.measured_drops;
+            blocked += ol.blocked_cycles;
+            let kcycles = r.runtime_cycles.max(1) as f64 / 1000.0;
+            offered += ol.measured_arrivals as f64 / kcycles;
+            goodput += r.ops_completed as f64 / kcycles;
+        }
+        Some(OpenLoopSummary {
+            sojourn: LatencyPercentiles::from_histogram(&sojourn),
+            offered_per_kcycle: offered / n,
+            goodput_per_kcycle: goodput / n,
+            drop_pct: if arrivals > 0 {
+                100.0 * drops as f64 / arrivals as f64
+            } else {
+                0.0
+            },
+            backlog_hwm,
+            blocked_cycles: blocked as f64 / n,
+        })
+    } else {
+        None
+    };
     RunSummary {
         protocol: runs[0].protocol,
         runtime,
@@ -187,6 +251,7 @@ pub fn summarize(runs: &[RunResult]) -> RunSummary {
         miss_latency_percentiles: LatencyPercentiles::from_histogram(&pooled_latency),
         class_bytes_per_miss,
         dropped_packets,
+        open_loop,
         runs: runs.to_vec(),
     }
 }

@@ -1,5 +1,6 @@
 //! System assembly and the simulation event loop.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::hash::Hasher;
 use std::path::PathBuf;
@@ -14,7 +15,7 @@ use patchsim_protocol::{
     TimerKey,
 };
 use patchsim_trace::{TraceError, TraceWriter};
-use patchsim_workload::Generator;
+use patchsim_workload::{Generator, OverloadPolicy, WorkloadSpec};
 
 use crate::checker::{CoherenceChecker, TokenAuditor};
 use crate::config::{CheckLevel, SimConfig};
@@ -28,6 +29,12 @@ enum Event {
         key: TimerKey,
     },
     CoreIssue {
+        node: NodeId,
+    },
+    /// An open-loop operation arrives at its core (decoupled from
+    /// completions); only ever scheduled for
+    /// [`WorkloadSpec::OpenLoop`] workloads.
+    Arrival {
         node: NodeId,
     },
     /// Periodic starvation scan; only ever scheduled when
@@ -46,6 +53,21 @@ struct CoreState {
     outstanding_since: Cycle,
     ops_done: u64,
     finished: bool,
+    /// Open-loop only: queued arrivals awaiting service, each with its
+    /// arrival cycle (the sojourn clock's start).
+    backlog: VecDeque<(MemOp, Cycle)>,
+    /// Open-loop only: the op drawn for the next scheduled
+    /// [`Event::Arrival`].
+    next_arrival: Option<MemOp>,
+    /// Open-loop only: an arrival stalled by a full backlog under
+    /// [`OverloadPolicy::Block`], with its original arrival cycle.
+    blocked: Option<(MemOp, Cycle)>,
+    /// Open-loop only: arrivals drawn from the generator so far (the
+    /// per-core arrival budget is the warmup + measured quota).
+    arrivals_drawn: u64,
+    /// Open-loop only: arrival cycle of the op currently in service
+    /// (`pending` or `outstanding`).
+    in_service_since: Cycle,
 }
 
 /// An infrastructure failure from [`System::try_run`]: the simulation
@@ -92,6 +114,82 @@ impl std::error::Error for RunError {
     }
 }
 
+/// Saturation accounting of an open-loop run ([`WorkloadSpec::OpenLoop`]):
+/// what happened between arrival and completion, summed over cores.
+///
+/// `measured_*` counters follow the same convention as
+/// [`RunResult::measured_misses`]: counted once the core is past its own
+/// warmup quota and reset when the *last* core crosses (so early
+/// finishers' samples are discarded with the rest of the warmup state).
+/// The remaining counters cover the whole run including warmup.
+#[derive(Debug, Clone)]
+pub struct OpenLoopStats {
+    /// Operations that arrived (entered a backlog, went straight into
+    /// service, were dropped, or stalled the arrival process).
+    pub arrivals: u64,
+    /// Arrivals discarded by a full backlog under
+    /// [`OverloadPolicy::Drop`].
+    pub drops: u64,
+    /// Arrivals after this core's warmup (reset at the global warmup
+    /// boundary).
+    pub measured_arrivals: u64,
+    /// Drops after this core's warmup (reset at the global warmup
+    /// boundary).
+    pub measured_drops: u64,
+    /// Total cycles arrival processes spent stalled by a full backlog
+    /// under [`OverloadPolicy::Block`].
+    pub blocked_cycles: u64,
+    /// Highest queued (not yet in service) backlog depth any core
+    /// reached.
+    pub backlog_hwm: u64,
+    /// Operations still queued or in service when the event loop
+    /// drained. The arrival budget is bounded (quota per core) and every
+    /// drawn arrival resolves, so this is 0 for a completed run; it
+    /// exists to make the conservation identity `arrivals == completions
+    /// + drops + in_flight_at_horizon` checkable rather than assumed.
+    pub in_flight_at_horizon: u64,
+    /// Measured arrival→completion sojourn times — the open-loop latency
+    /// that keeps growing past the knee while the issue→completion
+    /// [`RunResult::miss_latency`] flattens.
+    pub sojourn: Histogram,
+}
+
+impl OpenLoopStats {
+    fn new() -> Self {
+        OpenLoopStats {
+            arrivals: 0,
+            drops: 0,
+            measured_arrivals: 0,
+            measured_drops: 0,
+            blocked_cycles: 0,
+            backlog_hwm: 0,
+            in_flight_at_horizon: 0,
+            sojourn: Histogram::new(),
+        }
+    }
+
+    /// Merges another run's stats into this one (histograms pooled) —
+    /// the open-loop analogue of summing counters across replications.
+    pub fn merge(&mut self, other: &OpenLoopStats) {
+        self.arrivals += other.arrivals;
+        self.drops += other.drops;
+        self.measured_arrivals += other.measured_arrivals;
+        self.measured_drops += other.measured_drops;
+        self.blocked_cycles += other.blocked_cycles;
+        self.backlog_hwm = self.backlog_hwm.max(other.backlog_hwm);
+        self.in_flight_at_horizon += other.in_flight_at_horizon;
+        self.sojourn.merge(&other.sojourn);
+    }
+}
+
+/// The per-run open-loop state: the profile's backlog policy plus the
+/// accumulating [`OpenLoopStats`].
+struct OpenLoop {
+    cap: usize,
+    block: bool,
+    stats: OpenLoopStats,
+}
+
 /// The measured outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -120,6 +218,10 @@ pub struct RunResult {
     /// Total kernel events processed over the whole run (including
     /// warmup) — the denominator of simulator-throughput benchmarks.
     pub events_processed: u64,
+    /// Open-loop saturation accounting; `None` for every closed-loop
+    /// workload (so closed-loop digests and stored results are
+    /// untouched by the subsystem's existence).
+    pub open_loop: Option<OpenLoopStats>,
 }
 
 impl RunResult {
@@ -178,6 +280,22 @@ impl RunResult {
             h.write_u64(lower);
             h.write_u64(count);
         }
+        // Open-loop fields fold only when present, so every pre-existing
+        // (closed-loop) digest — including the perf-smoke golden — is
+        // unchanged by the subsystem's existence.
+        if let Some(open) = &self.open_loop {
+            h.write_u64(open.arrivals);
+            h.write_u64(open.drops);
+            h.write_u64(open.measured_arrivals);
+            h.write_u64(open.measured_drops);
+            h.write_u64(open.blocked_cycles);
+            h.write_u64(open.backlog_hwm);
+            h.write_u64(open.in_flight_at_horizon);
+            for (lower, count) in open.sojourn.buckets() {
+                h.write_u64(lower);
+                h.write_u64(count);
+            }
+        }
     }
 
     /// The deterministic digest of this result (a fresh
@@ -212,6 +330,9 @@ pub struct System {
     miss_latency: Histogram,
     measured_misses: u64,
     ops_completed_measured: u64,
+    /// `Some` iff the workload is [`WorkloadSpec::OpenLoop`]; closed-loop
+    /// runs carry no open-loop state and schedule no arrival events.
+    open: Option<OpenLoop>,
     last_completion: Cycle,
     cores_past_warmup: usize,
     warmup_end: Option<Cycle>,
@@ -262,8 +383,21 @@ impl System {
                 outstanding_since: Cycle::ZERO,
                 ops_done: 0,
                 finished: false,
+                backlog: VecDeque::new(),
+                next_arrival: None,
+                blocked: None,
+                arrivals_drawn: 0,
+                in_service_since: Cycle::ZERO,
             })
             .collect();
+        let open = match &config.workload {
+            WorkloadSpec::OpenLoop(p) => Some(OpenLoop {
+                cap: p.backlog_cap as usize,
+                block: p.policy == OverloadPolicy::Block,
+                stats: OpenLoopStats::new(),
+            }),
+            _ => None,
+        };
         // With per-event checking off, the auditor only needs the global
         // in-flight count (end-of-run drain check), not per-block state.
         let auditor = if config.check == CheckLevel::Assert {
@@ -285,6 +419,7 @@ impl System {
             miss_latency: Histogram::new(),
             measured_misses: 0,
             ops_completed_measured: 0,
+            open,
             last_completion: Cycle::ZERO,
             cores_past_warmup: if config.warmup_ops_per_core == 0 {
                 n as usize
@@ -299,8 +434,16 @@ impl System {
             recorder,
             config,
         };
-        for i in 0..n {
-            system.schedule_next(NodeId::new(i), Cycle::ZERO);
+        if system.open.is_some() {
+            // Open loop: no op is pending at time zero; each core's first
+            // arrival lands after its first interarrival gap.
+            for i in 0..n {
+                system.schedule_arrival(NodeId::new(i), Cycle::ZERO);
+            }
+        } else {
+            for i in 0..n {
+                system.schedule_next(NodeId::new(i), Cycle::ZERO);
+            }
         }
         // The starvation watchdog only exists when a horizon is armed, so
         // fault-free runs process exactly the same event sequence as
@@ -337,18 +480,156 @@ impl System {
             .push(now + item.think_cycles, Event::CoreIssue { node });
     }
 
-    /// Records one completed operation (hit or miss) for `node`.
-    fn complete_op(&mut self, node: NodeId, op: MemOp, version: u64, at: Cycle) {
-        if self.config.check == CheckLevel::Assert {
-            self.checker.check(op.addr, op.kind, version, at);
+    /// Open loop: draws the core's next arrival and schedules it after
+    /// its interarrival gap (the generator's `think_cycles`). The arrival
+    /// budget is the same warmup + measured quota as the closed loop's —
+    /// once `quota` arrivals are drawn the process stops and the core
+    /// finishes when the last one resolves.
+    fn schedule_arrival(&mut self, node: NodeId, now: Cycle) {
+        let quota = self.quota();
+        let core = &mut self.cores[node.index()];
+        if core.arrivals_drawn >= quota {
+            if quota == 0 {
+                core.finished = true;
+            }
+            return;
         }
+        core.arrivals_drawn += 1;
+        let item = core.generator.next_item();
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record(node, item);
+        }
+        let core = &mut self.cores[node.index()];
+        core.next_arrival = Some(MemOp {
+            addr: item.addr,
+            kind: item.kind,
+        });
+        self.queue
+            .push(now + item.think_cycles, Event::Arrival { node });
+    }
+
+    /// Open loop: one operation arrives at `node` — into service if the
+    /// core is idle, into the backlog if there is room, otherwise
+    /// dropped or (block policy) stalling the arrival process.
+    fn handle_arrival(&mut self, node: NodeId, now: Cycle) {
+        let op = self.cores[node.index()]
+            .next_arrival
+            .take()
+            .expect("arrival without a drawn op");
+        let measured = self.in_measurement(node);
+        let open = self.open.as_mut().expect("arrival in a closed-loop run");
+        open.stats.arrivals += 1;
+        if measured {
+            open.stats.measured_arrivals += 1;
+        }
+        let (cap, block) = (open.cap, open.block);
+        let core = &mut self.cores[node.index()];
+        if core.pending.is_none() && core.outstanding.is_none() && core.backlog.is_empty() {
+            // Idle server: straight into service.
+            core.pending = Some(op);
+            core.in_service_since = now;
+            self.queue.push(now, Event::CoreIssue { node });
+        } else if core.backlog.len() < cap {
+            core.backlog.push_back((op, now));
+            let depth = core.backlog.len() as u64;
+            let open = self.open.as_mut().expect("open-loop state");
+            open.stats.backlog_hwm = open.stats.backlog_hwm.max(depth);
+        } else if block {
+            // Full backlog, block policy: the arrival process stalls —
+            // no further arrival is scheduled until a slot frees.
+            core.blocked = Some((op, now));
+            return;
+        } else {
+            // Full backlog, drop policy: the op leaves the system now.
+            let open = self.open.as_mut().expect("open-loop state");
+            open.stats.drops += 1;
+            if measured {
+                open.stats.measured_drops += 1;
+            }
+            self.note_op_resolved(node, now);
+            self.open_maybe_finish(node);
+        }
+        self.schedule_arrival(node, now);
+    }
+
+    /// Open loop: after a completion, pull the next queued op into
+    /// service (unstalling a blocked arrival into the freed slot), or
+    /// finish the core once its whole arrival budget has resolved.
+    fn open_continue(&mut self, node: NodeId, now: Cycle) {
+        let core = &mut self.cores[node.index()];
+        if let Some((op, arrived)) = core.backlog.pop_front() {
+            core.pending = Some(op);
+            core.in_service_since = arrived;
+            self.queue.push(now, Event::CoreIssue { node });
+            let core = &mut self.cores[node.index()];
+            if let Some((op, arrived)) = core.blocked.take() {
+                // The stalled arrival enters the freed backlog slot with
+                // its *original* arrival time (its sojourn includes the
+                // stall), and the arrival process resumes.
+                core.backlog.push_back((op, arrived));
+                let open = self.open.as_mut().expect("open-loop state");
+                open.stats.blocked_cycles += now.saturating_since(arrived);
+                self.schedule_arrival(node, now);
+            }
+        } else {
+            debug_assert!(
+                self.cores[node.index()].blocked.is_none(),
+                "blocked arrival behind an empty backlog"
+            );
+            self.open_maybe_finish(node);
+        }
+    }
+
+    /// Open loop: marks the core finished once every drawn arrival has
+    /// resolved (completed or dropped) and nothing is left in flight.
+    fn open_maybe_finish(&mut self, node: NodeId) {
+        let quota = self.quota();
+        let core = &mut self.cores[node.index()];
+        if core.ops_done >= quota {
+            debug_assert!(
+                core.backlog.is_empty()
+                    && core.pending.is_none()
+                    && core.outstanding.is_none()
+                    && core.blocked.is_none(),
+                "core finished its quota with work still in flight"
+            );
+            core.finished = true;
+        }
+    }
+
+    /// Completes `op` at `at`, then advances the core: the closed loop
+    /// thinks and issues its next op, the open loop drains its backlog.
+    /// Sojourn (arrival→completion) is recorded here, on the same
+    /// in-measurement gate as miss latency.
+    fn complete_and_advance(&mut self, node: NodeId, op: MemOp, version: u64, at: Cycle) {
+        if self.open.is_some() {
+            if self.in_measurement(node) {
+                let arrived = self.cores[node.index()].in_service_since;
+                let sojourn = at.saturating_since(arrived);
+                self.open
+                    .as_mut()
+                    .expect("open-loop state")
+                    .stats
+                    .sojourn
+                    .record(sojourn);
+            }
+            self.complete_op(node, op, version, at);
+            self.open_continue(node, at);
+        } else {
+            self.complete_op(node, op, version, at);
+            self.schedule_next(node, at);
+        }
+    }
+
+    /// Records that one of `node`'s operations resolved — completed *or*
+    /// (open loop) dropped — advancing the warmup bookkeeping either way,
+    /// so a saturated core still crosses its warmup quota. Returns
+    /// whether the resolved op landed in the measurement phase.
+    fn note_op_resolved(&mut self, node: NodeId, at: Cycle) -> bool {
         let warmup = self.config.warmup_ops_per_core;
         let core = &mut self.cores[node.index()];
         core.ops_done += 1;
-        if core.ops_done > warmup {
-            self.ops_completed_measured += 1;
-            self.last_completion = self.last_completion.max(at);
-        }
+        let measured = core.ops_done > warmup;
         if warmup > 0 && core.ops_done == warmup {
             self.cores_past_warmup += 1;
             if self.cores_past_warmup == self.config.protocol.num_nodes as usize {
@@ -357,8 +638,25 @@ impl System {
                 self.noc.reset_stats();
                 self.miss_latency = Histogram::new();
                 self.measured_misses = 0;
+                if let Some(open) = &mut self.open {
+                    open.stats.sojourn = Histogram::new();
+                    open.stats.measured_arrivals = 0;
+                    open.stats.measured_drops = 0;
+                }
                 self.warmup_end = Some(at);
             }
+        }
+        measured
+    }
+
+    /// Records one completed operation (hit or miss) for `node`.
+    fn complete_op(&mut self, node: NodeId, op: MemOp, version: u64, at: Cycle) {
+        if self.config.check == CheckLevel::Assert {
+            self.checker.check(op.addr, op.kind, version, at);
+        }
+        if self.note_op_resolved(node, at) {
+            self.ops_completed_measured += 1;
+            self.last_completion = self.last_completion.max(at);
         }
     }
 
@@ -413,8 +711,7 @@ impl System {
             self.miss_latency.record(now - completion.issued_at);
             self.measured_misses += 1;
         }
-        self.complete_op(node, op, completion.version, now);
-        self.schedule_next(node, now);
+        self.complete_and_advance(node, op, completion.version, now);
     }
 
     /// Takes the reusable outbox scratch (callers must hand it back via
@@ -457,8 +754,7 @@ impl System {
                 match resp {
                     CoreResponse::Hit { version } => {
                         let done_at = now + self.config.protocol.cache_hit_latency;
-                        self.complete_op(node, op, version, done_at);
-                        self.schedule_next(node, done_at);
+                        self.complete_and_advance(node, op, version, done_at);
                     }
                     CoreResponse::MissPending => {
                         let core = &mut self.cores[node.index()];
@@ -473,6 +769,7 @@ impl System {
                 self.process_outbox(node, &mut out, now);
                 self.restore_outbox(out);
             }
+            Event::Arrival { node } => self.handle_arrival(node, now),
             Event::Noc(ev) => {
                 // Follow-up NoC events go straight into the queue;
                 // deliveries buffer in the persistent scratch because
@@ -622,6 +919,20 @@ impl System {
         }
 
         let warmup_end = self.warmup_end.expect("all cores passed warmup");
+        let open_loop = self.open.take().map(|o| {
+            let mut stats = o.stats;
+            stats.in_flight_at_horizon = self
+                .cores
+                .iter()
+                .map(|c| {
+                    c.backlog.len() as u64
+                        + c.pending.is_some() as u64
+                        + c.outstanding.is_some() as u64
+                        + c.blocked.is_some() as u64
+                })
+                .sum();
+            stats
+        });
         let mut counters = ProtocolCounters::default();
         for node in &self.nodes {
             let c = node.counters();
@@ -647,6 +958,7 @@ impl System {
             coherence_checks: self.checker.checks_performed(),
             token_audits: self.auditor.audits_performed(),
             events_processed: self.queue.total_pushed(),
+            open_loop,
         })
     }
 }

@@ -22,6 +22,12 @@ pub const FAULT: u64 = 0x66_61_75_6c;
 /// recorded goldens cannot shift.
 pub const SERVICE: u64 = 0x73_65_72_76;
 
+/// Open-loop arrival generators (`"arvl"`). Forked *below* each core's
+/// [`WORKLOAD`]-derived stream like [`SERVICE`], so the interarrival and
+/// key draws of the open-loop subsystem live on a stream no closed-loop
+/// workload ever touched — all existing goldens stay byte-identical.
+pub const ARRIVAL: u64 = 0x61_72_76_6c;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -31,11 +37,12 @@ mod tests {
         assert_eq!(WORKLOAD.to_be_bytes()[4..], *b"work");
         assert_eq!(FAULT.to_be_bytes()[4..], *b"faul");
         assert_eq!(SERVICE.to_be_bytes()[4..], *b"serv");
+        assert_eq!(ARRIVAL.to_be_bytes()[4..], *b"arvl");
     }
 
     #[test]
     fn labels_are_distinct() {
-        let labels = [WORKLOAD, FAULT, SERVICE];
+        let labels = [WORKLOAD, FAULT, SERVICE, ARRIVAL];
         for (i, a) in labels.iter().enumerate() {
             for b in &labels[i + 1..] {
                 assert_ne!(a, b);

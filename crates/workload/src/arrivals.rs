@@ -1,0 +1,433 @@
+//! Open-loop arrival processes: decoupled arrivals with bounded backlogs.
+//!
+//! Every other workload in this crate is **closed-loop**: a core issues
+//! its next access only after the previous one completes, so a slow
+//! protocol throttles its own offered load and saturation is structurally
+//! invisible. An [`ArrivalProfile`] instead describes an **open-loop**
+//! stream — operations *arrive* on a clock of their own (fixed-rate,
+//! Poisson-thinned, or burst-modulated interarrival gaps), queue in a
+//! bounded per-core backlog, and overflow according to a typed
+//! [`OverloadPolicy`]. The core simulator drains the backlog one
+//! operation at a time; when arrivals outpace completions the backlog
+//! fills, sojourn times (arrival→completion) grow, and — past the knee —
+//! operations drop or arrivals stall. That hockey-stick is the entire
+//! point: it is what offered-load sweeps measure.
+//!
+//! Determinism contract: interarrival gaps and key/write draws come from
+//! a dedicated RNG stream ([`streams::ARRIVAL`](patchsim_kernel::streams))
+//! forked *below* each core's per-node workload stream, exactly like the
+//! service generators' `serv` stream — so adding open-loop workloads
+//! cannot shift any draw an existing workload makes, and every recorded
+//! golden stays byte-identical.
+
+use patchsim_kernel::SimRng;
+
+use crate::ZipfSampler;
+
+/// The interarrival-gap process of an open-loop stream. All gaps are in
+/// cycles and at least 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// One arrival every `period` cycles exactly.
+    Fixed {
+        /// The constant interarrival gap, in cycles.
+        period: u64,
+    },
+    /// Memoryless arrivals at rate `1/period`: gaps are geometric with
+    /// mean `period` (a Poisson process thinned to integer cycles).
+    Poisson {
+        /// The mean interarrival gap, in cycles.
+        period: u64,
+    },
+    /// Poisson arrivals whose rate multiplies by `burst_div` for the
+    /// first `burst_len` arrivals of every `burst_period`-arrival cycle —
+    /// an open-loop burst, unlike the closed-loop think-time division of
+    /// the service generators.
+    Burst {
+        /// The mean interarrival gap outside bursts, in cycles.
+        period: u64,
+        /// Burst cycle length, in arrivals.
+        burst_period: u64,
+        /// Arrivals at the start of each cycle that arrive faster.
+        burst_len: u64,
+        /// Gap divisor during a burst (rate multiplier).
+        burst_div: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The process's mean interarrival gap outside any burst, in cycles.
+    pub fn period(&self) -> u64 {
+        match *self {
+            ArrivalProcess::Fixed { period }
+            | ArrivalProcess::Poisson { period }
+            | ArrivalProcess::Burst { period, .. } => period,
+        }
+    }
+}
+
+/// What happens when an operation arrives to a full backlog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// The arriving operation is discarded and counted as a drop.
+    Drop,
+    /// The arrival process stalls until the backlog has room; stalled
+    /// time is counted as backlog (blocked) time.
+    Block,
+}
+
+/// A complete open-loop workload: the arrival process, the per-core
+/// backlog bound and overload policy, and the key/write mix of the
+/// arriving operations (a Zipf-skewed shared keyspace, like the service
+/// generators).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalProfile {
+    /// Canonical display name — the `open:...` spec string that parses
+    /// back to this profile.
+    pub name: String,
+    /// The interarrival-gap process.
+    pub process: ArrivalProcess,
+    /// Maximum queued (not yet issued) operations per core.
+    pub backlog_cap: u32,
+    /// What a full backlog does to new arrivals.
+    pub policy: OverloadPolicy,
+    /// Shared keyspace size in blocks.
+    pub keys: u64,
+    /// Probability an arriving operation is a write.
+    pub write_frac: f64,
+    /// Zipf skew parameter `theta` in `[0, 1)`; `0` is uniform.
+    pub theta: f64,
+}
+
+/// Default backlog bound when the spec does not set `cap=`.
+pub const DEFAULT_BACKLOG_CAP: u32 = 64;
+/// Default keyspace size when the spec does not set `keys=`.
+pub const DEFAULT_KEYS: u64 = 4096;
+/// Default write fraction when the spec does not set `write=`.
+pub const DEFAULT_WRITE_FRAC: f64 = 0.3;
+
+impl ArrivalProfile {
+    /// Builds a profile from the `open:` spec body (the part after the
+    /// `open:` prefix): a process — `fixed:PERIOD`, `poisson:PERIOD`, or
+    /// `burst:PERIOD:BPERIOD:BLEN:BDIV` — optionally followed by
+    /// comma-separated options `cap=N`, `policy={drop,block}`, `keys=N`,
+    /// `write=F`, `theta=F`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(',');
+        let process = Self::parse_process(parts.next().unwrap_or(""))?;
+        let mut cap = DEFAULT_BACKLOG_CAP;
+        let mut policy = OverloadPolicy::Drop;
+        let mut keys = DEFAULT_KEYS;
+        let mut write_frac = DEFAULT_WRITE_FRAC;
+        let mut theta = 0.0f64;
+        for opt in parts {
+            let (key, value) = opt
+                .split_once('=')
+                .ok_or_else(|| format!("arrival option '{opt}' is not KEY=VALUE"))?;
+            match key {
+                "cap" => {
+                    cap = value
+                        .parse()
+                        .map_err(|_| format!("invalid cap '{value}'"))?;
+                    if cap == 0 {
+                        return Err("cap must be at least 1".into());
+                    }
+                }
+                "policy" => {
+                    policy = match value {
+                        "drop" => OverloadPolicy::Drop,
+                        "block" => OverloadPolicy::Block,
+                        _ => return Err(format!("invalid policy '{value}' (drop or block)")),
+                    };
+                }
+                "keys" => {
+                    keys = value
+                        .parse()
+                        .map_err(|_| format!("invalid keys '{value}'"))?;
+                    if keys == 0 {
+                        return Err("keys must be at least 1".into());
+                    }
+                }
+                "write" => {
+                    write_frac = value
+                        .parse()
+                        .map_err(|_| format!("invalid write fraction '{value}'"))?;
+                    if !(0.0..=1.0).contains(&write_frac) {
+                        return Err(format!("write fraction {write_frac} outside [0, 1]"));
+                    }
+                }
+                "theta" => {
+                    theta = value
+                        .parse()
+                        .map_err(|_| format!("invalid theta '{value}'"))?;
+                    if !(0.0..1.0).contains(&theta) {
+                        return Err(format!("theta {theta} outside [0, 1)"));
+                    }
+                }
+                _ => return Err(format!("unknown arrival option '{key}'")),
+            }
+        }
+        let mut profile = ArrivalProfile {
+            name: String::new(),
+            process,
+            backlog_cap: cap,
+            policy,
+            keys,
+            write_frac,
+            theta,
+        };
+        profile.name = profile.canonical_name();
+        Ok(profile)
+    }
+
+    fn parse_process(spec: &str) -> Result<ArrivalProcess, String> {
+        let mut fields = spec.split(':');
+        let kind = fields.next().unwrap_or("");
+        let mut num = |what: &str| -> Result<u64, String> {
+            let v = fields
+                .next()
+                .ok_or_else(|| format!("{kind} process is missing its {what}"))?;
+            let n: u64 = v.parse().map_err(|_| format!("invalid {what} '{v}'"))?;
+            if n == 0 {
+                return Err(format!("{what} must be at least 1"));
+            }
+            Ok(n)
+        };
+        let process = match kind {
+            "fixed" => ArrivalProcess::Fixed {
+                period: num("period")?,
+            },
+            "poisson" => ArrivalProcess::Poisson {
+                period: num("period")?,
+            },
+            "burst" => {
+                let period = num("period")?;
+                let burst_period = num("burst period")?;
+                let burst_len = num("burst length")?;
+                let burst_div = num("burst divisor")?;
+                if burst_len > burst_period {
+                    return Err(format!(
+                        "burst length {burst_len} exceeds burst period {burst_period}"
+                    ));
+                }
+                ArrivalProcess::Burst {
+                    period,
+                    burst_period,
+                    burst_len,
+                    burst_div,
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "unknown arrival process '{kind}' (fixed, poisson, or burst)"
+                ))
+            }
+        };
+        if fields.next().is_some() {
+            return Err(format!("trailing fields after the {kind} process"));
+        }
+        Ok(process)
+    }
+
+    /// The canonical `open:...` spec string for this profile: parsing it
+    /// reproduces the profile, defaults omitted.
+    fn canonical_name(&self) -> String {
+        let mut name = match self.process {
+            ArrivalProcess::Fixed { period } => format!("open:fixed:{period}"),
+            ArrivalProcess::Poisson { period } => format!("open:poisson:{period}"),
+            ArrivalProcess::Burst {
+                period,
+                burst_period,
+                burst_len,
+                burst_div,
+            } => format!("open:burst:{period}:{burst_period}:{burst_len}:{burst_div}"),
+        };
+        if self.backlog_cap != DEFAULT_BACKLOG_CAP {
+            name.push_str(&format!(",cap={}", self.backlog_cap));
+        }
+        if self.policy == OverloadPolicy::Block {
+            name.push_str(",policy=block");
+        }
+        if self.keys != DEFAULT_KEYS {
+            name.push_str(&format!(",keys={}", self.keys));
+        }
+        if self.write_frac != DEFAULT_WRITE_FRAC {
+            name.push_str(&format!(",write={}", self.write_frac));
+        }
+        if self.theta != 0.0 {
+            name.push_str(&format!(",theta={}", self.theta));
+        }
+        name
+    }
+
+    /// The sampler over this profile's keyspace.
+    pub(crate) fn sampler(&self) -> ZipfSampler {
+        ZipfSampler::new(self.keys.max(1), self.theta)
+    }
+}
+
+/// Draws the next interarrival gap (≥ 1 cycle). `arrival_index` is the
+/// 0-based index of the arrival whose gap is being drawn, which keys the
+/// burst window — time variation depends on the generator's own counter,
+/// never on simulation time, keeping the stream a pure function of
+/// `(profile, node, seed)`.
+///
+/// Every process consumes the same number of draws per gap (one, except
+/// `Fixed` which consumes none), so the key/write draws that follow stay
+/// aligned no matter which gap came out.
+pub(crate) fn next_gap(process: ArrivalProcess, arrival_index: u64, rng: &mut SimRng) -> u64 {
+    match process {
+        ArrivalProcess::Fixed { period } => period.max(1),
+        ArrivalProcess::Poisson { period } => geometric_gap(period.max(1), rng),
+        ArrivalProcess::Burst {
+            period,
+            burst_period,
+            burst_len,
+            burst_div,
+        } => {
+            let period = if burst_period > 0 && arrival_index % burst_period < burst_len {
+                (period / burst_div.max(1)).max(1)
+            } else {
+                period.max(1)
+            };
+            geometric_gap(period, rng)
+        }
+    }
+}
+
+/// A geometric gap with mean `period`, via inverse-CDF on one uniform
+/// draw: the discrete analogue of exponential interarrival times.
+fn geometric_gap(period: u64, rng: &mut SimRng) -> u64 {
+    if period <= 1 {
+        // Degenerate rate-1 process; still consume the draw so the
+        // stream alignment is independent of the period.
+        let _ = rng.unit();
+        return 1;
+    }
+    let p = 1.0 / period as f64;
+    let u = rng.unit();
+    // u < 1 always, so the logs are finite and negative; the ratio is
+    // the geometric quantile, floored, with a +1 minimum gap.
+    let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    (gap as u64).saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_through_the_canonical_name() {
+        for spec in [
+            "fixed:100",
+            "poisson:40",
+            "burst:100:256:64:8",
+            "poisson:40,cap=16,policy=block,keys=1024,write=0.5,theta=0.9",
+        ] {
+            let p = ArrivalProfile::parse(spec).unwrap();
+            let body = p.name.strip_prefix("open:").unwrap().to_string();
+            assert_eq!(ArrivalProfile::parse(&body).unwrap(), p, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_applies_defaults() {
+        let p = ArrivalProfile::parse("poisson:100").unwrap();
+        assert_eq!(p.process, ArrivalProcess::Poisson { period: 100 });
+        assert_eq!(p.backlog_cap, DEFAULT_BACKLOG_CAP);
+        assert_eq!(p.policy, OverloadPolicy::Drop);
+        assert_eq!(p.keys, DEFAULT_KEYS);
+        assert_eq!(p.write_frac, DEFAULT_WRITE_FRAC);
+        assert_eq!(p.theta, 0.0);
+        assert_eq!(p.name, "open:poisson:100");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "warp:10",
+            "fixed",
+            "fixed:0",
+            "fixed:ten",
+            "poisson:10:20",
+            "burst:100:256:300:8", // burst_len > burst_period
+            "poisson:10,cap=0",
+            "poisson:10,policy=panic",
+            "poisson:10,write=1.5",
+            "poisson:10,theta=1.0",
+            "poisson:10,keys=0",
+            "poisson:10,frobnicate=1",
+            "poisson:10,cap",
+        ] {
+            assert!(ArrivalProfile::parse(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn fixed_gaps_are_constant_and_draw_free() {
+        let mut rng = SimRng::from_seed(1);
+        let before = rng.clone();
+        for i in 0..10 {
+            assert_eq!(
+                next_gap(ArrivalProcess::Fixed { period: 25 }, i, &mut rng),
+                25
+            );
+        }
+        // No draws consumed: the stream is untouched.
+        assert_eq!(rng.below(1 << 32), before.clone().below(1 << 32));
+    }
+
+    #[test]
+    fn poisson_gaps_have_the_requested_mean() {
+        let mut rng = SimRng::from_seed(7);
+        let n = 20_000u64;
+        let total: u64 = (0..n)
+            .map(|i| next_gap(ArrivalProcess::Poisson { period: 50 }, i, &mut rng))
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (45.0..55.0).contains(&mean),
+            "mean gap {mean} should be ~50"
+        );
+    }
+
+    #[test]
+    fn burst_windows_arrive_faster() {
+        let process = ArrivalProcess::Burst {
+            period: 80,
+            burst_period: 256,
+            burst_len: 64,
+            burst_div: 8,
+        };
+        let mut rng = SimRng::from_seed(3);
+        let mut burst_total = 0u64;
+        let mut steady_total = 0u64;
+        for i in 0..25_600u64 {
+            let gap = next_gap(process, i, &mut rng);
+            if i % 256 < 64 {
+                burst_total += gap;
+            } else {
+                steady_total += gap;
+            }
+        }
+        let burst_mean = burst_total as f64 / (25_600.0 / 4.0);
+        let steady_mean = steady_total as f64 / (25_600.0 * 3.0 / 4.0);
+        assert!(
+            burst_mean < steady_mean / 4.0,
+            "burst mean {burst_mean:.1} vs steady {steady_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn gaps_are_always_positive() {
+        let mut rng = SimRng::from_seed(5);
+        for i in 0..5000 {
+            assert!(next_gap(ArrivalProcess::Poisson { period: 1 }, i, &mut rng) >= 1);
+        }
+    }
+}

@@ -4,6 +4,7 @@ use patchsim_kernel::{streams, SimRng};
 use patchsim_mem::{AccessKind, BlockAddr};
 use patchsim_noc::NodeId;
 
+use crate::arrivals::{self, ArrivalProfile};
 use crate::service::{ServiceProfile, ZipfSampler};
 use crate::{SharingProfile, WorkloadSpec};
 
@@ -65,13 +66,22 @@ impl Generator {
         }
         let mut rng = rng.fork(node.raw() as u64);
         let mut zipf = None;
-        if let WorkloadSpec::Service(p) = &spec {
-            // Service generators draw from a stream forked *below* the
-            // per-node workload stream under a dedicated label, so no
-            // pre-existing workload's draws can ever shift.
-            rng = rng.fork(streams::SERVICE);
-            let tenant_keys = (p.keys / p.tenants.max(1) as u64).max(1);
-            zipf = Some(ZipfSampler::new(tenant_keys, p.theta));
+        match &spec {
+            WorkloadSpec::Service(p) => {
+                // Service generators draw from a stream forked *below* the
+                // per-node workload stream under a dedicated label, so no
+                // pre-existing workload's draws can ever shift.
+                rng = rng.fork(streams::SERVICE);
+                let tenant_keys = (p.keys / p.tenants.max(1) as u64).max(1);
+                zipf = Some(ZipfSampler::new(tenant_keys, p.theta));
+            }
+            WorkloadSpec::OpenLoop(p) => {
+                // Open-loop arrivals get their own dedicated stream below
+                // the per-node stream, same contract as `serv`.
+                rng = rng.fork(streams::ARRIVAL);
+                zipf = Some(p.sampler());
+            }
+            _ => {}
         }
         Generator {
             spec,
@@ -129,6 +139,10 @@ impl Generator {
                 let profile = profile.clone();
                 self.service_item(&profile)
             }
+            WorkloadSpec::OpenLoop(profile) => {
+                let profile = profile.clone();
+                self.open_item(&profile)
+            }
             WorkloadSpec::Trace(_) => self.trace_item(),
         }
     }
@@ -174,6 +188,30 @@ impl Generator {
             addr,
             kind,
             think_cycles: think,
+        }
+    }
+
+    /// Produces the next open-loop arrival. `think_cycles` carries the
+    /// interarrival gap (the time since the *previous arrival*, not
+    /// since the previous completion — the core simulator schedules
+    /// arrivals on this clock, decoupled from completions). Fixed draw
+    /// order per item — gap, rank, write chance — keyed to the
+    /// generator's own arrival count, so the stream is a pure function
+    /// of `(profile, node, seed)`.
+    fn open_item(&mut self, p: &ArrivalProfile) -> WorkItem {
+        let index = self.ops_generated - 1; // 0-based arrival index
+        let gap = arrivals::next_gap(p.process, index, &mut self.rng);
+        let zipf = self.zipf.expect("open-loop generator has a sampler");
+        let rank = zipf.sample(&mut self.rng);
+        let kind = if self.rng.chance(p.write_frac) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        WorkItem {
+            addr: BlockAddr::new(rank),
+            kind,
+            think_cycles: gap,
         }
     }
 
@@ -492,6 +530,35 @@ mod tests {
         assert!(
             burst_mean < steady_mean / 4.0,
             "burst mean {burst_mean:.2} vs steady {steady_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn open_loop_stream_is_deterministic_and_in_bounds() {
+        let profile = crate::ArrivalProfile::parse("poisson:50,keys=512,theta=0.9").unwrap();
+        let spec = WorkloadSpec::OpenLoop(profile);
+        let mut a = gen_for(spec.clone(), 1, 8, 33);
+        let mut b = gen_for(spec, 1, 8, 33);
+        for _ in 0..2000 {
+            let item = a.next_item();
+            assert_eq!(item, b.next_item());
+            assert!(item.addr.raw() < 512, "key within keyspace");
+            assert!(item.think_cycles >= 1, "gaps are positive");
+        }
+    }
+
+    #[test]
+    fn open_loop_gaps_track_the_offered_rate() {
+        let fast = crate::ArrivalProfile::parse("poisson:10").unwrap();
+        let slow = crate::ArrivalProfile::parse("poisson:100").unwrap();
+        let total = |p| -> u64 {
+            let mut g = gen_for(WorkloadSpec::OpenLoop(p), 0, 4, 9);
+            (0..5000).map(|_| g.next_item().think_cycles).sum()
+        };
+        let (fast_total, slow_total) = (total(fast), total(slow));
+        assert!(
+            slow_total > 5 * fast_total,
+            "period 100 total {slow_total} vs period 10 total {fast_total}"
         );
     }
 

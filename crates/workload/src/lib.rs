@@ -19,12 +19,14 @@
 //! writes a random entry in a fixed-size table (16k locations) 30% of the
 //! time and reads a random entry 70% of the time".
 //!
-//! Two further workload families round out the catalog (see
+//! Three further workload families round out the catalog (see
 //! `docs/workloads.md`): [`WorkloadSpec::Service`] generates
 //! service-shaped traffic — Zipfian key skew with rotating hot sets,
 //! phase-changing tenant mixes, bursty arrivals — from a dedicated RNG
-//! stream, and [`WorkloadSpec::Trace`] replays a [`TraceData`] recorded
-//! by the `patchsim-trace` crate bit-identically.
+//! stream, [`WorkloadSpec::OpenLoop`] decouples arrivals from
+//! completions behind a bounded per-core backlog (the only family that
+//! can overload a protocol), and [`WorkloadSpec::Trace`] replays a
+//! [`TraceData`] recorded by the `patchsim-trace` crate bit-identically.
 //!
 //! # Examples
 //!
@@ -42,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod generator;
 mod profile;
 mod replay;
 mod service;
 
+pub use arrivals::{ArrivalProcess, ArrivalProfile, OverloadPolicy};
 pub use generator::{Generator, WorkItem};
 pub use profile::{presets, SharingProfile, WorkloadSpec};
 pub use replay::TraceData;

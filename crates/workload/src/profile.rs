@@ -5,6 +5,7 @@ use std::sync::Arc;
 use patchsim_kernel::SimRng;
 use patchsim_noc::NodeId;
 
+use crate::arrivals::ArrivalProfile;
 use crate::generator::Generator;
 use crate::replay::TraceData;
 use crate::service::ServiceProfile;
@@ -67,6 +68,14 @@ pub enum WorkloadSpec {
     /// A [`ServiceProfile`]-driven service workload: Zipfian key skew,
     /// rotating hot sets, tenant phases, bursty arrivals.
     Service(ServiceProfile),
+    /// An [`ArrivalProfile`]-driven **open-loop** workload: operations
+    /// arrive on their own clock (decoupled from completions) into a
+    /// bounded per-core backlog, so the offered load — unlike every
+    /// closed-loop family — does not throttle itself when the protocol
+    /// slows down. The generator's `think_cycles` carry the interarrival
+    /// gaps; the core simulator supplies the backlog and overload
+    /// accounting.
+    OpenLoop(ArrivalProfile),
     /// Replay of a recorded trace: each core's generator becomes a
     /// cursor over its recorded stream. The `Arc` keeps cloning a spec
     /// (which happens once per core and once per experiment cell) from
@@ -107,6 +116,7 @@ impl WorkloadSpec {
             WorkloadSpec::Synthetic(p) => p.name,
             WorkloadSpec::Microbenchmark { .. } => "microbench",
             WorkloadSpec::Service(p) => p.name,
+            WorkloadSpec::OpenLoop(p) => &p.name,
             WorkloadSpec::Trace(t) => &t.label,
         }
     }
@@ -125,6 +135,7 @@ impl WorkloadSpec {
                 clusters * (p.shared_blocks + p.cluster_size as u64 * per_core)
             }
             WorkloadSpec::Service(p) => p.keys.max(1),
+            WorkloadSpec::OpenLoop(p) => p.keys.max(1),
             WorkloadSpec::Trace(t) => t.working_set_blocks,
         }
     }
@@ -295,6 +306,14 @@ mod tests {
             assert_eq!(spec.name(), name);
         }
         assert!(presets::by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn open_loop_spec_reports_profile_metadata() {
+        let p = crate::ArrivalProfile::parse("poisson:100,keys=2048").unwrap();
+        let spec = WorkloadSpec::OpenLoop(p);
+        assert_eq!(spec.name(), "open:poisson:100,keys=2048");
+        assert_eq!(spec.working_set_blocks(8), 2048);
     }
 
     #[test]
