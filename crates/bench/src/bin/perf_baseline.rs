@@ -9,7 +9,15 @@
 //! file, giving CI and the perf trajectory a stable number to track.
 //!
 //! Usage: `perf_baseline [--threads N] [--seeds N] [--quick]
-//! [--fabric F] [--record-trace PATH] [--replay-trace PATH] [--out PATH]`
+//! [--fabric F] [--record-trace PATH] [--replay-trace PATH] [--profile]
+//! [--out PATH]`
+//!
+//! `--profile` turns on the simulator's per-event-class self-profiling
+//! (wall time and event count per class, summed over all replications)
+//! and writes the breakdown into the output JSON as a `"profile"`
+//! array. Profiling never touches simulation state, so the result hash
+//! is identical with or without it — which CI's perf-smoke job checks,
+//! alongside recording the telemetry-on overhead.
 //!
 //! `--fabric` swaps the interconnect topology (default `torus`); CI's
 //! perf-smoke job records a crossbar row alongside the torus row into
@@ -127,6 +135,7 @@ struct Args {
     fabric: FabricKind,
     record: Option<PathBuf>,
     replay: Option<PathBuf>,
+    profile: bool,
     out: PathBuf,
 }
 
@@ -145,6 +154,8 @@ fn usage_text() -> String {
          --replay-trace PATH\n                 \
          replay a recorded .ptrc trace instead of generating the\n                 \
          workload (requires --seeds 1; trace must be 16-node)\n  \
+         --profile      record per-event-class wall time and event counts\n                 \
+         into the output JSON (the result hash is unaffected)\n  \
          --out PATH     output JSON path (default {DEFAULT_OUT})\n  \
          -h, --help     print this help"
     )
@@ -163,6 +174,7 @@ fn parse_args() -> Args {
         fabric: FabricKind::Torus,
         record: None,
         replay: None,
+        profile: false,
         out: PathBuf::from(DEFAULT_OUT),
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -206,6 +218,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage_error("--replay-trace requires a value"));
                 args.replay = Some(PathBuf::from(v));
             }
+            "--profile" => args.profile = true,
             "--out" => {
                 let v = it
                     .next()
@@ -250,12 +263,19 @@ fn main() {
     if let Some(path) = &args.record {
         configs[0].record_trace = Some(path.clone());
     }
+    if args.profile {
+        for config in &mut configs {
+            config.telemetry.profile = true;
+        }
+    }
 
     // One untimed warmup run so first-touch page faults and lazy
     // allocations don't pollute the measurement. Recording stays off
-    // here so the warmup doesn't clobber the measured run's trace.
+    // here so the warmup doesn't clobber the measured run's trace, and
+    // profiling stays off so the warmup doesn't pollute the breakdown.
     let mut warm = configs[0].clone();
     warm.record_trace = None;
+    warm.telemetry.profile = false;
     let _ = patchsim::run(&warm);
 
     let wall = Instant::now();
@@ -284,6 +304,32 @@ fn main() {
     } else {
         String::new()
     };
+    // Per-event-class self-profiling breakdown, summed over all
+    // replications. Profiling is observation-only, so this block's
+    // presence never changes result_hash.
+    let profile_fields = if args.profile {
+        let mut total = patchsim::ProfileStats::default();
+        for r in &results {
+            if let Some(p) = &r.profile {
+                total.merge(p);
+            }
+        }
+        let rows: Vec<String> = patchsim::EventClass::ALL
+            .into_iter()
+            .map(|class| {
+                let p = total.class(class);
+                format!(
+                    "    {{\"class\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}}}",
+                    class.label(),
+                    p.events,
+                    p.nanos as f64 / 1e6,
+                )
+            })
+            .collect();
+        format!(",\n  \"profile\": [\n{}\n  ]", rows.join(",\n"))
+    } else {
+        String::new()
+    };
     let json = format!(
         "{{\n  \"bench\": \"perf_baseline\",\n  \"mode\": \"{mode}\",\n  \
          \"config\": {{\n    \"nodes\": 16,\n    \
@@ -291,7 +337,7 @@ fn main() {
          \"ops_per_core\": {},\n    \
          \"base_seed\": {},\n    \"seeds\": {},\n    \"quick\": {}\n  }},\n  \
          \"threads\": {},\n  \"total_events\": {},\n  \"wall_ms\": {:.3},\n  \
-         \"events_per_sec\": {:.1},\n  \"result_hash\": \"{:#018x}\"{}\n}}\n",
+         \"events_per_sec\": {:.1},\n  \"result_hash\": \"{:#018x}\"{}{}\n}}\n",
         args.fabric.label(),
         pinned_ops(args.quick),
         base.seed,
@@ -303,6 +349,7 @@ fn main() {
         events_per_sec,
         result_hash,
         baseline_fields,
+        profile_fields,
     );
 
     match std::fs::File::create(&args.out).and_then(|mut f| f.write_all(json.as_bytes())) {

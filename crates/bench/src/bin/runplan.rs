@@ -3,8 +3,9 @@
 //!
 //! `cargo run --release -p patchsim-bench --bin runplan -- <plan> [--quick]
 //! [--seeds N] [--threads N] [--fabric F] [--faults SPEC] [--store DIR]
-//! [--shard K/N] [--cell-timeout SECS] [--retries N]
-//! [--format {text,csv,json}] [--out PATH]`
+//! [--shard K/N] [--cell-timeout SECS] [--retries N] [--metrics PATH]
+//! [--metrics-every CYCLES] [--spans] [--flight-recorder DIR]
+//! [--progress] [--format {text,csv,json}] [--out PATH]`
 //!
 //! `runplan --help` lists every registered plan with a one-line
 //! description; `runplan list` prints the bare plan names (one per line,
@@ -23,7 +24,8 @@ use std::path::PathBuf;
 
 use patchsim::exp::ResultStore;
 use patchsim_bench::{
-    plan_by_name, with_saturation_columns, with_standard_columns, BenchArgs, PLAN_INFO, PLAN_NAMES,
+    plan_by_name, with_saturation_columns, with_span_columns, with_standard_columns, BenchArgs,
+    PLAN_INFO, PLAN_NAMES,
 };
 
 /// The registered plans with their one-line descriptions, one per line,
@@ -100,7 +102,7 @@ fn merge_store(raw: &[String]) -> ! {
     match ResultStore::merge(a, b, &out) {
         Ok(report) => {
             eprintln!(
-                "merged {} entries into {} ({} identical duplicates skipped, {} corrupt quarantined)",
+                "patchsim: merged {} entries into {} ({} identical duplicates skipped, {} corrupt quarantined)",
                 report.merged,
                 out.display(),
                 report.duplicates,
@@ -216,10 +218,13 @@ fn main() {
         std::process::exit(2);
     };
     let table = args.run_plan(plan);
-    let table = if name == "saturation" {
+    let mut table = if name == "saturation" {
         with_saturation_columns(table)
     } else {
         with_standard_columns(table)
     };
+    if args.spans {
+        table = with_span_columns(table);
+    }
     args.finish(&table);
 }

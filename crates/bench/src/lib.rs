@@ -35,7 +35,13 @@
 //! name like `oltp` or `svc-zipf`, or a recorded `.ptrc` trace to
 //! replay; plans with a workload axis override it),
 //! `--record-trace PATH` (record the plan's first cell to a `.ptrc`
-//! trace), `--store DIR` (persist/resume results through a
+//! trace), `--metrics PATH` and `--metrics-every CYCLES` (sample the
+//! plan's first cell into an epoch-metrics JSONL time series),
+//! `--spans` (record per-phase miss-lifecycle spans and append span
+//! columns), `--flight-recorder DIR` (arm a bounded event ring on every
+//! run, dumped to a `.fdr` file on safety/liveness failures),
+//! `--progress` (a throttled stderr heartbeat while the sweep runs),
+//! `--store DIR` (persist/resume results through a
 //! content-addressed store — a killed sweep rerun with the same store
 //! recomputes only what is missing and produces a byte-identical table),
 //! `--cell-timeout SECS` and `--retries N` (cell-level fault isolation:
@@ -158,6 +164,24 @@ pub struct BenchArgs {
     /// [`BenchArgs::run_plan`] records the plan's first cell (replication
     /// 0) to a `.ptrc` trace at this path.
     pub record: Option<PathBuf>,
+    /// Epoch-metrics path (`--metrics PATH`); when set,
+    /// [`BenchArgs::run_plan`] samples the plan's first cell
+    /// (replication 0) into a JSONL time series at this path.
+    pub metrics: Option<PathBuf>,
+    /// Epoch length in cycles for `--metrics` sampling
+    /// (`--metrics-every CYCLES`); `None` uses the default epoch.
+    pub metrics_every: Option<u64>,
+    /// Span recording (`--spans`): every run records per-phase
+    /// miss-lifecycle spans and the emitted table gains span columns
+    /// (see [`with_span_columns`]).
+    pub spans: bool,
+    /// Flight-recorder directory (`--flight-recorder DIR`): every run
+    /// keeps a bounded ring of recent events and dumps it to a `.fdr`
+    /// file under DIR when a safety or liveness oracle trips.
+    pub flight_recorder: Option<PathBuf>,
+    /// Progress heartbeat (`--progress`): print a throttled
+    /// `patchsim: progress ...` line to stderr as cells finish.
+    pub progress: bool,
     /// Result-store directory (`--store DIR`); when set, completed runs
     /// persist there and prior runs are loaded instead of recomputed, so
     /// an interrupted sweep resumes where it died (see `docs/resume.md`).
@@ -198,6 +222,21 @@ const OPTIONS_HELP: &str = "Options:
   --record-trace PATH
                  record the plan's first cell (replication 0) to a .ptrc
                  trace at PATH as it finishes
+  --metrics PATH sample the plan's first cell (replication 0) into an
+                 epoch-metrics JSONL time series at PATH (link
+                 utilization, queue depths, table occupancy, protocol
+                 activity; see docs/observability.md)
+  --metrics-every CYCLES
+                 epoch length for --metrics sampling (default 10000)
+  --spans        record per-phase miss-lifecycle spans (issue, network,
+                 home/ordering, token wait) on every run and append
+                 span-mean columns to the table
+  --flight-recorder DIR
+                 keep a bounded ring of recent events on every run and
+                 dump it to a .fdr file under DIR when a safety or
+                 liveness oracle trips
+  --progress     print a throttled progress heartbeat to stderr as the
+                 sweep's cells finish
   --store DIR    persist each run's result in a content-addressed store
                  at DIR and resume from it: prior results load instead
                  of recomputing, so a killed sweep picks up where it
@@ -266,6 +305,11 @@ impl BenchArgs {
         let mut format = Format::Text;
         let mut out: Option<PathBuf> = None;
         let mut record: Option<PathBuf> = None;
+        let mut metrics: Option<PathBuf> = None;
+        let mut metrics_every: Option<u64> = None;
+        let mut spans = false;
+        let mut flight_recorder: Option<PathBuf> = None;
+        let mut progress = false;
         let mut store: Option<PathBuf> = None;
         let mut cell_timeout: Option<Duration> = None;
         let mut retries: Option<u32> = None;
@@ -321,6 +365,26 @@ impl BenchArgs {
                     let v = it.next().ok_or("--record-trace requires a value")?;
                     record = Some(PathBuf::from(v));
                 }
+                "--metrics" => {
+                    let v = it.next().ok_or("--metrics requires a value")?;
+                    metrics = Some(PathBuf::from(v));
+                }
+                "--metrics-every" => {
+                    let v = it.next().ok_or("--metrics-every requires a value")?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid --metrics-every value '{v}'"))?;
+                    if n == 0 {
+                        return Err("--metrics-every must be at least 1 cycle".into());
+                    }
+                    metrics_every = Some(n);
+                }
+                "--spans" => spans = true,
+                "--flight-recorder" => {
+                    let v = it.next().ok_or("--flight-recorder requires a value")?;
+                    flight_recorder = Some(PathBuf::from(v));
+                }
+                "--progress" => progress = true,
                 "--out" => {
                     let v = it.next().ok_or("--out requires a value")?;
                     out = Some(PathBuf::from(v));
@@ -396,6 +460,9 @@ impl BenchArgs {
             }
         }
         scale.workload = workload;
+        if metrics_every.is_some() && metrics.is_none() {
+            return Err("--metrics-every requires --metrics".into());
+        }
         Ok((
             BenchArgs {
                 scale,
@@ -403,6 +470,11 @@ impl BenchArgs {
                 format,
                 out,
                 record,
+                metrics,
+                metrics_every,
+                spans,
+                flight_recorder,
+                progress,
                 store,
                 cell_timeout,
                 retries,
@@ -413,11 +485,19 @@ impl BenchArgs {
     }
 
     /// Runs `plan` on this invocation's runner, first arming trace
-    /// recording on the plan's first cell when `--record-trace` was
-    /// given. Only the first cell records (and within it only
-    /// replication 0 — see `Runner`): one path, one trace, no
-    /// last-writer-wins races across the pool.
-    pub fn run_plan(&self, mut plan: ExperimentPlan) -> Table {
+    /// recording and telemetry via [`BenchArgs::run_plan_armed`].
+    pub fn run_plan(&self, plan: ExperimentPlan) -> Table {
+        let plan = self.run_plan_armed(plan);
+        self.runner().run(&plan)
+    }
+
+    /// Applies this invocation's sharding, trace recording, and
+    /// telemetry flags to `plan` and returns it ready to run. Trace
+    /// recording and metrics sampling arm only the plan's first cell
+    /// (and within it only replication 0 — see `Runner`): one path, one
+    /// output file, no last-writer-wins races across the pool. Spans
+    /// and the flight recorder arm every cell.
+    pub fn run_plan_armed(&self, mut plan: ExperimentPlan) -> ExperimentPlan {
         if let Some((k, n)) = self.shard {
             // Partition by store key: deterministic for a given plan and
             // CODE_VERSION, independent of axis order, and exactly the
@@ -430,14 +510,31 @@ impl BenchArgs {
                 cell.config.record_trace = Some(path.clone());
             }
         }
-        self.runner().run(&plan)
+        // Spans and the flight recorder arm every cell (they observe
+        // each run from the inside); metrics, like trace recording,
+        // arm only the first cell — one path, one time series.
+        if self.spans || self.flight_recorder.is_some() {
+            for cell in plan.cells_mut() {
+                cell.config.telemetry.spans = self.spans;
+                cell.config.telemetry.flight_recorder = self.flight_recorder.clone();
+            }
+        }
+        if let Some(path) = &self.metrics {
+            if let Some(cell) = plan.cells_mut().first_mut() {
+                cell.config.telemetry.metrics = Some(path.clone());
+                if let Some(every) = self.metrics_every {
+                    cell.config.telemetry.metrics_every = every;
+                }
+            }
+        }
+        plan
     }
 
     /// The runner this invocation asked for: thread count, result store,
     /// cell timeout, and retry budget all applied. Exits with status 2
     /// when `--store` names a directory that cannot be created or opened.
     pub fn runner(&self) -> Runner {
-        let mut runner = Runner::new();
+        let mut runner = Runner::new().with_progress(self.progress);
         if let Some(n) = self.threads {
             runner = runner.with_threads(n);
         }
@@ -445,7 +542,7 @@ impl BenchArgs {
             match ResultStore::open(dir) {
                 Ok(store) => runner = runner.with_store(store),
                 Err(e) => {
-                    eprintln!("error: cannot open result store: {e}");
+                    eprintln!("patchsim: error: cannot open result store: {e}");
                     std::process::exit(2);
                 }
             }
@@ -477,7 +574,11 @@ impl BenchArgs {
                 let mut file = std::fs::File::create(path)?;
                 table.emit(self.format, &mut file)?;
                 file.flush()?;
-                eprintln!("wrote {} rows to {}", table.cells().len(), path.display());
+                eprintln!(
+                    "patchsim: wrote {} rows to {}",
+                    table.cells().len(),
+                    path.display()
+                );
                 Ok(())
             }
             None => {
@@ -493,14 +594,15 @@ impl BenchArgs {
     /// tail call of every figure binary.
     ///
     /// Exit statuses: 0 on success, 1 on emit failure, 2 when a cell's
-    /// trace recording failed (environment error: bad path, full disk),
-    /// and 3 when cells failed (panic/timeout) after retries — the table
-    /// still emits so surviving cells are not lost, but the sweep is
-    /// incomplete and scripts must not treat it as green.
+    /// trace recording or metrics write failed (environment error: bad
+    /// path, full disk), and 3 when cells failed (panic/timeout) after
+    /// retries — the table still emits so surviving cells are not lost,
+    /// but the sweep is incomplete and scripts must not treat it as
+    /// green.
     pub fn finish(&self, table: &Table) {
         for failure in table.failures() {
             eprintln!(
-                "error: cell {} failed ({} after {} attempt{}): {}",
+                "patchsim: error: cell {} failed ({} after {} attempt{}): {}",
                 failure.labels.join("/"),
                 failure.kind,
                 failure.attempts,
@@ -512,7 +614,7 @@ impl BenchArgs {
         // empty-table error so the failure summary is the last word.
         if !table.cells().is_empty() || table.failures().is_empty() {
             if let Err(e) = self.emit(table) {
-                eprintln!("error: {e}");
+                eprintln!("patchsim: error: {e}");
                 std::process::exit(1);
             }
         }
@@ -521,12 +623,12 @@ impl BenchArgs {
             if table
                 .failures()
                 .iter()
-                .any(|f| f.kind == FailureKind::TraceWrite)
+                .any(|f| matches!(f.kind, FailureKind::TraceWrite | FailureKind::MetricsWrite))
             {
-                eprintln!("error: {summary} (trace write failed)");
+                eprintln!("patchsim: error: {summary} (trace or metrics write failed)");
                 std::process::exit(2);
             }
-            eprintln!("error: {summary}");
+            eprintln!("patchsim: error: {summary}");
             std::process::exit(3);
         }
     }
@@ -1369,6 +1471,21 @@ pub fn with_saturation_columns(table: Table) -> Table {
         })
 }
 
+/// The miss-lifecycle span columns (`--spans`): mean cycles a miss
+/// spends in each phase — open-loop queue wait, network (issue to first
+/// response), home/ordering (first response to the ordering decision),
+/// and token wait (ordering to completion). The three on-miss phases
+/// partition the mean miss latency exactly; cells without span data
+/// report zeros.
+pub fn with_span_columns(table: Table) -> Table {
+    let spans = |cell: &patchsim::exp::CellResult| cell.summary.spans.unwrap_or_default();
+    table
+        .with_column("span_queue", 1, move |cell| spans(cell).queue_wait_mean)
+        .with_column("span_net", 1, move |cell| spans(cell).network_mean)
+        .with_column("span_home", 1, move |cell| spans(cell).home_mean)
+        .with_column("span_token", 1, move |cell| spans(cell).token_wait_mean)
+}
+
 /// One bytes-per-miss column per traffic class, in [`TrafficClass::ALL`]
 /// order (the paper's Figure 5/10 breakdowns).
 pub fn with_traffic_class_columns(mut table: Table) -> Table {
@@ -1661,6 +1778,59 @@ mod tests {
         assert_eq!(ok.format, Format::Csv);
         assert_eq!(ok.out.as_deref(), Some(std::path::Path::new("x.csv")));
         assert_eq!(positional.as_deref(), Some("fig4"));
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_arm_the_plan() {
+        let args = |list: &[&str]| {
+            BenchArgs::try_parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        let (parsed, _) = args(&[
+            "--quick",
+            "--metrics",
+            "m.jsonl",
+            "--metrics-every",
+            "500",
+            "--spans",
+            "--flight-recorder",
+            "fdr",
+            "--progress",
+        ])
+        .unwrap();
+        assert_eq!(
+            parsed.metrics.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
+        assert_eq!(parsed.metrics_every, Some(500));
+        assert!(parsed.spans && parsed.progress);
+        let plan = parsed.run_plan_armed(figure4_plan(parsed.scale.clone()));
+        // Metrics arm only the first cell; spans and the recorder arm all.
+        let first = &plan.cells()[0].config.telemetry;
+        assert_eq!(
+            first.metrics.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
+        assert_eq!(first.metrics_every, 500);
+        assert!(plan.cells().iter().all(|c| c.config.telemetry.spans));
+        assert!(plan
+            .cells()
+            .iter()
+            .all(|c| c.config.telemetry.flight_recorder.is_some()));
+        assert!(plan
+            .cells()
+            .iter()
+            .skip(1)
+            .all(|c| c.config.telemetry.metrics.is_none()));
+        // Malformed telemetry flags are rejected.
+        assert!(args(&["--metrics"]).is_err());
+        assert!(args(&["--metrics-every", "100"]).is_err()); // needs --metrics
+        assert!(args(&["--metrics", "m", "--metrics-every", "0"]).is_err());
+        assert!(args(&["--flight-recorder"]).is_err());
+        // Defaults leave telemetry off entirely.
+        let (off, _) = args(&["--quick"]).unwrap();
+        assert!(off.metrics.is_none() && !off.spans && !off.progress);
+        let plan = off.run_plan_armed(figure4_plan(off.scale.clone()));
+        assert!(plan.cells().iter().all(|c| !c.config.telemetry.any()));
     }
 
     #[test]

@@ -9,6 +9,51 @@ use patchsim_predictor::PredictorChoice;
 use patchsim_protocol::{ProtocolConfig, ProtocolKind};
 use patchsim_workload::WorkloadSpec;
 
+/// Telemetry controls for one run.
+///
+/// Every field defaults to off; the default configuration performs **no**
+/// telemetry work at all. The whole subsystem is strictly read-only with
+/// respect to the simulation: enabling any field never draws from an RNG,
+/// never schedules an event, and never changes event order, so the
+/// [`RunResult`](crate::RunResult) digest is identical with telemetry on
+/// or off.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryConfig {
+    /// When set, write an epoch-metrics JSONL time series to this path.
+    pub metrics: Option<PathBuf>,
+    /// Sampling period in cycles for the epoch metrics (default 10_000).
+    pub metrics_every: u64,
+    /// Record per-miss phase spans and aggregate them into per-phase
+    /// histograms on the run result.
+    pub spans: bool,
+    /// Directory that receives flight-recorder dumps (`.fdr` files) when
+    /// a safety or liveness oracle trips. The file name is derived from
+    /// the configuration digest so concurrent cells never collide.
+    pub flight_recorder: Option<PathBuf>,
+    /// Measure host wall-time and event counts per event class and
+    /// attach them to the run result (never folded into the digest).
+    pub profile: bool,
+}
+
+impl TelemetryConfig {
+    /// The default epoch length, in cycles, when `metrics_every` is 0.
+    pub const DEFAULT_EPOCH: u64 = 10_000;
+
+    /// The effective sampling period (treats 0 as the default).
+    pub fn epoch(&self) -> u64 {
+        if self.metrics_every == 0 {
+            Self::DEFAULT_EPOCH
+        } else {
+            self.metrics_every
+        }
+    }
+
+    /// True when any telemetry feature is enabled.
+    pub fn any(&self) -> bool {
+        self.metrics.is_some() || self.spans || self.flight_recorder.is_some() || self.profile
+    }
+}
+
 /// How much runtime verification to perform.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckLevel {
@@ -78,6 +123,9 @@ pub struct SimConfig {
     /// Replaying that trace via `WorkloadSpec::Trace` reproduces the
     /// run's `RunResult` bit-for-bit.
     pub record_trace: Option<PathBuf>,
+    /// Telemetry controls (all off by default). Observation is strictly
+    /// read-only: no field here can change simulation results.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -97,6 +145,7 @@ impl SimConfig {
             faults: FaultSpec::none(),
             liveness_horizon: None,
             record_trace: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -185,6 +234,33 @@ impl SimConfig {
         self
     }
 
+    /// Writes an epoch-metrics JSONL time series to `path`, sampling
+    /// every `every` cycles (0 selects the default epoch length).
+    pub fn with_metrics(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.telemetry.metrics = Some(path.into());
+        self.telemetry.metrics_every = every;
+        self
+    }
+
+    /// Enables per-miss phase-span histograms on the run result.
+    pub fn with_spans(mut self) -> Self {
+        self.telemetry.spans = true;
+        self
+    }
+
+    /// Dumps a flight-recorder ring to a `.fdr` file under `dir` when a
+    /// safety or liveness oracle trips.
+    pub fn with_flight_recorder(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry.flight_recorder = Some(dir.into());
+        self
+    }
+
+    /// Enables per-event-class host-side self-profiling.
+    pub fn with_profile(mut self) -> Self {
+        self.telemetry.profile = true;
+        self
+    }
+
     /// The stream label of the fault schedule's RNG stream ("faul");
     /// see [`patchsim_kernel::streams`].
     pub const FAULT_STREAM: u64 = streams::FAULT;
@@ -242,6 +318,15 @@ impl SimConfig {
         d.u64(self.max_cycles);
         d.str(&format!("{:?}", self.faults));
         d.opt_u64(self.liveness_horizon);
+        // Telemetry never changes measurements, so it is excluded like
+        // `record_trace` — with one exception: span collection adds
+        // per-phase histograms to the persisted `RunResult`, so a
+        // spans-on run must not be satisfied by a spans-off store entry.
+        // Folding the flag only when set keeps every pre-telemetry
+        // digest unchanged.
+        if self.telemetry.spans {
+            d.str("telemetry.spans");
+        }
         d.finish()
     }
 
@@ -346,6 +431,22 @@ mod tests {
         let mut recording = cfg.clone();
         recording.record_trace = Some(std::path::PathBuf::from("/tmp/out.trace"));
         assert_eq!(cfg.stable_digest(), recording.stable_digest());
+    }
+
+    #[test]
+    fn stable_digest_ignores_telemetry_except_spans() {
+        let cfg = SimConfig::new(ProtocolKind::Patch, 16).with_seed(3);
+        let instrumented = cfg
+            .clone()
+            .with_metrics("/tmp/metrics.jsonl", 500)
+            .with_flight_recorder("/tmp/fdr")
+            .with_profile();
+        assert_eq!(cfg.stable_digest(), instrumented.stable_digest());
+        // Spans add persisted payload, so they segregate store entries.
+        assert_ne!(
+            cfg.stable_digest(),
+            cfg.clone().with_spans().stable_digest()
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use patchsim_kernel::replicate_seed;
 
@@ -50,6 +50,51 @@ pub struct Runner {
     store: Option<ResultStore>,
     cell_timeout: Option<Duration>,
     retries: u32,
+    progress: bool,
+}
+
+/// Shared progress counters for the `--progress` stderr heartbeat.
+struct Progress {
+    done: AtomicUsize,
+    failed: AtomicUsize,
+    total: usize,
+    start: Instant,
+    /// Last heartbeat instant, mutexed so only one worker prints at a
+    /// time and lines never interleave.
+    last: Mutex<Instant>,
+}
+
+impl Progress {
+    fn new(total: usize) -> Self {
+        let now = Instant::now();
+        Progress {
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            total,
+            start: now,
+            last: Mutex::new(now),
+        }
+    }
+
+    /// Notes one finished run and emits a throttled (~1/s) heartbeat.
+    fn tick(&self, failed: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut last = self.last.lock().expect("progress clock poisoned");
+        let finished = done == self.total;
+        if !finished && last.elapsed() < Duration::from_secs(1) {
+            return;
+        }
+        *last = Instant::now();
+        eprintln!(
+            "patchsim: progress {done}/{} runs ({} failed), {}s elapsed",
+            self.total,
+            self.failed.load(Ordering::Relaxed),
+            self.start.elapsed().as_secs(),
+        );
+    }
 }
 
 /// How one `(cell, replication)` run failed, after retries.
@@ -77,6 +122,7 @@ impl Runner {
             store: None,
             cell_timeout: None,
             retries: 1,
+            progress: false,
         }
     }
 
@@ -116,6 +162,14 @@ impl Runner {
         self
     }
 
+    /// Enables a throttled stderr heartbeat (`patchsim: progress ...`)
+    /// reporting runs done/total, failures, and elapsed time — for
+    /// watching 10^4-cell sharded sweeps without polluting stdout.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -136,11 +190,13 @@ impl Runner {
                 (0..seeds).map(|rep| {
                     let base = cell.config.seed;
                     let mut cfg = cell.config.clone().with_seed(replicate_seed(base, rep));
-                    // Only replication 0 records: later replications run
-                    // perturbed seeds, and a shared output path would be a
-                    // last-writer-wins race across the worker pool.
+                    // Only replication 0 records traces and metrics:
+                    // later replications run perturbed seeds, and a
+                    // shared output path would be a last-writer-wins
+                    // race across the worker pool.
                     if rep > 0 {
                         cfg.record_trace = None;
+                        cfg.telemetry.metrics = None;
                     }
                     cfg
                 })
@@ -150,7 +206,7 @@ impl Runner {
         let results = self.execute(&configs, &stats);
         if self.store.is_some() {
             eprintln!(
-                "store: {} loaded, {} computed, {} quarantined",
+                "patchsim: store: {} loaded, {} computed, {} quarantined",
                 stats.hits.load(Ordering::Relaxed),
                 stats.computed.load(Ordering::Relaxed),
                 stats.quarantined.load(Ordering::Relaxed),
@@ -192,8 +248,18 @@ impl Runner {
         stats: &StoreStats,
     ) -> Vec<Result<RunResult, ItemFailure>> {
         let threads = self.threads.min(configs.len()).max(1);
+        let progress = self.progress.then(|| Progress::new(configs.len()));
         if threads == 1 {
-            return configs.iter().map(|c| self.run_item(c, stats)).collect();
+            return configs
+                .iter()
+                .map(|c| {
+                    let outcome = self.run_item(c, stats);
+                    if let Some(p) = &progress {
+                        p.tick(outcome.is_err());
+                    }
+                    outcome
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<RunResult, ItemFailure>>>> =
@@ -206,6 +272,9 @@ impl Runner {
                         break;
                     }
                     let outcome = self.run_item(&configs[i], stats);
+                    if let Some(p) = &progress {
+                        p.tick(outcome.is_err());
+                    }
                     *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
@@ -223,10 +292,11 @@ impl Runner {
     /// Executes one `(cell, replication)` run: store lookup, isolated
     /// execution with retries, store write-back.
     fn run_item(&self, config: &SimConfig, stats: &StoreStats) -> Result<RunResult, ItemFailure> {
-        // Trace-recording runs always execute (a cache hit would skip
-        // the run that writes the trace file); their result is still
-        // saved for future non-recording invocations.
-        if config.record_trace.is_none() {
+        // Runs with a side output — a recorded trace or a metrics time
+        // series — always execute (a cache hit would skip the run that
+        // writes the file); their result is still saved for future
+        // plain invocations.
+        if config.record_trace.is_none() && config.telemetry.metrics.is_none() {
             if let Some(store) = &self.store {
                 let key = crate::exp::store::cell_key(config);
                 match store.load(key) {
@@ -238,12 +308,12 @@ impl Runner {
                     Ok(LoadOutcome::Quarantined { path, reason }) => {
                         stats.quarantined.fetch_add(1, Ordering::Relaxed);
                         eprintln!(
-                            "warning: quarantined corrupt store entry {} ({reason}); recomputing",
+                            "patchsim: quarantined corrupt store entry {} ({reason}); recomputing",
                             path.display()
                         );
                     }
                     Err(e) => {
-                        eprintln!("warning: result store read failed ({e}); recomputing");
+                        eprintln!("patchsim: result store read failed ({e}); recomputing");
                     }
                 }
             }
@@ -257,20 +327,23 @@ impl Runner {
                     if let Some(store) = &self.store {
                         let key = crate::exp::store::cell_key(config);
                         if let Err(e) = store.save(key, &result) {
-                            eprintln!("warning: result store write failed ({e})");
+                            eprintln!("patchsim: result store write failed ({e})");
                         }
                     }
                     return Ok(result);
                 }
                 Err(failure) => {
-                    let fatal = failure.kind == FailureKind::TraceWrite;
+                    let fatal = matches!(
+                        failure.kind,
+                        FailureKind::TraceWrite | FailureKind::MetricsWrite
+                    );
                     last = Some(ItemFailure {
                         attempts: attempt,
                         ..failure
                     });
-                    // A failed trace write is an environment problem
-                    // (bad path, full disk): retrying the simulation
-                    // cannot fix it.
+                    // A failed trace or metrics write is an environment
+                    // problem (bad path, full disk): retrying the
+                    // simulation cannot fix it.
                     if fatal {
                         break;
                     }
@@ -301,6 +374,11 @@ fn run_isolated(config: &SimConfig, timeout: Option<Duration>) -> Result<RunResu
         }),
         Ok(Err(e @ RunError::TraceWrite { .. })) => Err(ItemFailure {
             kind: FailureKind::TraceWrite,
+            attempts: 0,
+            error: e.to_string(),
+        }),
+        Ok(Err(e @ RunError::MetricsWrite { .. })) => Err(ItemFailure {
+            kind: FailureKind::MetricsWrite,
             attempts: 0,
             error: e.to_string(),
         }),

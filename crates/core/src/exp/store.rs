@@ -21,7 +21,7 @@
 //! (quarantined) and the result is transparently recomputed. Corruption
 //! is reported as data ([`LoadOutcome::Quarantined`]), never as a panic.
 //!
-//! # Entry format (version 2)
+//! # Entry format (version 3)
 //!
 //! All integers little-endian:
 //!
@@ -38,9 +38,15 @@
 //!
 //! Version 2 appends an open-loop block to the payload: a `u64` presence
 //! flag (0 for closed-loop results) followed, when set, by the
-//! [`OpenLoopStats`] counters and the sojourn histogram. Version-1
-//! entries are quarantined on contact and recomputed; `runplan
-//! store-stats DIR --prune-stale` garbage-collects them in bulk.
+//! [`OpenLoopStats`] counters and the sojourn histogram. Version 3
+//! appends a spans block with the same shape: a `u64` presence flag
+//! (0 unless the run collected `telemetry.spans`) followed, when set, by
+//! the four phase histograms (queue wait, network, home, token wait),
+//! each as bucket pairs + sum + max. The host-side profile is
+//! deliberately **not** persisted — wall-time is not a property of the
+//! configuration. Older-version entries are quarantined on contact and
+//! recomputed; `runplan store-stats DIR --prune-stale` garbage-collects
+//! them in bulk.
 //!
 //! Entries are named `{key:016x}.pse`. The key pins both the resolved
 //! configuration and [`CODE_VERSION`]; bumping the latter (done whenever
@@ -63,10 +69,11 @@ use patchsim_protocol::ProtocolCounters;
 
 use crate::config::SimConfig;
 use crate::system::{OpenLoopStats, RunResult};
+use crate::telemetry::SpanStats;
 use crate::{TrafficClass, TrafficStats};
 
 const MAGIC: [u8; 4] = *b"PSRE";
-const FORMAT_VERSION: u32 = 2;
+const FORMAT_VERSION: u32 = 3;
 const HEADER_LEN: usize = 32;
 const CHECKSUM_LEN: usize = 8;
 const ENTRY_EXT: &str = "pse";
@@ -465,6 +472,17 @@ fn push_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+fn push_histogram(buf: &mut Vec<u8>, h: &Histogram) {
+    let pairs: Vec<(u64, u64)> = h.buckets().collect();
+    push_u64(buf, pairs.len() as u64);
+    for (lower, count) in pairs {
+        push_u64(buf, lower);
+        push_u64(buf, count);
+    }
+    push_u64(buf, h.sum());
+    push_u64(buf, h.max());
+}
+
 fn checksum(bytes: &[u8]) -> u64 {
     let mut h = FxHasher::default();
     h.write(bytes);
@@ -532,6 +550,20 @@ fn encode_entry(key: u64, result: &RunResult) -> Vec<u8> {
             }
             push_u64(&mut payload, ol.sojourn.sum());
             push_u64(&mut payload, ol.sojourn.max());
+        }
+    }
+    match &result.spans {
+        None => push_u64(&mut payload, 0),
+        Some(spans) => {
+            push_u64(&mut payload, 1);
+            for h in [
+                &spans.queue_wait,
+                &spans.network,
+                &spans.home,
+                &spans.token_wait,
+            ] {
+                push_histogram(&mut payload, h);
+            }
         }
     }
 
@@ -768,6 +800,22 @@ fn decode_entry(bytes: &[u8], expect_key: Option<u64>) -> Result<(u64, RunResult
         }
         other => return Err(format!("bad open-loop presence flag {other}")),
     };
+    let spans = match r.u64()? {
+        0 => None,
+        1 => {
+            let queue_wait = read_histogram(&mut r, "queue-wait")?;
+            let network = read_histogram(&mut r, "network")?;
+            let home = read_histogram(&mut r, "home")?;
+            let token_wait = read_histogram(&mut r, "token-wait")?;
+            Some(SpanStats {
+                queue_wait,
+                network,
+                home,
+                token_wait,
+            })
+        }
+        other => return Err(format!("bad spans presence flag {other}")),
+    };
     r.done()?;
     let miss_latency =
         Histogram::from_parts(&pairs, sum, max).ok_or("malformed histogram buckets")?;
@@ -786,8 +834,30 @@ fn decode_entry(bytes: &[u8], expect_key: Option<u64>) -> Result<(u64, RunResult
             token_audits,
             events_processed,
             open_loop,
+            spans,
+            // Host wall-time is not a property of the configuration, so
+            // it is never persisted: a store hit has no profile.
+            profile: None,
         },
     ))
+}
+
+/// Decodes one bucket-pairs + sum + max histogram block.
+fn read_histogram(r: &mut Reader<'_>, what: &str) -> Result<Histogram, String> {
+    let n = usize::try_from(r.u64()?).map_err(|_| "histogram length overflows")?;
+    if n > 32 {
+        return Err(format!("{what} histogram claims {n} buckets (max 32)"));
+    }
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lower = r.u64()?;
+        let count = r.u64()?;
+        pairs.push((lower, count));
+    }
+    let sum = r.u64()?;
+    let max = r.u64()?;
+    Histogram::from_parts(&pairs, sum, max)
+        .ok_or_else(|| format!("malformed {what} histogram buckets"))
 }
 
 #[cfg(test)]

@@ -33,6 +33,9 @@ pub enum FailureKind {
     /// The run completed but its `--record-trace` output could not be
     /// written.
     TraceWrite,
+    /// The run completed but its `--metrics` JSONL output could not be
+    /// written.
+    MetricsWrite,
 }
 
 impl FailureKind {
@@ -42,6 +45,7 @@ impl FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Timeout => "timeout",
             FailureKind::TraceWrite => "trace-write",
+            FailureKind::MetricsWrite => "metrics-write",
         }
     }
 }

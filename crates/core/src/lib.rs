@@ -104,11 +104,15 @@ mod config;
 pub mod exp;
 mod report;
 mod system;
+pub mod telemetry;
 
 pub use checker::{CoherenceChecker, TokenAuditor};
-pub use config::{CheckLevel, SimConfig};
-pub use report::{summarize, ClassBytes, LatencyPercentiles, OpenLoopSummary, RunSummary};
+pub use config::{CheckLevel, SimConfig, TelemetryConfig};
+pub use report::{
+    summarize, ClassBytes, LatencyPercentiles, OpenLoopSummary, RunSummary, SpanSummary,
+};
 pub use system::{run, run_many, try_run, OpenLoopStats, RunError, RunResult, System};
+pub use telemetry::{EventClass, FlightRecorder, ProfileStats, SpanStats};
 
 // Re-export the vocabulary types users need to configure and interpret
 // experiments, so downstream code can depend on `patchsim` alone.

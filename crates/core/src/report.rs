@@ -5,6 +5,7 @@ use std::ops::Index;
 
 use patchsim_kernel::stats::{ConfidenceInterval, Histogram};
 
+use crate::telemetry::SpanStats;
 use crate::{RunResult, TrafficClass};
 
 /// Per-class mean bytes per miss, with one slot per [`TrafficClass::ALL`]
@@ -117,6 +118,34 @@ pub struct OpenLoopSummary {
     pub blocked_cycles: f64,
 }
 
+/// Miss-lifecycle phase means pooled over every run of a configuration,
+/// in cycles. Present on a [`RunSummary`] only when **all** of its runs
+/// collected spans (`telemetry.spans`); the three protocol phases sum to
+/// the end-to-end mean miss latency by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanSummary {
+    /// Mean open-loop arrival→issue wait (0 for closed-loop runs).
+    pub queue_wait_mean: f64,
+    /// Mean issue→first-response time.
+    pub network_mean: f64,
+    /// Mean first-response→ordering-point time.
+    pub home_mean: f64,
+    /// Mean ordering-point→completion time.
+    pub token_wait_mean: f64,
+}
+
+impl SpanSummary {
+    /// Extracts phase means from pooled span histograms.
+    pub fn from_spans(spans: &SpanStats) -> Self {
+        SpanSummary {
+            queue_wait_mean: spans.queue_wait.mean(),
+            network_mean: spans.network.mean(),
+            home_mean: spans.home.mean(),
+            token_wait_mean: spans.token_wait.mean(),
+        }
+    }
+}
+
 /// Statistics over a set of perturbed runs of one configuration.
 ///
 /// # Examples
@@ -154,6 +183,9 @@ pub struct RunSummary {
     /// Open-loop saturation metrics — `Some` iff every run was
     /// open-loop.
     pub open_loop: Option<OpenLoopSummary>,
+    /// Miss-lifecycle phase means — `Some` iff every run collected
+    /// spans.
+    pub spans: Option<SpanSummary>,
     /// The individual runs.
     pub runs: Vec<RunResult>,
 }
@@ -243,6 +275,15 @@ pub fn summarize(runs: &[RunResult]) -> RunSummary {
     } else {
         None
     };
+    let spans = if runs.iter().all(|r| r.spans.is_some()) {
+        let mut pooled = SpanStats::default();
+        for r in runs {
+            pooled.merge(r.spans.as_ref().expect("checked above"));
+        }
+        Some(SpanSummary::from_spans(&pooled))
+    } else {
+        None
+    };
     RunSummary {
         protocol: runs[0].protocol,
         runtime,
@@ -252,6 +293,7 @@ pub fn summarize(runs: &[RunResult]) -> RunSummary {
         class_bytes_per_miss,
         dropped_packets,
         open_loop,
+        spans,
         runs: runs.to_vec(),
     }
 }

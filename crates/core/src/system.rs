@@ -12,13 +12,17 @@ use patchsim_kernel::{streams, Cycle, EventQueue, SimRng};
 use patchsim_noc::{Fabric, NocEvent, NodeId};
 use patchsim_protocol::{
     build_controller, Completion, Controller, CoreResponse, MemOp, Msg, Outbox, ProtocolCounters,
-    TimerKey,
+    ProtocolGauges, TimerKey,
 };
 use patchsim_trace::{TraceError, TraceWriter};
 use patchsim_workload::{Generator, OverloadPolicy, WorkloadSpec};
 
 use crate::checker::{CoherenceChecker, TokenAuditor};
 use crate::config::{CheckLevel, SimConfig};
+use crate::telemetry::{
+    run_header_fields, EventClass, FdrGuard, FlightRecorder, MetricsBuf, MetricsSample,
+    ProfileStats, SpanStats,
+};
 use crate::{TrafficClass, TrafficStats};
 
 #[derive(Debug)]
@@ -90,6 +94,14 @@ pub enum RunError {
         /// The configured per-run wall-clock limit.
         limit: Duration,
     },
+    /// The run completed but its epoch-metrics JSONL (`telemetry.metrics`)
+    /// could not be written.
+    MetricsWrite {
+        /// The metrics output path.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -101,6 +113,9 @@ impl fmt::Display for RunError {
             RunError::Timeout { limit } => {
                 write!(f, "simulation exceeded its {limit:?} wall-clock budget")
             }
+            RunError::MetricsWrite { path, source } => {
+                write!(f, "failed to write metrics {}: {source}", path.display())
+            }
         }
     }
 }
@@ -110,6 +125,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::TraceWrite { source, .. } => Some(source),
             RunError::Timeout { .. } => None,
+            RunError::MetricsWrite { source, .. } => Some(source),
         }
     }
 }
@@ -222,6 +238,15 @@ pub struct RunResult {
     /// workload (so closed-loop digests and stored results are
     /// untouched by the subsystem's existence).
     pub open_loop: Option<OpenLoopStats>,
+    /// Per-miss phase-span histograms; `Some` only when
+    /// `telemetry.spans` was enabled. Deliberately **never** folded into
+    /// [`RunResult::digest`], so a spans-on run digests identically to
+    /// the same run with telemetry off.
+    pub spans: Option<SpanStats>,
+    /// Host-side per-event-class profile; `Some` only when
+    /// `telemetry.profile` was enabled. Wall-clock observations — never
+    /// folded into the digest, never persisted to the result store.
+    pub profile: Option<ProfileStats>,
 }
 
 impl RunResult {
@@ -340,6 +365,32 @@ pub struct System {
     /// `SimConfig::record_trace` is set; written out at the end of
     /// [`System::run`].
     recorder: Option<TraceWriter>,
+    /// Epoch-metrics sampler state; `Some` iff `telemetry.metrics` is
+    /// set. Sampling happens inline when a popped event crosses an epoch
+    /// boundary — it never pushes events, so `events_processed` (and the
+    /// result digest) is unchanged by its existence.
+    metrics: Option<MetricsState>,
+    /// Span histograms under construction; `Some` iff `telemetry.spans`.
+    spans: Option<SpanStats>,
+    /// Flight recorder; `Some` iff `telemetry.flight_recorder`. Wrapped
+    /// in a guard whose `Drop` dumps the ring when a panic unwinds
+    /// through the event loop.
+    fdr: Option<FdrGuard>,
+    /// Per-event-class self-profile; `Some` iff `telemetry.profile`.
+    profile: Option<ProfileStats>,
+}
+
+/// The sampler's delta baseline: cumulative gauge values at the previous
+/// epoch boundary, so each row reports per-epoch deltas.
+struct MetricsState {
+    buf: MetricsBuf,
+    prev_cycle: u64,
+    prev_events: u64,
+    prev_busy: u64,
+    prev_misses: u64,
+    prev_persistent: u64,
+    prev_reissues: u64,
+    prev_tenure: u64,
 }
 
 impl System {
@@ -432,8 +483,43 @@ impl System {
                 None
             },
             recorder,
+            metrics: None,
+            spans: None,
+            fdr: None,
+            profile: None,
             config,
         };
+        if system.config.telemetry.any() {
+            let header = run_header_fields(
+                system.nodes.first().map_or("?", |c| c.protocol_name()),
+                n,
+                &system.config.protocol.fabric.label(),
+                system.config.workload.name(),
+                system.config.seed,
+            );
+            if let Some(path) = system.config.telemetry.metrics.clone() {
+                system.metrics = Some(MetricsState {
+                    buf: MetricsBuf::new(path, system.config.telemetry.epoch(), &header),
+                    prev_cycle: 0,
+                    prev_events: 0,
+                    prev_busy: 0,
+                    prev_misses: 0,
+                    prev_persistent: 0,
+                    prev_reissues: 0,
+                    prev_tenure: 0,
+                });
+            }
+            if system.config.telemetry.spans {
+                system.spans = Some(SpanStats::default());
+            }
+            if let Some(dir) = system.config.telemetry.flight_recorder.clone() {
+                let tag = system.config.stable_digest();
+                system.fdr = Some(FdrGuard(FlightRecorder::new(dir, tag, header)));
+            }
+            if system.config.telemetry.profile {
+                system.profile = Some(ProfileStats::default());
+            }
+        }
         if system.open.is_some() {
             // Open loop: no op is pending at time zero; each core's first
             // arrival lands after its first interarrival gap.
@@ -638,6 +724,12 @@ impl System {
                 self.noc.reset_stats();
                 self.miss_latency = Histogram::new();
                 self.measured_misses = 0;
+                // Spans follow the latency histogram: drop the samples
+                // from cores that outran the global warmup boundary so
+                // the phase sums still partition `miss_latency` exactly.
+                if let Some(spans) = &mut self.spans {
+                    *spans = Default::default();
+                }
                 if let Some(open) = &mut self.open {
                     open.stats.sojourn = Histogram::new();
                     open.stats.measured_arrivals = 0;
@@ -699,17 +791,45 @@ impl System {
         // Liveness oracle: every miss must resolve within the horizon.
         if let Some(horizon) = self.config.liveness_horizon {
             let waited = now.saturating_since(completion.issued_at);
-            assert!(
-                waited <= horizon,
-                "liveness violation: {} miss on core {} took {waited} cycles \
-                 (> horizon {horizon})",
-                self.nodes[node.index()].protocol_name(),
-                node.index(),
-            );
+            if waited > horizon {
+                let dump = self.dump_fdr("liveness violation");
+                panic!(
+                    "liveness violation: {} miss on core {} took {waited} cycles \
+                     (> horizon {horizon}){}{}",
+                    self.nodes[node.index()].protocol_name(),
+                    node.index(),
+                    self.context_suffix(),
+                    dump_suffix(&dump),
+                );
+            }
         }
         if self.in_measurement(node) {
             self.miss_latency.record(now - completion.issued_at);
             self.measured_misses += 1;
+            let queue_wait = self.open.is_some().then(|| {
+                completion
+                    .issued_at
+                    .saturating_since(self.cores[node.index()].in_service_since)
+            });
+            if let Some(spans) = self.spans.as_mut() {
+                // Phase boundaries, clamped into [issued_at, now] so the
+                // three phases always partition the miss exactly: a miss
+                // with no explicit ordering message collapses its home
+                // phase to zero rather than going negative.
+                let issued = completion.issued_at;
+                let t1 = completion
+                    .marks
+                    .first_progress
+                    .unwrap_or(now)
+                    .clamp(issued, now);
+                let t2 = completion.marks.ordered.unwrap_or(t1).clamp(t1, now);
+                spans.network.record(t1.saturating_since(issued));
+                spans.home.record(t2.saturating_since(t1));
+                spans.token_wait.record(now.saturating_since(t2));
+                if let Some(q) = queue_wait {
+                    spans.queue_wait.record(q);
+                }
+            }
         }
         self.complete_and_advance(node, op, completion.version, now);
     }
@@ -737,6 +857,120 @@ impl System {
         self.restore_outbox(out);
         if self.config.check == CheckLevel::Assert {
             self.auditor.audit(addr, &self.nodes);
+        }
+    }
+
+    /// Dumps the flight recorder (if armed and not yet dumped),
+    /// returning the dump path.
+    fn dump_fdr(&mut self, reason: &str) -> Option<std::path::PathBuf> {
+        self.fdr.as_mut().and_then(|g| g.0.dump(reason))
+    }
+
+    /// Run context appended to oracle-failure messages: protocol,
+    /// fabric, workload, and seed, so a failure line alone identifies
+    /// the failing cell.
+    fn context_suffix(&self) -> String {
+        format!(
+            " [protocol={}, fabric={}, workload={}, seed={}]",
+            self.nodes.first().map_or("?", |c| c.protocol_name()),
+            self.config.protocol.fabric.label(),
+            self.config.workload.name(),
+            self.config.seed,
+        )
+    }
+
+    /// Emits an epoch-metrics row when `now` has crossed the next epoch
+    /// boundary. Pure observation: reads gauges, pushes no events.
+    fn metrics_tick(&mut self, now: Cycle) {
+        let due = self
+            .metrics
+            .as_ref()
+            .is_some_and(|m| now.as_u64() >= m.buf.next_sample);
+        if !due {
+            return;
+        }
+        let events = self.queue.total_pushed();
+        let queue_len = self.queue.len() as u64;
+        let busy = self.noc.total_busy_cycles();
+        let queued_packets = self.noc.queued_packets() as u64;
+        let num_links = self.noc.spec().num_links() as u64;
+        let mut gauges = ProtocolGauges::default();
+        let (mut misses, mut persistent, mut reissues, mut tenure) = (0, 0, 0, 0);
+        for node in &self.nodes {
+            gauges.add(node.gauges());
+            let c = node.counters();
+            misses += c.misses;
+            persistent += c.persistent_requests;
+            reissues += c.reissues;
+            tenure += c.tenure_timeouts;
+        }
+        let backlog = if self.open.is_some() {
+            self.cores.iter().map(|c| c.backlog.len() as u64).collect()
+        } else {
+            Vec::new()
+        };
+        let m = self.metrics.as_mut().expect("checked above");
+        let epoch = m.buf.epoch();
+        let boundary = (now.as_u64() / epoch) * epoch;
+        m.buf.record(&MetricsSample {
+            cycle: boundary,
+            window: boundary - m.prev_cycle,
+            events_delta: events.saturating_sub(m.prev_events),
+            queue_len,
+            // The warmup boundary resets interconnect stats, so deltas
+            // saturate instead of underflowing across that reset.
+            link_busy_delta: busy.saturating_sub(m.prev_busy),
+            num_links,
+            queued_packets,
+            tbes: gauges.tbes,
+            home_entries: gauges.home_entries,
+            persistent_entries: gauges.persistent_entries,
+            misses_delta: misses.saturating_sub(m.prev_misses),
+            persistent_delta: persistent.saturating_sub(m.prev_persistent),
+            reissues_delta: reissues.saturating_sub(m.prev_reissues),
+            tenure_timeouts_delta: tenure.saturating_sub(m.prev_tenure),
+            backlog,
+        });
+        m.prev_cycle = boundary;
+        m.prev_events = events;
+        m.prev_busy = busy;
+        m.prev_misses = misses;
+        m.prev_persistent = persistent;
+        m.prev_reissues = reissues;
+        m.prev_tenure = tenure;
+    }
+
+    /// Processes one popped event: the livelock bound, then telemetry
+    /// observation (sampler, flight recorder, profiler), then dispatch.
+    /// With telemetry off this is three `Option` checks on top of the
+    /// pre-telemetry loop body.
+    #[inline]
+    fn step(&mut self, now: Cycle, event: Event) {
+        if now.as_u64() > self.config.max_cycles {
+            let dump = self.dump_fdr("livelock");
+            panic!(
+                "simulation exceeded {} cycles: livelock or runaway protocol{}{}",
+                self.config.max_cycles,
+                self.context_suffix(),
+                dump_suffix(&dump),
+            );
+        }
+        if self.metrics.is_some() {
+            self.metrics_tick(now);
+        }
+        let class = class_of(&event);
+        if let Some(g) = self.fdr.as_mut() {
+            g.0.record(now.as_u64(), class, node_of(&event));
+        }
+        if self.profile.is_some() {
+            let t0 = Instant::now();
+            self.dispatch(now, event);
+            let elapsed = t0.elapsed();
+            if let Some(p) = self.profile.as_mut() {
+                p.add(class, elapsed);
+            }
+        } else {
+            self.dispatch(now, event);
         }
     }
 
@@ -797,15 +1031,22 @@ impl System {
                     .config
                     .liveness_horizon
                     .expect("watchdog event without an armed horizon");
-                for (i, core) in self.cores.iter().enumerate() {
-                    if core.outstanding.is_some() {
+                let starved = self.cores.iter().enumerate().find_map(|(i, core)| {
+                    core.outstanding.and_then(|op| {
                         let waited = now.saturating_since(core.outstanding_since);
-                        assert!(
-                            waited <= horizon,
-                            "liveness violation: core {i} miss outstanding for \
-                             {waited} cycles (> horizon {horizon})"
-                        );
-                    }
+                        (waited > horizon).then_some((i, op, waited))
+                    })
+                });
+                if let Some((i, op, waited)) = starved {
+                    let dump = self.dump_fdr("starvation watchdog");
+                    panic!(
+                        "liveness violation: core {i} miss outstanding for \
+                         {waited} cycles (> horizon {horizon}) on {:?} {:?}{}{}",
+                        op.kind,
+                        op.addr,
+                        self.context_suffix(),
+                        dump_suffix(&dump),
+                    );
                 }
                 if self.cores.iter().any(|c| !c.finished) {
                     self.queue.push(now + horizon, Event::Watchdog);
@@ -855,28 +1096,19 @@ impl System {
         match timeout {
             None => {
                 while let Some((now, event)) = self.queue.pop() {
-                    assert!(
-                        now.as_u64() <= self.config.max_cycles,
-                        "simulation exceeded {} cycles: livelock or runaway protocol",
-                        self.config.max_cycles
-                    );
-                    self.dispatch(now, event);
+                    self.step(now, event);
                 }
             }
             Some(limit) => {
                 let deadline = Instant::now() + limit;
                 let mut countdown = DEADLINE_CHECK_EVENTS;
                 while let Some((now, event)) = self.queue.pop() {
-                    assert!(
-                        now.as_u64() <= self.config.max_cycles,
-                        "simulation exceeded {} cycles: livelock or runaway protocol",
-                        self.config.max_cycles
-                    );
-                    self.dispatch(now, event);
+                    self.step(now, event);
                     countdown -= 1;
                     if countdown == 0 {
                         countdown = DEADLINE_CHECK_EVENTS;
                         if Instant::now() >= deadline {
+                            self.dump_fdr("wall-clock timeout");
                             return Err(RunError::Timeout { limit });
                         }
                     }
@@ -916,6 +1148,12 @@ impl System {
                     path: path.clone(),
                     source,
                 })?;
+        }
+
+        if let Some(m) = self.metrics.take() {
+            m.buf
+                .write()
+                .map_err(|(path, source)| RunError::MetricsWrite { path, source })?;
         }
 
         let warmup_end = self.warmup_end.expect("all cores passed warmup");
@@ -959,8 +1197,39 @@ impl System {
             token_audits: self.auditor.audits_performed(),
             events_processed: self.queue.total_pushed(),
             open_loop,
+            spans: self.spans.take(),
+            profile: self.profile.take(),
         })
     }
+}
+
+/// Classifies a kernel event for the flight recorder and profiler.
+fn class_of(event: &Event) -> EventClass {
+    match event {
+        Event::Noc(_) => EventClass::Noc,
+        Event::Timer { .. } => EventClass::Timer,
+        Event::CoreIssue { .. } => EventClass::CoreIssue,
+        Event::Arrival { .. } => EventClass::Arrival,
+        Event::Watchdog => EventClass::Watchdog,
+    }
+}
+
+/// The node an event targets, for the flight recorder (`u32::MAX` when
+/// the event is fabric-internal or global).
+fn node_of(event: &Event) -> u32 {
+    match event {
+        Event::Timer { node, .. } | Event::CoreIssue { node } | Event::Arrival { node } => {
+            node.index() as u32
+        }
+        Event::Noc(_) | Event::Watchdog => u32::MAX,
+    }
+}
+
+/// Renders the flight-recorder pointer appended to oracle panics.
+fn dump_suffix(path: &Option<std::path::PathBuf>) -> String {
+    path.as_ref()
+        .map(|p| format!("; flight recorder: {}", p.display()))
+        .unwrap_or_default()
 }
 
 /// How many events [`System::try_run`] processes between wall-clock
@@ -1112,6 +1381,7 @@ mod tests {
                 kind: AccessKind::Read,
                 version: 0,
                 issued_at: Cycle::ZERO,
+                marks: patchsim_protocol::SpanMarks::default(),
             },
             Cycle::ZERO,
         );

@@ -41,6 +41,52 @@ pub struct Completion {
     pub version: u64,
     /// When the miss was issued (for latency accounting).
     pub issued_at: Cycle,
+    /// Intermediate phase timestamps for the miss (span telemetry).
+    pub marks: SpanMarks,
+}
+
+/// Phase timestamps a controller stamps onto an in-flight miss, carried
+/// through the TBE and reported with its [`Completion`].
+///
+/// Recording a mark is a pure data write — it never alters protocol
+/// decisions, message contents, or RNG state — so spans are observation
+/// only and results are bit-identical whether or not anyone reads them.
+///
+/// The core derives a three-phase breakdown from these two marks:
+/// *network* (issue → `first_progress`), *home/ordering*
+/// (`first_progress` → `ordered`), and *token wait* (`ordered` →
+/// completion). Missing marks collapse their phase to zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanMarks {
+    /// First cycle any response for this miss arrived (first token,
+    /// data, or ack) — the end of the pure network/request phase.
+    pub first_progress: Option<Cycle>,
+    /// Cycle the miss was ordered by its point of ordering: the
+    /// directory's grant/activation (DIRECTORY, PATCH) or the persistent
+    /// arbiter's activation (TokenB). Unset for misses satisfied
+    /// entirely by direct responses.
+    pub ordered: Option<Cycle>,
+}
+
+/// Instantaneous controller-occupancy gauges, sampled by the epoch
+/// metrics layer. Reading them has no side effects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolGauges {
+    /// Outstanding demand-miss TBEs at this node.
+    pub tbes: u64,
+    /// Home-side table entries materialized at this node.
+    pub home_entries: u64,
+    /// Persistent-request table entries (TokenB) at this node.
+    pub persistent_entries: u64,
+}
+
+impl ProtocolGauges {
+    /// Accumulates another node's gauges into a system-wide total.
+    pub fn add(&mut self, other: ProtocolGauges) {
+        self.tbes += other.tbes;
+        self.home_entries += other.home_entries;
+        self.persistent_entries += other.persistent_entries;
+    }
 }
 
 /// What a pending timer means to its controller.
@@ -211,6 +257,12 @@ pub trait Controller {
     /// Event counters.
     fn counters(&self) -> ProtocolCounters;
 
+    /// Instantaneous occupancy gauges for the epoch metrics sampler.
+    /// The default reports empty tables, for harness stubs.
+    fn gauges(&self) -> ProtocolGauges {
+        ProtocolGauges::default()
+    }
+
     /// The protocol's display name.
     fn protocol_name(&self) -> &'static str;
 }
@@ -261,6 +313,7 @@ mod tests {
             kind: AccessKind::Read,
             version: 0,
             issued_at: Cycle::ZERO,
+            marks: SpanMarks::default(),
         });
         assert_eq!(out.sends.len(), 1);
         assert_eq!(out.timers.len(), 1);

@@ -37,7 +37,7 @@ pub use common::{LatencyEstimator, MigratoryDetector};
 pub use config::{ProtocolConfig, ProtocolKind, TenureConfig};
 pub use controller::{
     build_controller, Completion, Controller, CoreResponse, MemOp, OutMsg, Outbox,
-    ProtocolCounters, TimerKey, TimerKind,
+    ProtocolCounters, ProtocolGauges, SpanMarks, TimerKey, TimerKind,
 };
 pub use directory::DirectoryController;
 pub use msg::{Msg, MsgBody, RequestStyle, CONTROL_MSG_BYTES, DATA_MSG_BYTES};

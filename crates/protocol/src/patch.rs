@@ -43,7 +43,8 @@ use patchsim_predictor::Predictor;
 
 use crate::common::{LatencyEstimator, MigratoryDetector};
 use crate::controller::{
-    Completion, Controller, CoreResponse, MemOp, Outbox, ProtocolCounters, TimerKey, TimerKind,
+    Completion, Controller, CoreResponse, MemOp, Outbox, ProtocolCounters, ProtocolGauges,
+    SpanMarks, TimerKey, TimerKind,
 };
 use crate::{Msg, MsgBody, ProtocolConfig, RequestStyle};
 
@@ -69,6 +70,8 @@ struct PatchTbe {
     timer_generation: u64,
     /// Whether a tenure timer is currently armed.
     timer_armed: bool,
+    /// Span telemetry phase timestamps (pure observation).
+    marks: SpanMarks,
 }
 
 #[derive(Debug)]
@@ -198,6 +201,7 @@ impl PatchController {
                 activated: false,
                 timer_generation: 0,
                 timer_armed: false,
+                marks: SpanMarks::default(),
             },
         );
         let home = op.addr.home(self.n());
@@ -417,6 +421,7 @@ impl PatchController {
             }
             let kind = tbe.kind;
             let issued_at = tbe.issued_at;
+            let marks = tbe.marks;
             let line = self.cache.get_mut(addr).expect("satisfied implies line");
             let version = match kind {
                 AccessKind::Read => line.version,
@@ -432,6 +437,7 @@ impl PatchController {
                 kind,
                 version,
                 issued_at,
+                marks,
             });
         }
         let tbe = self.tbes.get_mut(&addr).expect("still present");
@@ -477,6 +483,7 @@ impl PatchController {
                         kind: op.kind,
                         version,
                         issued_at: now,
+                        marks: SpanMarks::default(),
                     });
                 }
             }
@@ -567,6 +574,13 @@ impl PatchController {
             self.predictor.observe_response(addr, from);
         }
         let has_tbe = self.tbes.contains_key(&addr);
+        if let Some(tbe) = self.tbes.get_mut(&addr) {
+            // Span telemetry: the first response of any kind ends the
+            // network phase. Pure data write — no protocol effect.
+            if tbe.marks.first_progress.is_none() {
+                tbe.marks.first_progress = Some(now);
+            }
+        }
         if !has_tbe {
             // No transaction outstanding: bounce stray tokens to the home
             // immediately (an instant probation expiry). This keeps
@@ -586,6 +600,9 @@ impl PatchController {
             if tbe.serial == serial {
                 tbe.activated = true;
                 tbe.timer_armed = false; // pending timers are now stale
+                if tbe.marks.ordered.is_none() {
+                    tbe.marks.ordered = Some(now);
+                }
             }
         }
         self.try_progress(addr, now, out);
@@ -960,6 +977,9 @@ impl Controller for PatchController {
                     if tbe.serial == serial {
                         tbe.activated = true;
                         tbe.timer_armed = false;
+                        if tbe.marks.ordered.is_none() {
+                            tbe.marks.ordered = Some(now);
+                        }
                         self.try_progress(addr, now, out);
                     }
                 }
@@ -1032,6 +1052,14 @@ impl Controller for PatchController {
 
     fn counters(&self) -> ProtocolCounters {
         self.counters
+    }
+
+    fn gauges(&self) -> ProtocolGauges {
+        ProtocolGauges {
+            tbes: self.tbes.len() as u64,
+            home_entries: self.home.len() as u64,
+            persistent_entries: 0,
+        }
     }
 
     fn protocol_name(&self) -> &'static str {

@@ -33,7 +33,8 @@ use patchsim_noc::{DestSet, NodeId};
 
 use crate::common::LatencyEstimator;
 use crate::controller::{
-    Completion, Controller, CoreResponse, MemOp, Outbox, ProtocolCounters, TimerKey, TimerKind,
+    Completion, Controller, CoreResponse, MemOp, Outbox, ProtocolCounters, ProtocolGauges,
+    SpanMarks, TimerKey, TimerKind,
 };
 use crate::{Msg, MsgBody, ProtocolConfig, RequestStyle};
 
@@ -54,6 +55,8 @@ struct TbTbe {
     timer_generation: u64,
     /// A persistent request has been invoked for this miss.
     persistent: bool,
+    /// Span telemetry phase timestamps (pure observation).
+    marks: SpanMarks,
 }
 
 /// The home memory controller's token holdings for one block.
@@ -196,6 +199,7 @@ impl TokenBController {
             reissues: 0,
             timer_generation: 0,
             persistent: false,
+            marks: SpanMarks::default(),
         });
         self.broadcast_request(RequestStyle::Direct, now, out);
         self.try_progress(now, out);
@@ -413,6 +417,16 @@ impl TokenBController {
             }
         }
         let has_tbe = self.demand.as_ref().is_some_and(|t| t.addr == addr);
+        if has_tbe {
+            // Span telemetry: the first token arrival for the outstanding
+            // miss ends the network phase. Pure data write — no protocol
+            // effect.
+            if let Some(tbe) = self.demand.as_mut() {
+                if tbe.marks.first_progress.is_none() {
+                    tbe.marks.first_progress = Some(now);
+                }
+            }
+        }
         if !has_tbe && !self.cache.contains(addr) {
             // Stray tokens with nowhere to live: return them to memory.
             self.put_tokens(addr, tokens, data_version.unwrap_or(0), out);
@@ -475,6 +489,7 @@ impl TokenBController {
             kind: tbe.kind,
             version,
             issued_at: tbe.issued_at,
+            marks: tbe.marks,
         });
         if tbe.persistent {
             // Tell the home arbiter the starvation is over.
@@ -526,6 +541,7 @@ impl TokenBController {
         starver: NodeId,
         kind: AccessKind,
         serial: u64,
+        now: Cycle,
         out: &mut Outbox,
     ) {
         if starver == self.id {
@@ -556,6 +572,14 @@ impl TokenBController {
                     ),
                 );
                 return;
+            }
+            // Span telemetry: our own persistent activation is the point
+            // where the system serializes this starving miss. Pure data
+            // write — no protocol effect.
+            if let Some(tbe) = self.demand.as_mut() {
+                if tbe.marks.ordered.is_none() {
+                    tbe.marks.ordered = Some(now);
+                }
             }
         }
         self.table.insert(addr, (starver, kind, serial));
@@ -759,7 +783,7 @@ impl Controller for TokenBController {
                 kind,
                 serial,
             } => {
-                self.handle_persistent_activate(addr, starver, kind, serial, out);
+                self.handle_persistent_activate(addr, starver, kind, serial, now, out);
             }
             MsgBody::PersistentDeactivate { starver, serial } => {
                 // Guarded removal: on an unordered network this broadcast
@@ -837,6 +861,14 @@ impl Controller for TokenBController {
 
     fn counters(&self) -> ProtocolCounters {
         self.counters
+    }
+
+    fn gauges(&self) -> ProtocolGauges {
+        ProtocolGauges {
+            tbes: u64::from(self.demand.is_some()),
+            home_entries: (self.home.len() + self.arb.len()) as u64,
+            persistent_entries: self.table.len() as u64,
+        }
     }
 
     fn protocol_name(&self) -> &'static str {

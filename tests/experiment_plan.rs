@@ -121,6 +121,7 @@ fn fixed_summary(runtime: f64, half_width: f64, bytes: f64) -> RunSummary {
         class_bytes_per_miss: ClassBytes::from_fn(|_| 0.0),
         dropped_packets: 3.0,
         open_loop: None,
+        spans: None,
         runs: Vec::new(),
     }
 }
